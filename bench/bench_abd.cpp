@@ -1,0 +1,118 @@
+// E14 -- Shared memory from messages, concretely: the ABD register
+// (reference [22]) behind Section 2 item 4.
+//
+// Claims made executable: two-phase quorum operations give an atomic
+// single-writer register whenever a majority of processes is correct;
+// message complexity is 2n per write and 4n per read (the read's second
+// half being the write-back that prevents new/old inversions); losing
+// the majority blocks operations -- the partition behaviour predicate
+// (4) excludes for shared memory.
+#include "msgpass/abd.h"
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace rrfd;
+
+void summary() {
+  bench::banner(
+      "E14 / ABD: an atomic register from messages + a majority",
+      "Message complexity and the crash boundary of the emulation behind\n"
+      "item 4 (reference [22]).");
+  {
+    bench::Table table({"n", "majority", "msgs/write", "msgs/read",
+                        "atomicity (2000 random ops)"});
+    for (int n : {3, 5, 9, 21}) {
+      msgpass::AbdRegister reg(n, 0, 1);
+      reg.begin_write(1);
+      reg.run_until_quiet();
+      const long w = reg.messages_sent();
+      reg.begin_read(1);
+      reg.run_until_quiet();
+      const long r = reg.messages_sent() - w;
+
+      // Random concurrent workload for the atomicity column.
+      bool atomic = true;
+      for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        msgpass::AbdRegister work(n, 0, seed);
+        Rng driver(seed + 99);
+        int writes = 0;
+        auto busy = [&](core::ProcId c) {
+          for (const auto& op : work.history()) {
+            if (op.client == c && !op.done()) return true;
+          }
+          return false;
+        };
+        for (int event = 0; event < 200; ++event) {
+          const int action = static_cast<int>(driver.below(4));
+          if (action == 0 && !busy(0) && writes < 10) {
+            work.begin_write(++writes);
+          } else if (action == 1) {
+            const auto c = static_cast<core::ProcId>(
+                1 + driver.below(static_cast<std::uint64_t>(n - 1)));
+            if (!busy(c)) work.begin_read(c);
+          } else {
+            work.step();
+          }
+        }
+        work.run_until_quiet();
+        atomic = atomic && msgpass::check_abd_atomicity(work.history()).empty();
+      }
+
+      table.add_row({std::to_string(n), std::to_string(n / 2 + 1),
+                     std::to_string(w), std::to_string(r),
+                     atomic ? "holds" : "VIOLATED"});
+    }
+    table.print();
+  }
+  {
+    bench::banner("E14b / the majority boundary",
+                  "Operations complete with < n/2 crashes and block at >= n/2.");
+    bench::Table table({"n", "crashes", "write completes"});
+    for (int n : {4, 5, 7}) {
+      for (int crashes : {n / 2 - 1, n / 2, n / 2 + 1}) {
+        if (crashes < 0 || crashes >= n) continue;
+        msgpass::AbdRegister reg(n, 0, 2);
+        for (int c = 0; c < crashes; ++c) {
+          reg.crash(static_cast<core::ProcId>(n - 1 - c));
+        }
+        const int w = reg.begin_write(9);
+        reg.run_until_quiet();
+        table.add_row({std::to_string(n), std::to_string(crashes),
+                       reg.op(w).done() ? "yes" : "no (blocked)"});
+      }
+    }
+    table.print();
+  }
+}
+
+void bm_abd_write(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    msgpass::AbdRegister reg(n, 0, seed++);
+    reg.begin_write(7);
+    reg.run_until_quiet();
+    benchmark::DoNotOptimize(reg.history().size());
+  }
+  state.counters["msgs"] = 2.0 * n;
+}
+BENCHMARK(bm_abd_write)->Arg(5)->Arg(21)->Arg(63)->ArgName("n");
+
+void bm_abd_read(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    msgpass::AbdRegister reg(n, 0, seed++);
+    reg.begin_read(1);
+    reg.run_until_quiet();
+    benchmark::DoNotOptimize(reg.history().size());
+  }
+  state.counters["msgs"] = 4.0 * n;
+}
+BENCHMARK(bm_abd_read)->Arg(5)->Arg(21)->Arg(63)->ArgName("n");
+
+}  // namespace
+
+RRFD_BENCH_MAIN(summary)

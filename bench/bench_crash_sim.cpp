@@ -1,0 +1,111 @@
+// E6b -- Theorem 4.3: the cost of simulating synchronous crash rounds on
+// asynchronous shared memory via adopt-commit.
+//
+// Paper claim: one simulated crash round costs three asynchronous rounds
+// (snapshot + two adopt-commit register rounds), and each simulated round
+// introduces at most k new faults. The summary reports the measured
+// shared-memory step cost per simulated round and the fault accounting.
+#include "xform/crash_from_async.h"
+
+#include "agreement/flood_min.h"
+#include "bench_util.h"
+#include "runtime/schedulers.h"
+#include "xform/pattern_checks.h"
+
+namespace {
+
+using namespace rrfd;
+
+struct SimCost {
+  double steps_per_round_per_proc = 0;
+  int max_cumulative_faults = 0;
+  bool crash_pattern_ok = true;
+};
+
+SimCost measure(int n, int k, core::Round rounds, int trials) {
+  SimCost cost;
+  long total_steps = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<agreement::FloodMin> procs;
+    for (int i = 0; i < n; ++i) procs.emplace_back(i, rounds);
+
+    // Count steps through a wrapping scheduler.
+    class CountingScheduler final : public runtime::Scheduler {
+     public:
+      explicit CountingScheduler(std::uint64_t seed) : inner_(seed) {}
+      Choice pick(const core::ProcessSet& runnable, int step) override {
+        ++steps;
+        return inner_.pick(runnable, step);
+      }
+      long steps = 0;
+
+     private:
+      runtime::RandomScheduler inner_;
+    };
+    CountingScheduler sched(17u * static_cast<unsigned>(trial) + 1u);
+    auto result = xform::run_crash_from_async(procs, k, rounds, sched);
+    total_steps += sched.steps;
+
+    cost.crash_pattern_ok =
+        cost.crash_pattern_ok &&
+        xform::crash_pattern_holds_among(result.simulated,
+                                         result.crashed.complement(),
+                                         k * rounds);
+    cost.max_cumulative_faults =
+        std::max(cost.max_cumulative_faults,
+                 result.simulated.cumulative_union().size());
+  }
+  cost.steps_per_round_per_proc = static_cast<double>(total_steps) /
+                                  (static_cast<double>(trials) * rounds * n);
+  return cost;
+}
+
+void summary() {
+  bench::banner(
+      "E6b / Theorem 4.3: crash-round simulation on async shared memory",
+      "Claim: 3 async rounds (1 snapshot + 1 adopt-commit) simulate one\n"
+      "synchronous crash round; each simulated round adds at most k new\n"
+      "faults, so cumulative faults stay within f = k * rounds. Steps =\n"
+      "shared-memory operations per process per simulated round (grows\n"
+      "with n: n adopt-commit instances of O(n) reads each).");
+  bench::Table table({"n", "k", "sim rounds", "steps/round/proc",
+                      "max cumulative faults", "budget k*R", "<= budget?",
+                      "crash pattern"});
+  for (int n : {4, 6, 8}) {
+    for (int k : {1, 2}) {
+      const core::Round rounds = std::max(1, (n - 1) / k);
+      SimCost c = measure(n, k, rounds, 5);
+      table.add_row({std::to_string(n), std::to_string(k),
+                     std::to_string(rounds),
+                     fixed(c.steps_per_round_per_proc, 1),
+                     std::to_string(c.max_cumulative_faults),
+                     std::to_string(k * rounds),
+                     c.max_cumulative_faults <= k * rounds ? "yes" : "NO",
+                     c.crash_pattern_ok ? "valid" : "INVALID"});
+    }
+  }
+  table.print();
+}
+
+void bm_crash_simulation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  const core::Round rounds = std::max(1, (n - 1) / k);
+  std::uint64_t seed = 5;
+  for (auto _ : state) {
+    std::vector<agreement::FloodMin> procs;
+    for (int i = 0; i < n; ++i) procs.emplace_back(i, rounds);
+    runtime::RandomScheduler sched(seed++);
+    auto result = xform::run_crash_from_async(procs, k, rounds, sched);
+    benchmark::DoNotOptimize(result.decisions);
+  }
+  state.counters["sim_rounds"] = rounds;
+  state.counters["async_rounds"] = 3.0 * rounds;
+}
+BENCHMARK(bm_crash_simulation)
+    ->ArgsProduct({{4, 6, 8}, {1, 2}})
+    ->ArgNames({"n", "k"});
+
+}  // namespace
+
+RRFD_BENCH_MAIN(summary)

@@ -1,0 +1,116 @@
+// E12 -- Early-deciding consensus from announcement sets (the Section 7
+// program: RRFDs as a setting to develop real algorithms).
+//
+// Claim: using D(i,r) as first-class information, consensus decides in
+// 2 rounds when nothing fails and adapts to f' + 3 under f' actual
+// crashes -- independent of the budget f -- while flood-min always pays
+// f + 1. The summary sweeps the actual failure count.
+#include "agreement/early_stopping.h"
+
+#include "agreement/flood_min.h"
+#include "agreement/tasks.h"
+#include "bench_util.h"
+#include "core/adversaries.h"
+#include "core/engine.h"
+
+namespace {
+
+using namespace rrfd;
+
+struct Adaptivity {
+  int max_decision_round = 0;
+  bool all_ok = true;
+};
+
+Adaptivity run_early(int n, int f, double crash_prob, int trials) {
+  Adaptivity out;
+  std::vector<int> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(i + 1);
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<agreement::EarlyStoppingConsensus> ps;
+    for (int v : inputs) ps.emplace_back(n, v);
+    core::CrashAdversary adv(
+        n, f, 37u * static_cast<unsigned>(trial) + static_cast<unsigned>(n),
+        crash_prob);
+    core::EngineOptions opts;
+    opts.max_rounds = f + 4;
+    auto result = core::run_rounds(ps, adv, opts);
+    const core::ProcessSet alive = adv.announced().complement();
+    out.all_ok = out.all_ok &&
+                 agreement::check_consensus(inputs, result.decisions, alive).ok;
+    for (core::ProcId i : alive.members()) {
+      out.max_decision_round =
+          std::max(out.max_decision_round,
+                   ps[static_cast<std::size_t>(i)].decision_round());
+    }
+  }
+  return out;
+}
+
+void summary() {
+  bench::banner(
+      "E12 / early-deciding consensus from D-sets",
+      "Claim: decide in 2 rounds failure-free and within f'+3 under f'\n"
+      "actual crashes, vs flood-min's fixed f+1 -- the RRFD announcement\n"
+      "sets as a first-class algorithmic resource (Section 7's program).");
+  bench::Table table({"n", "budget f", "crash pressure", "worst decision round",
+                      "flood-min rounds", "consensus ok", "trials"});
+  for (int n : {6, 10, 16}) {
+    for (int f : {3, 5}) {
+      for (double prob : {0.0, 0.3}) {
+        Adaptivity a = run_early(n, f, prob, 100);
+        table.add_row({std::to_string(n), std::to_string(f),
+                       prob == 0.0 ? "none (f' = 0)" : "heavy",
+                       std::to_string(a.max_decision_round),
+                       std::to_string(f + 1),
+                       a.all_ok ? "yes" : "NO", "100"});
+      }
+    }
+  }
+  table.print();
+}
+
+void bm_early_stopping(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int f = static_cast<int>(state.range(1));
+  std::vector<int> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(i);
+  std::uint64_t seed = 3;
+  for (auto _ : state) {
+    std::vector<agreement::EarlyStoppingConsensus> ps;
+    for (int v : inputs) ps.emplace_back(n, v);
+    core::CrashAdversary adv(n, f, seed++, 0.3);
+    core::EngineOptions opts;
+    opts.max_rounds = f + 4;
+    auto result = core::run_rounds(ps, adv, opts);
+    benchmark::DoNotOptimize(result.decisions);
+  }
+}
+BENCHMARK(bm_early_stopping)
+    ->ArgsProduct({{8, 32}, {1, 3, 7}})
+    ->ArgNames({"n", "f"});
+
+void bm_floodmin_fixed(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int f = static_cast<int>(state.range(1));
+  std::vector<int> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(i);
+  std::uint64_t seed = 3;
+  for (auto _ : state) {
+    std::vector<agreement::FloodMin> ps;
+    for (int v : inputs) ps.emplace_back(v, f + 1);
+    core::CrashAdversary adv(n, f, seed++, 0.3);
+    core::EngineOptions opts;
+    opts.max_rounds = f + 1;
+    opts.stop_when_all_decided = false;
+    auto result = core::run_rounds(ps, adv, opts);
+    benchmark::DoNotOptimize(result.decisions);
+  }
+}
+BENCHMARK(bm_floodmin_fixed)
+    ->ArgsProduct({{8, 32}, {1, 3, 7}})
+    ->ArgNames({"n", "f"});
+
+}  // namespace
+
+RRFD_BENCH_MAIN(summary)

@@ -1,0 +1,142 @@
+// E9 -- Section 2 item 4 (discussion): the cycle argument and the
+// 2-round conjecture.
+//
+// Paper claims: under the no-mutual-miss predicate, if no process is
+// known to all after r rounds, the "does not know" relation contains a
+// cycle of length > r, so after n rounds some input is common knowledge.
+// The paper *conjectures* that two rounds suffice. The summary measures
+// the empirical distribution of rounds-to-common-knowledge over random
+// no-mutual-miss patterns and exhaustively checks the conjecture for
+// small n over single-miss patterns.
+#include "core/knowledge.h"
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "core/adversaries.h"
+#include "core/predicates.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rrfd;
+
+/// A random one-round no-mutual-miss announcement: sample an orientation
+/// of a random graph (each ordered pair (i,j) may be missed only if the
+/// reverse is not).
+core::RoundFaults random_no_mutual_round(int n, Rng& rng, double miss_prob) {
+  core::RoundFaults round(static_cast<std::size_t>(n), core::ProcessSet(n));
+  for (core::ProcId i = 0; i < n; ++i) {
+    for (core::ProcId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (round[static_cast<std::size_t>(j)].contains(i)) continue;
+      if (rng.chance(miss_prob)) round[static_cast<std::size_t>(i)].add(j);
+    }
+  }
+  // Keep every D a proper subset (structural requirement).
+  for (auto& d : round) {
+    if (d.full()) d.remove(static_cast<core::ProcId>(rng.below(static_cast<std::uint64_t>(n))));
+  }
+  return round;
+}
+
+void summary() {
+  bench::banner(
+      "E9 / item 4: the cycle argument and the 2-round conjecture",
+      "Paper: under no-mutual-miss, some input is known to all within n\n"
+      "rounds; 'we conjecture that two rounds suffice'. We measure the\n"
+      "empirical maximum over random patterns.");
+  {
+    bench::Table table({"n", "miss prob", "max rounds to common knowledge",
+                        "within n", "within 2 (conjecture)", "trials"});
+    for (int n : {3, 4, 6, 8, 16, 32}) {
+      for (double prob : {0.2, 0.5}) {
+        const int trials = 400;
+        int worst = 0;
+        bool within_n = true;
+        Rng rng(static_cast<std::uint64_t>(n) * 131u + (prob < 0.3 ? 1u : 2u));
+        for (int trial = 0; trial < trials; ++trial) {
+          core::FaultPattern p(n);
+          for (int r = 0; r < n + 1; ++r) {
+            p.append(random_no_mutual_round(n, rng, prob));
+          }
+          const core::Round rr = core::rounds_until_common_knowledge(p);
+          if (rr < 0) {
+            within_n = false;
+            worst = n + 1;
+          } else {
+            worst = std::max(worst, rr);
+            within_n = within_n && rr <= n;
+          }
+        }
+        table.add_row({std::to_string(n), fixed(prob, 1),
+                       std::to_string(worst), within_n ? "yes" : "NO",
+                       worst <= 2 ? "held" : "open (max > 2 observed)",
+                       std::to_string(trials)});
+      }
+    }
+    table.print();
+  }
+  {
+    bench::banner(
+        "E9b / exhaustive single-miss patterns",
+        "All functional-miss patterns (each process misses exactly one\n"
+        "other, no mutual misses): exact worst-case rounds for small n.");
+    bench::Table table({"n", "patterns checked", "worst rounds",
+                        "2-round conjecture on this family"});
+    for (int n : {3, 4}) {
+      // Enumerate all assignments miss[i] in {0..n-1} \ {i} with the
+      // no-mutual-miss constraint, repeated identically every round.
+      long checked = 0;
+      int worst = 0;
+      std::vector<int> miss(static_cast<std::size_t>(n), 0);
+      const long total = [&] {
+        long t = 1;
+        for (int i = 0; i < n; ++i) t *= n;  // include "miss self" = no miss
+        return t;
+      }();
+      for (long code = 0; code < total; ++code) {
+        long c = code;
+        bool valid = true;
+        for (int i = 0; i < n; ++i) {
+          miss[static_cast<std::size_t>(i)] = static_cast<int>(c % n);
+          c /= n;
+        }
+        core::RoundFaults round(static_cast<std::size_t>(n),
+                                core::ProcessSet(n));
+        for (int i = 0; i < n && valid; ++i) {
+          const int m = miss[static_cast<std::size_t>(i)];
+          if (m == i) continue;  // no miss
+          if (miss[static_cast<std::size_t>(m)] == i) valid = false;  // mutual
+          round[static_cast<std::size_t>(i)].add(m);
+        }
+        if (!valid) continue;
+        ++checked;
+        core::FaultPattern p(n);
+        for (int r = 0; r < n + 1; ++r) p.append(round);
+        const core::Round rr = core::rounds_until_common_knowledge(p);
+        worst = std::max(worst, rr < 0 ? n + 1 : rr);
+      }
+      table.add_row({std::to_string(n), std::to_string(checked),
+                     std::to_string(worst),
+                     worst <= 2 ? "held" : "refuted on static patterns? see "
+                                           "EXPERIMENTS.md"});
+    }
+    table.print();
+  }
+}
+
+void bm_knowledge_propagation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(42);
+  core::FaultPattern p(n);
+  for (int r = 0; r < n; ++r) p.append(random_no_mutual_round(n, rng, 0.4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::rounds_until_common_knowledge(p));
+  }
+}
+BENCHMARK(bm_knowledge_propagation)->Arg(8)->Arg(32)->Arg(64)->ArgName("n");
+
+}  // namespace
+
+RRFD_BENCH_MAIN(summary)

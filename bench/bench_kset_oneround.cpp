@@ -1,0 +1,91 @@
+// E1 -- Theorem 3.1: one-round k-set agreement under k-uncertainty.
+//
+// Paper claim: "k-set consensus can be solved in one round" with the
+// detector |U D \ ^ D| < k. The summary sweeps n and k, reporting rounds
+// to decide (always 1), the worst observed number of distinct decisions
+// (always <= k), and how often the bound is attained with equality.
+#include "agreement/one_round_kset.h"
+
+#include "agreement/tasks.h"
+#include "bench_util.h"
+#include "core/adversaries.h"
+#include "core/engine.h"
+
+namespace {
+
+using namespace rrfd;
+
+struct Outcome {
+  int rounds = 0;
+  int max_distinct = 0;
+  int trials_at_bound = 0;
+  bool all_valid = true;
+};
+
+Outcome run_sweep(int n, int k, int trials) {
+  Outcome out;
+  std::vector<int> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(i + 1);
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<agreement::OneRoundKSet> ps;
+    for (int v : inputs) ps.emplace_back(v);
+    core::KUncertaintyAdversary adv(
+        n, k, 1000u * static_cast<unsigned>(trial) + 17u);
+    auto result = core::run_rounds(ps, adv);
+    out.rounds = std::max(out.rounds, result.rounds);
+    const int distinct = agreement::distinct_decision_count(
+        result.decisions, core::ProcessSet::all(n));
+    out.max_distinct = std::max(out.max_distinct, distinct);
+    out.trials_at_bound += (distinct == k);
+    out.all_valid =
+        out.all_valid && agreement::check_k_set_agreement(
+                             inputs, result.decisions, k,
+                             core::ProcessSet::all(n))
+                             .ok;
+  }
+  return out;
+}
+
+void summary() {
+  bench::banner(
+      "E1 / Theorem 3.1: one-round k-set agreement",
+      "Claim: the k-uncertainty RRFD solves k-set agreement in ONE round;\n"
+      "the number of distinct decisions never exceeds k.");
+  bench::Table table({"n", "k", "rounds", "max distinct", "<= k?",
+                      "trials hitting k", "trials"});
+  const int trials = 200;
+  for (int n : {8, 16, 32, 64}) {
+    for (int k : {1, 2, 4, 8}) {
+      Outcome o = run_sweep(n, k, trials);
+      table.add_row({std::to_string(n), std::to_string(k),
+                     std::to_string(o.rounds), std::to_string(o.max_distinct),
+                     o.all_valid && o.max_distinct <= k ? "yes" : "NO",
+                     std::to_string(o.trials_at_bound),
+                     std::to_string(trials)});
+    }
+  }
+  table.print();
+}
+
+void bm_one_round_kset(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  std::vector<int> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(i);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    std::vector<agreement::OneRoundKSet> ps;
+    for (int v : inputs) ps.emplace_back(v);
+    core::KUncertaintyAdversary adv(n, k, seed++);
+    auto result = core::run_rounds(ps, adv);
+    benchmark::DoNotOptimize(result.decisions);
+  }
+  state.counters["rounds"] = 1;
+}
+BENCHMARK(bm_one_round_kset)
+    ->ArgsProduct({{8, 16, 32, 64}, {1, 2, 4, 8}})
+    ->ArgNames({"n", "k"});
+
+}  // namespace
+
+RRFD_BENCH_MAIN(summary)

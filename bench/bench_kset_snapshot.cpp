@@ -1,0 +1,82 @@
+// E2 -- Corollary 3.2: k-set agreement in asynchronous shared memory with
+// at most k-1 crash failures.
+//
+// Paper claim: the Atomic-Snapshot RRFD with f = k-1 is a submodel of the
+// k-uncertainty detector, so the one-round algorithm of Theorem 3.1
+// solves k-set agreement there. The summary verifies the predicate
+// implication and the end-to-end guarantee over seeded sweeps.
+#include "agreement/one_round_kset.h"
+
+#include "agreement/tasks.h"
+#include "bench_util.h"
+#include "core/adversaries.h"
+#include "core/engine.h"
+#include "core/predicates.h"
+
+namespace {
+
+using namespace rrfd;
+
+void summary() {
+  bench::banner(
+      "E2 / Corollary 3.2: k-set agreement with k-1 snapshot failures",
+      "Claim: atomic-snapshot RRFD with f = k-1 implies the k-uncertainty\n"
+      "predicate, hence one-round k-set agreement with k-1 crash failures.");
+  bench::Table table({"n", "k", "predicate implication", "max distinct",
+                      "k-set ok", "trials"});
+  const int trials = 200;
+  for (int n : {8, 16, 32, 64}) {
+    for (int k : {1, 2, 4}) {
+      bool implication = true;
+      bool task_ok = true;
+      int max_distinct = 0;
+      std::vector<int> inputs;
+      for (int i = 0; i < n; ++i) inputs.push_back(i + 1);
+      for (int trial = 0; trial < trials; ++trial) {
+        core::SnapshotAdversary adv(
+            n, k - 1, 31u * static_cast<unsigned>(trial) + 5u);
+        core::FaultPattern p = core::record_pattern(adv, 1);
+        implication = implication && core::k_uncertainty(k)->holds(p);
+
+        adv.reset();
+        std::vector<agreement::OneRoundKSet> ps;
+        for (int v : inputs) ps.emplace_back(v);
+        auto result = core::run_rounds(ps, adv);
+        const int distinct = agreement::distinct_decision_count(
+            result.decisions, core::ProcessSet::all(n));
+        max_distinct = std::max(max_distinct, distinct);
+        task_ok = task_ok && agreement::check_k_set_agreement(
+                                 inputs, result.decisions, k,
+                                 core::ProcessSet::all(n))
+                                 .ok;
+      }
+      table.add_row({std::to_string(n), std::to_string(k),
+                     implication ? "holds" : "VIOLATED",
+                     std::to_string(max_distinct),
+                     task_ok ? "yes" : "NO", std::to_string(trials)});
+    }
+  }
+  table.print();
+}
+
+void bm_kset_under_snapshot(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  std::vector<int> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(i);
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    std::vector<agreement::OneRoundKSet> ps;
+    for (int v : inputs) ps.emplace_back(v);
+    core::SnapshotAdversary adv(n, k - 1, seed++);
+    auto result = core::run_rounds(ps, adv);
+    benchmark::DoNotOptimize(result.decisions);
+  }
+}
+BENCHMARK(bm_kset_under_snapshot)
+    ->ArgsProduct({{8, 32, 64}, {1, 2, 4}})
+    ->ArgNames({"n", "k"});
+
+}  // namespace
+
+RRFD_BENCH_MAIN(summary)

@@ -1,0 +1,96 @@
+// E13 -- The submodel lattice of Section 2, decided exactly.
+//
+// "This paper proposes to investigate systems by finding their RRFD
+// counterparts. The RRFD counterparts, being part of the same family,
+// bring forth the commonality and the difference between the systems."
+// The summary prints the pairwise implication matrix over the model zoo,
+// computed by exhaustive enumeration of every fault pattern for n = 3.
+#include "core/submodel.h"
+
+#include "bench_util.h"
+#include "core/adversaries.h"
+#include "core/predicates.h"
+
+namespace {
+
+using namespace rrfd;
+
+void summary() {
+  bench::banner(
+      "E13 / the exact submodel lattice (n = 3, 1 round, all 343 patterns)",
+      "Cell (row, col) = does row's predicate imply column's?\n"
+      "(1 = submodel, 0 = counterexample exists)");
+
+  struct Entry {
+    std::string label;
+    core::PredicatePtr pred;
+  };
+  const std::vector<Entry> zoo = {
+      {"omission(1)", core::sync_omission(1)},
+      {"crash(1)", core::sync_crash(1)},
+      {"async(1)", core::async_message_passing(1)},
+      {"swmr(1)", core::swmr_shared_memory(1)},
+      {"snapshot(1)", core::atomic_snapshot(1)},
+      {"S", core::detector_s()},
+      {"2-uncertainty", core::k_uncertainty(2)},
+      {"equal-D", core::equal_announcements()},
+      {"skew(2,1)", core::quorum_skew(2, 1)},
+  };
+
+  std::vector<std::string> headers{"implies ->"};
+  for (const auto& e : zoo) headers.push_back(e.label);
+  bench::Table table(headers);
+  for (const auto& row : zoo) {
+    std::vector<std::string> cells{row.label};
+    for (const auto& col : zoo) {
+      auto r = core::implies_exhaustive(*row.pred, *col.pred, 3, 1);
+      cells.push_back(r.holds ? "1" : "0");
+    }
+    table.add_row(std::move(cells));
+  }
+  table.print();
+
+  bench::banner(
+      "E13b / exact equivalences",
+      "Predicate manipulations the paper performs, decided over 2 rounds.");
+  bench::Table eq({"claim", "verdict"});
+  {
+    auto r = core::equivalent_exhaustive(*core::equal_announcements(),
+                                         *core::k_uncertainty(1), 3, 2);
+    eq.add_row({"equation (5) == 1-uncertainty",
+                r.equivalent() ? "equivalent" : "DIFFERENT"});
+  }
+  {
+    core::ImmortalProcess immortal;
+    core::CumulativeFaultBound bound(2);
+    auto r = core::equivalent_exhaustive(immortal, bound, 3, 2);
+    eq.add_row({"detector-S == omission budget n-1 (item 6)",
+                r.equivalent() ? "equivalent" : "DIFFERENT"});
+  }
+  eq.print();
+}
+
+void bm_exhaustive_implication(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = core::implies_exhaustive(*core::atomic_snapshot(1),
+                                      *core::k_uncertainty(2), 3,
+                                      static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(r.holds);
+  }
+}
+BENCHMARK(bm_exhaustive_implication)->Arg(1)->Arg(2)->ArgName("rounds");
+
+void bm_sampled_implication(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    core::SnapshotAdversary adv(n, 1, seed++);
+    auto r = core::implies_on_samples(adv, *core::k_uncertainty(2), 3, 100);
+    benchmark::DoNotOptimize(r.holds);
+  }
+}
+BENCHMARK(bm_sampled_implication)->Arg(8)->Arg(32)->Arg(64)->ArgName("n");
+
+}  // namespace
+
+RRFD_BENCH_MAIN(summary)

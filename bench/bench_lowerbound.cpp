@@ -1,0 +1,115 @@
+// E6 -- Corollaries 4.2 / 4.4: the floor(f/k)+1 round bound for
+// synchronous k-set agreement.
+//
+// Paper claim: any k-set agreement algorithm for the synchronous system
+// with at most f crash (or omission) faults needs floor(f/k)+1 rounds.
+// The summary runs flood-min against the chain adversary at exactly
+// floor(f/k) rounds -- always producing k+1 distinct decisions -- and at
+// floor(f/k)+1 rounds -- always correct. The crossover is the bound.
+#include "agreement/flood_min.h"
+
+#include "agreement/tasks.h"
+#include "bench_util.h"
+#include "core/adversaries.h"
+#include "core/engine.h"
+
+namespace {
+
+using namespace rrfd;
+
+struct BoundResult {
+  int distinct = 0;
+  bool ok = false;
+};
+
+BoundResult run_chain(int k, int chain_len, int extra_rounds) {
+  const int f = k * chain_len;
+  const int n = f + k + 2;
+  core::ChainAdversary adv(n, f, k);
+  const std::vector<int> inputs = adv.violating_inputs();
+  std::vector<agreement::FloodMin> ps;
+  for (int v : inputs) ps.emplace_back(v, adv.rounds() + extra_rounds);
+
+  core::EngineOptions opts;
+  opts.max_rounds = adv.rounds() + extra_rounds;
+  opts.stop_when_all_decided = false;
+  auto result = core::run_rounds(ps, adv, opts);
+
+  core::ProcessSet survivors = core::ProcessSet::all(n);
+  for (int m = 0; m < k; ++m) {
+    for (core::Round j = 1; j <= adv.rounds(); ++j) {
+      survivors.remove(adv.crasher(m, j));
+    }
+  }
+  BoundResult out;
+  out.distinct =
+      agreement::distinct_decision_count(result.decisions, survivors);
+  out.ok = agreement::check_k_set_agreement(inputs, result.decisions, k,
+                                            survivors)
+               .ok;
+  return out;
+}
+
+void summary() {
+  bench::banner(
+      "E6 / Corollaries 4.2 & 4.4: floor(f/k)+1 round bound for k-set",
+      "Claim: with f crash faults, k-set agreement is impossible in\n"
+      "floor(f/k) rounds (the chain execution forces k+1 values) and\n"
+      "solvable in floor(f/k)+1 (flood-min).");
+  bench::Table table({"k", "f", "rounds run", "distinct decisions",
+                      "k-set agreement"});
+  for (int k : {1, 2, 3}) {
+    for (int chain_len : {1, 2, 4}) {
+      const int f = k * chain_len;
+      BoundResult at_bound = run_chain(k, chain_len, 0);
+      table.add_row({std::to_string(k), std::to_string(f),
+                     std::to_string(chain_len) + "  (= floor(f/k))",
+                     std::to_string(at_bound.distinct),
+                     at_bound.ok ? "unexpectedly OK" : "VIOLATED (as proven)"});
+      BoundResult above = run_chain(k, chain_len, 1);
+      table.add_row({std::to_string(k), std::to_string(f),
+                     std::to_string(chain_len + 1) + "  (= floor(f/k)+1)",
+                     std::to_string(above.distinct),
+                     above.ok ? "OK" : "UNEXPECTED VIOLATION"});
+    }
+  }
+  table.print();
+}
+
+void bm_floodmin_chain(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int chain_len = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    BoundResult r = run_chain(k, chain_len, 1);
+    benchmark::DoNotOptimize(r.distinct);
+  }
+  state.counters["rounds"] = chain_len + 1;
+}
+BENCHMARK(bm_floodmin_chain)
+    ->ArgsProduct({{1, 2, 3}, {1, 2, 4, 8}})
+    ->ArgNames({"k", "R"});
+
+void bm_floodmin_random_crash(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int f = static_cast<int>(state.range(1));
+  std::vector<int> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(i);
+  std::uint64_t seed = 3;
+  for (auto _ : state) {
+    std::vector<agreement::FloodMin> ps;
+    for (int v : inputs) ps.emplace_back(v, f + 1);
+    core::CrashAdversary adv(n, f, seed++);
+    core::EngineOptions opts;
+    opts.max_rounds = f + 1;
+    opts.stop_when_all_decided = false;
+    auto result = core::run_rounds(ps, adv, opts);
+    benchmark::DoNotOptimize(result.decisions);
+  }
+}
+BENCHMARK(bm_floodmin_random_crash)
+    ->ArgsProduct({{8, 32, 64}, {1, 3, 7}})
+    ->ArgNames({"n", "f"});
+
+}  // namespace
+
+RRFD_BENCH_MAIN(summary)

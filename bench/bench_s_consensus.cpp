@@ -1,0 +1,87 @@
+// E8 -- Section 2 item 6: the detector-S RRFD and wait-free consensus.
+//
+// Paper claims: (a) the S system's RRFD predicate "exists p_j never
+// announced" is equivalent to |U U D| < n, i.e. the omission predicate
+// with f = n-1; (b) this reduces wait-free consensus for S to an
+// algorithm for that omission system -- realized here by the rotating
+// coordinator, which decides in exactly n rounds.
+#include "agreement/s_consensus.h"
+
+#include "agreement/tasks.h"
+#include "bench_util.h"
+#include "core/adversaries.h"
+#include "core/engine.h"
+#include "core/predicates.h"
+
+namespace {
+
+using namespace rrfd;
+
+void summary() {
+  bench::banner(
+      "E8 / item 6: detector-S RRFD and rotating-coordinator consensus",
+      "Claims: S-predicate == cumulative bound n-1 (predicate\n"
+      "manipulation), and consensus solvable in n rounds for every choice\n"
+      "of immortal process, with all but one process allowed to fail.");
+  {
+    bench::Table table({"n", "predicate equivalence trials", "agree"});
+    for (int n : {4, 8, 16, 32}) {
+      const int trials = 300;
+      bool agree = true;
+      core::AsyncAdversary adv(n, n - 1, static_cast<unsigned>(n) * 7u);
+      for (int trial = 0; trial < trials; ++trial) {
+        core::FaultPattern p = core::record_pattern(adv, 4);
+        agree = agree && (core::ImmortalProcess().holds(p) ==
+                          core::CumulativeFaultBound(n - 1).holds(p));
+      }
+      table.add_row({std::to_string(n), std::to_string(trials),
+                     agree ? "always" : "MISMATCH"});
+    }
+    table.print();
+  }
+  {
+    bench::Table table(
+        {"n", "rounds to decide", "consensus ok (all immortals x seeds)"});
+    for (int n : {2, 4, 8, 16, 32}) {
+      std::vector<int> inputs;
+      for (int i = 0; i < n; ++i) inputs.push_back(i + 1);
+      bool ok = true;
+      int rounds = 0;
+      for (core::ProcId immortal = 0; immortal < n; ++immortal) {
+        for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+          std::vector<agreement::SConsensus> ps;
+          for (int v : inputs) ps.emplace_back(n, v);
+          core::ImmortalAdversary adv(n, seed, immortal);
+          auto result = core::run_rounds(ps, adv);
+          rounds = std::max(rounds, result.rounds);
+          ok = ok && agreement::check_consensus(inputs, result.decisions,
+                                                core::ProcessSet::all(n))
+                         .ok;
+        }
+      }
+      table.add_row({std::to_string(n), std::to_string(rounds),
+                     ok ? "yes" : "NO"});
+    }
+    table.print();
+  }
+}
+
+void bm_s_consensus(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<int> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(i);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    std::vector<agreement::SConsensus> ps;
+    for (int v : inputs) ps.emplace_back(n, v);
+    core::ImmortalAdversary adv(n, seed++);
+    auto result = core::run_rounds(ps, adv);
+    benchmark::DoNotOptimize(result.decisions);
+  }
+  state.counters["rounds"] = n;
+}
+BENCHMARK(bm_s_consensus)->Arg(4)->Arg(16)->Arg(64)->ArgName("n");
+
+}  // namespace
+
+RRFD_BENCH_MAIN(summary)

@@ -1,0 +1,71 @@
+// E5 -- Theorem 4.1: asynchronous snapshot with <= k failures implements
+// the first floor(f/k) rounds of a synchronous omission(f) system.
+//
+// Paper claim: the snapshot RRFD's per-round misses (<= k, forming a
+// containment chain) accumulate to at most k * floor(f/k) <= f distinct
+// announced processes -- exactly the omission model's budget. The summary
+// verifies the cumulative-fault accounting across sweeps and shows the
+// budget is spent at rate <= k per round.
+#include "xform/round_combiner.h"
+
+#include "bench_util.h"
+#include "core/adversaries.h"
+#include "core/predicates.h"
+
+namespace {
+
+using namespace rrfd;
+
+void summary() {
+  bench::banner(
+      "E5 / Theorem 4.1: omission rounds from asynchronous snapshots",
+      "Claim: a snapshot(k) pattern over floor(f/k) rounds IS an\n"
+      "omission(f) pattern: cumulative announcements stay within f.");
+  bench::Table table({"n", "k", "f", "rounds", "max cumulative faults",
+                      "budget f", "omission(f) holds", "trials"});
+  const int trials = 200;
+  for (int n : {8, 16, 32}) {
+    for (int k : {1, 2, 4}) {
+      for (int f : {k, 3 * k, 6 * k}) {
+        if (f >= n) continue;
+        const int rounds = f / k;
+        int max_cumulative = 0;
+        bool holds = true;
+        for (int trial = 0; trial < trials; ++trial) {
+          core::SnapshotAdversary adv(
+              n, k, 1000u * static_cast<unsigned>(trial) + static_cast<unsigned>(f));
+          core::FaultPattern p = core::record_pattern(adv, rounds);
+          core::FaultPattern omission = xform::omission_from_snapshot(p, k, f);
+          max_cumulative =
+              std::max(max_cumulative, omission.cumulative_union().size());
+          holds = holds && core::sync_omission(f)->holds(omission);
+        }
+        table.add_row({std::to_string(n), std::to_string(k),
+                       std::to_string(f), std::to_string(rounds),
+                       std::to_string(max_cumulative), std::to_string(f),
+                       holds ? "yes" : "NO", std::to_string(trials)});
+      }
+    }
+  }
+  table.print();
+}
+
+void bm_snapshot_to_omission(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  const int f = 3 * k;
+  std::uint64_t seed = 9;
+  for (auto _ : state) {
+    core::SnapshotAdversary adv(n, k, seed++);
+    core::FaultPattern p = core::record_pattern(adv, f / k);
+    core::FaultPattern omission = xform::omission_from_snapshot(p, k, f);
+    benchmark::DoNotOptimize(omission.rounds());
+  }
+}
+BENCHMARK(bm_snapshot_to_omission)
+    ->ArgsProduct({{16, 64}, {1, 2, 4}})
+    ->ArgNames({"n", "k"});
+
+}  // namespace
+
+RRFD_BENCH_MAIN(summary)

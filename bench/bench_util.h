@@ -1,0 +1,75 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench binary reproduces one experiment from DESIGN.md's index: it
+// first prints a plain-text summary table (the "paper-shape" result that
+// EXPERIMENTS.md records), then runs google-benchmark timings. The
+// summary is computed from the same library code the tests validate.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/str.h"
+
+namespace rrfd::bench {
+
+/// Plain fixed-width table printer for experiment summaries.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : widths_(headers.size()) {
+    rows_.push_back(std::move(headers));
+    for (std::size_t c = 0; c < rows_[0].size(); ++c) {
+      widths_[c] = rows_[0][c].size();
+    }
+  }
+
+  void add_row(std::vector<std::string> cells) {
+    RRFD_REQUIRE(cells.size() == widths_.size());
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      widths_[c] = std::max(widths_[c], cells[c].size());
+    }
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      os << "  ";
+      for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+        os << pad_left(rows_[r][c], widths_[c]) << (c + 1 < rows_[r].size() ? "  " : "");
+      }
+      os << '\n';
+      if (r == 0) {
+        os << "  ";
+        for (std::size_t c = 0; c < widths_.size(); ++c) {
+          os << std::string(widths_[c], '-') << (c + 1 < widths_.size() ? "  " : "");
+        }
+        os << '\n';
+      }
+    }
+  }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> widths_;
+};
+
+inline void banner(const std::string& experiment, const std::string& claim) {
+  std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
+}
+
+}  // namespace rrfd::bench
+
+/// Standard main: experiment summary first, then benchmark timings.
+#define RRFD_BENCH_MAIN(summary_fn)                       \
+  int main(int argc, char** argv) {                       \
+    summary_fn();                                         \
+    ::benchmark::Initialize(&argc, argv);                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                \
+    ::benchmark::Shutdown();                              \
+    return 0;                                             \
+  }

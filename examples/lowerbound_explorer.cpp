@@ -1,0 +1,96 @@
+// Lower-bound explorer: watch the floor(f/k)+1 round bound bite.
+//
+//   $ ./lowerbound_explorer [k] [f]
+//
+// Builds the chain execution behind Corollaries 4.2/4.4 and runs
+// flood-min truncated at floor(f/k) rounds (k+1 distinct decisions: a
+// violation) and at floor(f/k)+1 rounds (correct). Prints the chain
+// layout and the fault pattern so you can trace each smuggled value.
+#include <cstdlib>
+#include <iostream>
+
+#include "agreement/flood_min.h"
+#include "agreement/tasks.h"
+#include "core/adversaries.h"
+#include "core/engine.h"
+
+namespace {
+
+using namespace rrfd;
+
+void run_with_rounds(int k, int f, int extra) {
+  core::ChainAdversary adv(k * (f / k) + k + 2, f, k);
+  const int n = adv.n();
+  const core::Round rounds = adv.rounds() + extra;
+  const std::vector<int> inputs = adv.violating_inputs();
+
+  std::vector<agreement::FloodMin> ps;
+  for (int v : inputs) ps.emplace_back(v, rounds);
+  core::EngineOptions opts;
+  opts.max_rounds = rounds;
+  opts.stop_when_all_decided = false;
+  auto result = core::run_rounds(ps, adv, opts);
+
+  core::ProcessSet survivors = core::ProcessSet::all(n);
+  for (int m = 0; m < k; ++m) {
+    for (core::Round j = 1; j <= adv.rounds(); ++j) {
+      survivors.remove(adv.crasher(m, j));
+    }
+  }
+
+  std::cout << "\n--- flood-min run for " << rounds << " round(s) ("
+            << (extra == 0 ? "= floor(f/k): the forbidden zone"
+                           : "= floor(f/k)+1: the bound")
+            << ") ---\n";
+  std::cout << "fault pattern:\n" << result.pattern.to_string();
+  std::cout << "survivor decisions:";
+  for (core::ProcId i : survivors.members()) {
+    std::cout << "  p" << i << "->"
+              << *result.decisions[static_cast<std::size_t>(i)];
+  }
+  const int distinct =
+      agreement::distinct_decision_count(result.decisions, survivors);
+  auto check =
+      agreement::check_k_set_agreement(inputs, result.decisions, k, survivors);
+  std::cout << "\ndistinct decisions among survivors: " << distinct
+            << "  (k = " << k << ")  ==> "
+            << (check.ok ? "k-set agreement HOLDS" : "k-set agreement VIOLATED")
+            << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int k = argc > 1 ? std::atoi(argv[1]) : 2;
+  const int f = argc > 2 ? std::atoi(argv[2]) : 4;
+  if (k < 1 || f < k) {
+    std::cerr << "usage: lowerbound_explorer [k >= 1] [f >= k]\n";
+    return 2;
+  }
+
+  core::ChainAdversary layout(k * (f / k) + k + 2, f, k);
+  std::cout << "Corollaries 4.2/4.4: k-set agreement with f crash faults "
+               "needs floor(f/k)+1 rounds\n"
+            << "k = " << k << ", f = " << f << ", floor(f/k) = "
+            << layout.rounds() << ", n = " << layout.n() << "\n\n";
+  std::cout << "chain layout (value m travels its chain, one hop per round, "
+               "crashing each carrier):\n";
+  for (int m = 0; m < k; ++m) {
+    std::cout << "  value " << m << ":  p" << layout.crasher(m, 1);
+    for (core::Round j = 2; j <= layout.rounds(); ++j) {
+      std::cout << " -> p" << layout.crasher(m, j);
+    }
+    std::cout << " -> p" << layout.terminal(m) << " (survivor)\n";
+  }
+  std::cout << "  everyone else starts with value " << k << "\n";
+
+  run_with_rounds(k, f, 0);
+  run_with_rounds(k, f, 1);
+
+  std::cout << "\nThe paper derives this bound by reduction: if floor(f/k) "
+               "rounds sufficed,\nTheorems 4.1/4.3 would turn the algorithm "
+               "into a k-resilient asynchronous\nk-set agreement protocol, "
+               "contradicting the asynchronous impossibility\n[Borowsky-"
+               "Gafni, Herlihy-Shavit, Saks-Zaharoglou].\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Pattern inspector: evaluate any fault pattern against the model zoo.
+//
+//   $ ./pattern_inspector < pattern.txt
+//   $ echo 'n=3
+//     {1},{},{0,1}' | ./pattern_inspector
+//
+// Reads the textual pattern format (see core/pattern_io.h), prints which
+// models accept it, the per-round structure, knowledge propagation, and
+// what the one-round k-set algorithm would decide on it. Counterexamples
+// produced by the lattice checker can be piped straight in.
+#include <iostream>
+
+#include "agreement/one_round_kset.h"
+#include "core/adversaries.h"
+#include "core/engine.h"
+#include "core/knowledge.h"
+#include "core/pattern_io.h"
+#include "core/predicates.h"
+
+int main() {
+  using namespace rrfd;
+
+  core::FaultPattern pattern = [] {
+    try {
+      return core::read_pattern(std::cin);
+    } catch (const ContractViolation& e) {
+      std::cerr << "could not parse a fault pattern from stdin: " << e.what()
+                << "\nexpected format (see core/pattern_io.h):\n"
+                << "  n=3\n  {1},{},{0,1}\n";
+      std::exit(2);
+    }
+  }();
+  const int n = pattern.n();
+  std::cout << "pattern: n = " << n << ", rounds = " << pattern.rounds()
+            << "\n"
+            << pattern.to_string() << "\n";
+
+  std::cout << "model membership\n----------------\n";
+  std::vector<core::PredicatePtr> zoo;
+  for (int f : {1, 2}) {
+    if (f < n) {
+      zoo.push_back(core::sync_omission(f));
+      zoo.push_back(core::sync_crash(f));
+      zoo.push_back(core::async_message_passing(f));
+      zoo.push_back(core::swmr_shared_memory(f));
+      zoo.push_back(core::atomic_snapshot(f));
+    }
+  }
+  zoo.push_back(core::detector_s());
+  for (int k : {1, 2, 3}) {
+    if (k <= n) zoo.push_back(core::k_uncertainty(k));
+  }
+  zoo.push_back(core::equal_announcements());
+  for (const auto& model : zoo) {
+    std::cout << "  " << (model->holds(pattern) ? "[x] " : "[ ] ")
+              << model->name() << "\n";
+  }
+
+  std::cout << "\nper-round structure\n-------------------\n";
+  for (core::Round r = 1; r <= pattern.rounds(); ++r) {
+    const core::ProcessSet u = pattern.round_union(r);
+    const core::ProcessSet x = pattern.round_intersection(r);
+    std::cout << "  round " << r << ": union " << u << "  intersection " << x
+              << "  uncertainty " << (u - x).size() << "\n";
+  }
+  std::cout << "  cumulative announced: " << pattern.cumulative_union()
+            << "\n";
+
+  if (pattern.rounds() > 0) {
+    std::cout << "\nknowledge propagation\n---------------------\n";
+    const core::Round common = core::rounds_until_common_knowledge(pattern);
+    if (common >= 0) {
+      std::cout << "  some input known to all after round " << common << "\n";
+    } else {
+      std::cout << "  no input becomes common knowledge within the pattern\n";
+    }
+
+    std::cout << "\none-round k-set algorithm on round 1\n"
+              << "------------------------------------\n";
+    std::vector<agreement::OneRoundKSet> ps;
+    for (core::ProcId i = 0; i < n; ++i) ps.emplace_back(i + 1);
+    core::ScriptedAdversary adv(pattern);
+    auto result = core::run_rounds(ps, adv);
+    std::cout << "  decisions:";
+    for (const auto& d : result.decisions) std::cout << ' ' << *d;
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Section 5: solving the Dolev-Dwork-Stockmeyer open problem -- consensus
+// in 2 steps in the semi-synchronous broadcast model.
+//
+//   $ ./semisync_consensus [n] [seed]
+//
+// Runs the 2-step algorithm and the 2n-step baseline side by side, then
+// peeks under the hood: the per-round announcement sets are identical
+// across processes (equation 5), which is the k = 1 detector of Theorem
+// 3.1 -- one round suffices.
+#include <cstdlib>
+#include <iostream>
+
+#include "agreement/tasks.h"
+#include "core/predicates.h"
+#include "semisync/consensus.h"
+#include "xform/semisync_pattern.h"
+
+namespace {
+
+template <typename Algo>
+void run_algo(const char* label, int n, const std::vector<int>& inputs,
+              std::uint64_t seed) {
+  using namespace rrfd;
+  std::vector<Algo> procs;
+  for (int i = 0; i < n; ++i) {
+    procs.emplace_back(n, i, inputs[static_cast<std::size_t>(i)]);
+  }
+  std::vector<semisync::StepProcess*> raw;
+  for (auto& p : procs) raw.push_back(&p);
+  semisync::StepSimOptions opts;
+  opts.phi = 1;
+  opts.seed = seed;
+  semisync::StepSim sim(raw, opts);
+  auto result = sim.run();
+
+  int max_steps = 0;
+  for (int s : result.steps_taken) max_steps = std::max(max_steps, s);
+  std::vector<std::optional<int>> decisions;
+  for (auto& p : procs) decisions.emplace_back(p.decision());
+  auto check = agreement::check_consensus(inputs, decisions,
+                                          core::ProcessSet::all(n));
+  std::cout << "  " << label << ": decided " << *decisions[0] << " in "
+            << max_steps << " steps/process ("
+            << (check.ok ? "consensus" : check.failure) << ")\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rrfd;
+
+  const int n = argc > 1 ? std::atoi(argv[1]) : 6;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+
+  std::vector<int> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(10 + i);
+
+  std::cout << "Semi-synchronous (DDS) consensus, n = " << n << "\n";
+  std::cout << "inputs:";
+  for (int v : inputs) std::cout << ' ' << v;
+  std::cout << "\n\n";
+
+  run_algo<semisync::TwoStepConsensus>("Section 5 algorithm ", n, inputs, seed);
+  run_algo<semisync::NaiveRepeatConsensus>("2n-step baseline    ", n, inputs,
+                                           seed);
+
+  std::cout << "\nWhy 2 steps work -- Theorem 5.1 (equation 5):\n";
+  semisync::StepSimOptions opts;
+  opts.phi = 1;
+  opts.seed = seed;
+  auto pat = xform::semisync_pattern(n, /*rounds=*/3, opts);
+  std::cout << pat.pattern.to_string();
+  std::cout << "equal announcements across processes: "
+            << (core::equal_announcements()->holds(pat.pattern) ? "yes" : "NO")
+            << "\nexactly one broadcaster per round is heard by everyone;\n"
+            << "the detector has zero uncertainty (k = 1), so Theorem 3.1's\n"
+            << "one-round rule decides after a single 2-step round.\n";
+
+  std::cout << "\nBeyond the model's delivery bound (phi = 2), the guarantee "
+               "breaks:\n";
+  int violations = 0;
+  const int runs = 200;
+  for (int trial = 0; trial < runs; ++trial) {
+    semisync::StepSimOptions bad;
+    bad.phi = 2;
+    bad.early_delivery_prob = 0.3;
+    bad.seed = 1000u + static_cast<unsigned>(trial);
+    auto r = xform::semisync_pattern(n, 3, bad);
+    const bool ok = r.completed && !r.had_full_fault_set &&
+                    core::equal_announcements()->holds(r.pattern);
+    violations += !ok;
+  }
+  std::cout << "  equation (5) violated in " << violations << "/" << runs
+            << " random phi=2 schedules\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// The adopt-commit protocol of Section 4.2 (simplified from Yang, Neiger
+// & Gafni, the paper's reference [16]).
+//
+// Wait-free (n-1-resilient) in SWMR shared memory. Guarantees:
+//   1. If every input equals v, every process commits v.
+//   2. If any process commits v, every process commits or adopts v
+//      (in particular nobody commits a different value).
+// Two register arrays: round 1 publishes proposals; a process that saw a
+// unanimous round 1 proposes to commit. Because the first round-2 write
+// fixes the only committable value, commits can't diverge.
+#pragma once
+
+#include <set>
+
+#include "shm/registers.h"
+#include "util/check.h"
+
+namespace rrfd::agreement {
+
+/// Outcome of one adopt-commit instance for one process.
+struct AdoptCommitResult {
+  bool commit = false;
+  int value = 0;
+
+  friend bool operator==(const AdoptCommitResult& a,
+                         const AdoptCommitResult& b) {
+    return a.commit == b.commit && a.value == b.value;
+  }
+};
+
+/// One-shot adopt-commit object; each process calls run() at most once.
+class AdoptCommit {
+ public:
+  explicit AdoptCommit(int n) : round1_(n), round2_(n) {}
+
+  int n() const { return round1_.n(); }
+
+  AdoptCommitResult run(runtime::Context& ctx, int proposal) {
+    // -- Round 1: publish the proposal, look for unanimity. --------------
+    round1_.write(ctx, proposal);
+    std::set<int> seen;
+    for (const auto& cell : round1_.collect(ctx)) {
+      if (cell) seen.insert(*cell);
+    }
+    RRFD_ENSURE(!seen.empty());  // at least our own write
+
+    Tagged mine;
+    if (seen.size() == 1) {
+      mine = Tagged{/*commit=*/true, *seen.begin()};
+    } else {
+      mine = Tagged{/*commit=*/false, proposal};
+    }
+    round2_.write(ctx, mine);
+
+    // -- Round 2: a commit seen anywhere forces convergence. -------------
+    bool all_commit_v = true;
+    std::optional<int> committed;
+    for (const auto& cell : round2_.collect(ctx)) {
+      if (!cell) continue;
+      if (cell->commit) {
+        RRFD_ENSURE_MSG(!committed || *committed == cell->value,
+                        "two distinct commit proposals: protocol broken");
+        committed = cell->value;
+      } else {
+        all_commit_v = false;
+      }
+    }
+
+    if (committed && all_commit_v) return {true, *committed};
+    if (committed) return {false, *committed};
+    return {false, proposal};
+  }
+
+  /// Re-collects the round-1 proposals (n reads). Used by the Theorem 4.3
+  /// simulation: when a process ends with "adopt faulty" it needs the
+  /// simulated value some alive-proposer published; the protocol
+  /// guarantees such a proposal was written before any faulty adoption
+  /// could form, so one extra collect finds it.
+  std::vector<std::optional<int>> collect_proposals(runtime::Context& ctx) const {
+    return round1_.collect(ctx);
+  }
+
+ private:
+  struct Tagged {
+    bool commit = false;
+    int value = 0;
+  };
+
+  shm::SwmrArray<int> round1_;
+  shm::SwmrArray<Tagged> round2_;
+};
+
+}  // namespace rrfd::agreement

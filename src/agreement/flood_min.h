@@ -1,0 +1,58 @@
+// Flood-min: the classic synchronous k-set agreement algorithm.
+//
+// Every round, broadcast the smallest input seen so far; after R rounds
+// decide it. With at most f crash (or send-omission) faults, R =
+// floor(f/k) + 1 rounds suffice for k-set agreement (and Corollaries
+// 4.2/4.4 show no algorithm can do it in floor(f/k) rounds -- which the
+// truncated version of this very algorithm demonstrates against the
+// ChainAdversary).
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "core/process_set.h"
+#include "core/types.h"
+#include "util/check.h"
+
+namespace rrfd::agreement {
+
+class FloodMin {
+ public:
+  using Message = int;
+  using Decision = int;
+
+  /// Decides after `decide_round` rounds (use floor(f/k)+1 for a correct
+  /// run, floor(f/k) to reproduce the lower-bound violation).
+  FloodMin(int input, core::Round decide_round)
+      : min_(input), decide_round_(decide_round) {
+    RRFD_REQUIRE(decide_round >= 1);
+  }
+
+  int emit(core::Round) const { return min_; }
+
+  void absorb(core::Round r, const std::vector<std::optional<int>>& inbox,
+              const core::ProcessSet&) {
+    for (const auto& m : inbox) {
+      if (m) min_ = std::min(min_, *m);
+    }
+    if (r >= decide_round_) decided_ = true;
+  }
+
+  bool decided() const { return decided_; }
+  int decision() const {
+    RRFD_REQUIRE(decided());
+    return min_;
+  }
+
+  /// Current estimate (also readable before deciding).
+  int current_min() const { return min_; }
+
+ private:
+  int min_;
+  core::Round decide_round_;
+  bool decided_ = false;
+};
+
+}  // namespace rrfd::agreement

@@ -1,0 +1,50 @@
+// Theorem 3.1: one-round k-set agreement under the k-uncertainty RRFD.
+//
+// "A process p_i emits its value and chooses the value of the process in
+// S \ D(i,1) with the lowest process identifier." If two processes choose
+// values of p1 < p2, then p1 is in the union of the round's fault sets
+// (somebody skipped it) but not in the intersection (its own chooser kept
+// it), so all chosen processes except the largest lie in union minus
+// intersection -- at most k-1 of them, hence at most k distinct values.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/process_set.h"
+#include "core/types.h"
+#include "util/check.h"
+
+namespace rrfd::agreement {
+
+class OneRoundKSet {
+ public:
+  using Message = int;
+  using Decision = int;
+
+  explicit OneRoundKSet(int input) : input_(input) {}
+
+  int emit(core::Round) const { return input_; }
+
+  void absorb(core::Round r, const std::vector<std::optional<int>>& inbox,
+              const core::ProcessSet& d) {
+    if (r != 1) return;  // everything happens in the first round
+    const core::ProcessSet heard = d.complement();
+    const core::ProcId lowest = heard.min();  // heard != empty since D != S
+    RRFD_ENSURE_MSG(inbox[static_cast<std::size_t>(lowest)].has_value(),
+                    "engine must deliver messages of S \\ D");
+    decision_ = *inbox[static_cast<std::size_t>(lowest)];
+  }
+
+  bool decided() const { return decision_.has_value(); }
+  int decision() const {
+    RRFD_REQUIRE(decided());
+    return *decision_;
+  }
+
+ private:
+  int input_;
+  std::optional<int> decision_;
+};
+
+}  // namespace rrfd::agreement

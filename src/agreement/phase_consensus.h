@@ -1,0 +1,45 @@
+// Structured consensus from adopt-commit (Yang, Neiger & Gafni -- the
+// paper's reference [16]): alternate a leader suggestion with an
+// adopt-commit until somebody commits.
+//
+//   phase p:  the phase's leader (p mod n) publishes its estimate;
+//             everyone who reads it adopts it;
+//             all run adopt-commit on their estimates;
+//             commit  -> decide;  adopt -> carry the value to phase p+1.
+//
+// Safety is unconditional (the adopt-commit chain: once anything commits
+// v, everyone leaves the phase holding v, so later phases are unanimous).
+// Termination is where FLP bites: a wait-free adversary can stall leaders
+// forever, so the run is bounded by max_phases; under fair random
+// schedules a phase whose leader is read by everyone occurs quickly, and
+// one phase after the first commit everybody has decided.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "agreement/adopt_commit.h"
+#include "runtime/sim.h"
+#include "shm/registers.h"
+
+namespace rrfd::agreement {
+
+struct PhaseConsensusResult {
+  std::vector<std::optional<int>> decisions;  ///< per process
+  std::vector<int> decision_phase;            ///< 0 = undecided
+  core::ProcessSet crashed;
+  bool all_alive_decided = false;
+
+  explicit PhaseConsensusResult(int n)
+      : decisions(static_cast<std::size_t>(n)),
+        decision_phase(static_cast<std::size_t>(n), 0),
+        crashed(n) {}
+};
+
+/// Runs the protocol for up to `max_phases` phases under `scheduler`.
+PhaseConsensusResult run_phase_consensus(const std::vector<int>& inputs,
+                                         int max_phases,
+                                         runtime::Scheduler& scheduler,
+                                         int max_steps = 1 << 22);
+
+}  // namespace rrfd::agreement

@@ -1,0 +1,57 @@
+// Consensus under the detector-S RRFD (Section 2 item 6).
+//
+// The item-6 predicate -- some process is never announced to anyone -- is
+// equivalent to the send-omission predicate with f = n-1, and admits a
+// wait-free consensus algorithm: rotate a coordinator through all n
+// processes; whoever hears the round's coordinator adopts its estimate.
+// In the round coordinated by the immortal process every process adopts
+// the same estimate, and adoption preserves equality afterwards, so after
+// n rounds all estimates agree.
+//
+// This is the reduction the paper performs "just by predicate
+// manipulation": wait-free consensus for failure detector S reduced to an
+// algorithm for the omission RRFD with f = n-1.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/process_set.h"
+#include "core/types.h"
+#include "util/check.h"
+
+namespace rrfd::agreement {
+
+class SConsensus {
+ public:
+  using Message = int;
+  using Decision = int;
+
+  SConsensus(int n, int input) : n_(n), estimate_(input) {
+    RRFD_REQUIRE(n >= 1);
+  }
+
+  int emit(core::Round) const { return estimate_; }
+
+  void absorb(core::Round r, const std::vector<std::optional<int>>& inbox,
+              const core::ProcessSet&) {
+    const core::ProcId coordinator = static_cast<core::ProcId>((r - 1) % n_);
+    if (inbox[static_cast<std::size_t>(coordinator)]) {
+      estimate_ = *inbox[static_cast<std::size_t>(coordinator)];
+    }
+    if (r >= n_) decided_ = true;
+  }
+
+  bool decided() const { return decided_; }
+  int decision() const {
+    RRFD_REQUIRE(decided());
+    return estimate_;
+  }
+
+ private:
+  int n_;
+  int estimate_;
+  bool decided_ = false;
+};
+
+}  // namespace rrfd::agreement

@@ -1,0 +1,57 @@
+#include "agreement/tasks.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace rrfd::agreement {
+
+TaskCheck check_k_set_agreement(const std::vector<int>& inputs,
+                                const std::vector<std::optional<int>>& decisions,
+                                int k, const core::ProcessSet& must_decide) {
+  RRFD_REQUIRE(k >= 1);
+  RRFD_REQUIRE(inputs.size() == decisions.size());
+  RRFD_REQUIRE(static_cast<int>(inputs.size()) == must_decide.n());
+
+  for (core::ProcId p : must_decide.members()) {
+    if (!decisions[static_cast<std::size_t>(p)]) {
+      return TaskCheck::fail(cat("termination: process ", p, " undecided"));
+    }
+  }
+
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    if (!decisions[i]) continue;
+    if (std::find(inputs.begin(), inputs.end(), *decisions[i]) ==
+        inputs.end()) {
+      return TaskCheck::fail(cat("validity: process ", i, " decided ",
+                                 *decisions[i], " which nobody proposed"));
+    }
+  }
+
+  const int distinct = distinct_decision_count(decisions, must_decide);
+  if (distinct > k) {
+    return TaskCheck::fail(cat("agreement: ", distinct,
+                               " distinct decisions, but k = ", k));
+  }
+  return TaskCheck::pass();
+}
+
+TaskCheck check_consensus(const std::vector<int>& inputs,
+                          const std::vector<std::optional<int>>& decisions,
+                          const core::ProcessSet& must_decide) {
+  return check_k_set_agreement(inputs, decisions, 1, must_decide);
+}
+
+int distinct_decision_count(const std::vector<std::optional<int>>& decisions,
+                            const core::ProcessSet& among) {
+  std::set<int> values;
+  for (core::ProcId p : among.members()) {
+    const auto& d = decisions[static_cast<std::size_t>(p)];
+    if (d) values.insert(*d);
+  }
+  return static_cast<int>(values.size());
+}
+
+}  // namespace rrfd::agreement

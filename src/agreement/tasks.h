@@ -1,0 +1,46 @@
+// Task validators: executable input/output specifications.
+//
+// A task T is an input/output relation; an RRFD system solves T if after
+// enough rounds processes commit to outputs satisfying it. These checkers
+// are the oracles used by tests and benches to decide whether a run solved
+// k-set agreement (Section 3) or consensus (k = 1).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/process_set.h"
+
+namespace rrfd::agreement {
+
+/// Result of validating a run against a task.
+struct TaskCheck {
+  bool ok = true;
+  std::string failure;  ///< empty when ok; otherwise what went wrong
+
+  static TaskCheck pass() { return {}; }
+  static TaskCheck fail(std::string why) { return {false, std::move(why)}; }
+};
+
+/// Validates k-set agreement:
+///   termination: every process in `must_decide` decided;
+///   validity:    every decision (of any process) is some process's input;
+///   k-agreement: processes in `must_decide` chose at most k distinct
+///                values.
+/// `must_decide` is typically the survivors -- in crash models the
+/// announced processes' outputs do not count.
+TaskCheck check_k_set_agreement(const std::vector<int>& inputs,
+                                const std::vector<std::optional<int>>& decisions,
+                                int k, const core::ProcessSet& must_decide);
+
+/// Consensus is 1-set agreement.
+TaskCheck check_consensus(const std::vector<int>& inputs,
+                          const std::vector<std::optional<int>>& decisions,
+                          const core::ProcessSet& must_decide);
+
+/// Number of distinct decided values among `among`.
+int distinct_decision_count(const std::vector<std::optional<int>>& decisions,
+                            const core::ProcessSet& among);
+
+}  // namespace rrfd::agreement

@@ -1,0 +1,12 @@
+#include "core/adversary.h"
+
+namespace rrfd::core {
+
+FaultPattern record_pattern(Adversary& adversary, Round rounds) {
+  RRFD_REQUIRE(rounds >= 0);
+  FaultPattern pattern(adversary.n());
+  for (Round r = 1; r <= rounds; ++r) pattern.append(adversary.next_round());
+  return pattern;
+}
+
+}  // namespace rrfd::core

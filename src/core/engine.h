@@ -1,0 +1,138 @@
+// The RRFD round engine: drives emit/receive algorithms against an
+// adversary, exactly following the paper's abstract algorithm skeleton:
+//
+//   r := 1
+//   forever do
+//     compute messages m_{i,r} for round r
+//     emit m_{i,r}
+//     (wait until) forall p_j: received m_{j,r} or p_j in D(i,r)
+//     r := r + 1
+//
+// Because rounds are communication-closed, the "wait until" is resolved
+// instantaneously: process p_i receives exactly the messages of S \ D(i,r).
+// The engine records the fault pattern it was fed so the run can be
+// validated against a model predicate afterwards.
+#pragma once
+
+#include <concepts>
+#include <optional>
+#include <vector>
+
+#include "core/adversary.h"
+#include "core/fault_pattern.h"
+#include "core/predicate.h"
+
+namespace rrfd::core {
+
+/// What a round-based algorithm must provide. One instance per process.
+template <typename P>
+concept RoundProcess = requires(P p, const P cp, Round r,
+                                const std::vector<std::optional<typename P::Message>>& inbox,
+                                const ProcessSet& d) {
+  typename P::Message;
+  typename P::Decision;
+  { p.emit(r) } -> std::convertible_to<typename P::Message>;
+  { p.absorb(r, inbox, d) };
+  { cp.decided() } -> std::convertible_to<bool>;
+  { cp.decision() } -> std::convertible_to<typename P::Decision>;
+};
+
+/// Engine knobs.
+struct EngineOptions {
+  /// Hard round limit (guards against non-terminating algorithms).
+  Round max_rounds = 1024;
+  /// Stop as soon as every process has decided. When false, runs exactly
+  /// max_rounds rounds (used by truncated-algorithm experiments).
+  bool stop_when_all_decided = true;
+};
+
+/// Outcome of a run.
+template <typename Decision>
+struct RunResult {
+  FaultPattern pattern;          ///< the D(i,r) family the adversary chose
+  Round rounds = 0;              ///< rounds actually executed
+  bool all_decided = false;      ///< did every process commit to an output?
+  std::vector<std::optional<Decision>> decisions;  ///< per process
+
+  explicit RunResult(int n) : pattern(n) {}
+
+  /// Distinct decided values among processes in `among` (all when empty).
+  std::vector<Decision> distinct_decisions(
+      const std::optional<ProcessSet>& among = std::nullopt) const {
+    std::vector<Decision> out;
+    for (std::size_t i = 0; i < decisions.size(); ++i) {
+      if (among && !among->contains(static_cast<ProcId>(i))) continue;
+      if (!decisions[i]) continue;
+      bool seen = false;
+      for (const Decision& d : out) seen = seen || d == *decisions[i];
+      if (!seen) out.push_back(*decisions[i]);
+    }
+    return out;
+  }
+};
+
+/// Runs `processes` (one per ProcId, in order) against `adversary`.
+///
+/// Every process keeps participating after deciding (as in the paper's
+/// "forever do" loop); decisions are commitments, not halts. The caller
+/// interprets the decision vector -- e.g. a crash-model experiment ignores
+/// announced processes.
+template <typename P>
+  requires RoundProcess<P>
+RunResult<typename P::Decision> run_rounds(std::vector<P>& processes,
+                                           Adversary& adversary,
+                                           const EngineOptions& options = {}) {
+  const int n = adversary.n();
+  RRFD_REQUIRE(static_cast<int>(processes.size()) == n);
+  RRFD_REQUIRE(options.max_rounds >= 0);
+
+  using Message = typename P::Message;
+  RunResult<typename P::Decision> result(n);
+  result.decisions.assign(static_cast<std::size_t>(n), std::nullopt);
+
+  auto all_decided = [&] {
+    for (const P& p : processes) {
+      if (!p.decided()) return false;
+    }
+    return true;
+  };
+
+  for (Round r = 1; r <= options.max_rounds; ++r) {
+    if (options.stop_when_all_decided && all_decided()) break;
+
+    // Emit phase: everybody computes its round-r message first (the round
+    // is communication-closed, so no message depends on another round-r
+    // message).
+    std::vector<Message> emitted;
+    emitted.reserve(static_cast<std::size_t>(n));
+    for (ProcId i = 0; i < n; ++i) {
+      emitted.push_back(processes[static_cast<std::size_t>(i)].emit(r));
+    }
+
+    // The RRFD announces; announcements determine delivery: p_i receives
+    // m_{j,r} iff p_j not in D(i,r). (S(i,r) = S \ D(i,r); the paper
+    // allows overlap of S and D, which delivery-wise is equivalent to the
+    // message being dropped, so the engine uses the partition form.)
+    RoundFaults faults = adversary.next_round();
+    result.pattern.append(faults);
+
+    for (ProcId i = 0; i < n; ++i) {
+      const ProcessSet& d = faults[static_cast<std::size_t>(i)];
+      std::vector<std::optional<Message>> inbox(static_cast<std::size_t>(n));
+      for (ProcId j = 0; j < n; ++j) {
+        if (!d.contains(j)) inbox[static_cast<std::size_t>(j)] = emitted[static_cast<std::size_t>(j)];
+      }
+      processes[static_cast<std::size_t>(i)].absorb(r, inbox, d);
+    }
+    result.rounds = r;
+  }
+
+  for (ProcId i = 0; i < n; ++i) {
+    const P& p = processes[static_cast<std::size_t>(i)];
+    if (p.decided()) result.decisions[static_cast<std::size_t>(i)] = p.decision();
+  }
+  result.all_decided = all_decided();
+  return result;
+}
+
+}  // namespace rrfd::core

@@ -1,0 +1,63 @@
+#include "core/fault_pattern.h"
+
+#include <sstream>
+
+namespace rrfd::core {
+
+ProcessSet union_over(const RoundFaults& round) {
+  RRFD_REQUIRE(!round.empty());
+  ProcessSet u(round.front().n());
+  for (const ProcessSet& d : round) u |= d;
+  return u;
+}
+
+ProcessSet intersection_over(const RoundFaults& round) {
+  RRFD_REQUIRE(!round.empty());
+  ProcessSet x = ProcessSet::all(round.front().n());
+  for (const ProcessSet& d : round) x &= d;
+  return x;
+}
+
+RoundFaults uniform_round(int n, const ProcessSet& d) {
+  RRFD_REQUIRE(d.n() == n);
+  return RoundFaults(static_cast<std::size_t>(n), d);
+}
+
+void FaultPattern::append(RoundFaults round) {
+  RRFD_REQUIRE(static_cast<int>(round.size()) == n_);
+  for (const ProcessSet& d : round) {
+    RRFD_REQUIRE(d.n() == n_);
+    RRFD_REQUIRE_MSG(!d.full(),
+                     "D(i,r) = S is forbidden: not all processes can be late");
+  }
+  rounds_.push_back(std::move(round));
+}
+
+ProcessSet FaultPattern::cumulative_union(Round up_to) const {
+  if (up_to < 0) up_to = rounds();
+  RRFD_REQUIRE(up_to <= rounds());
+  ProcessSet u(n_);
+  for (Round r = 1; r <= up_to; ++r) u |= round_union(r);
+  return u;
+}
+
+FaultPattern FaultPattern::prefix(Round r) const {
+  RRFD_REQUIRE(0 <= r && r <= rounds());
+  FaultPattern p(n_);
+  for (Round q = 1; q <= r; ++q) p.append(round(q));
+  return p;
+}
+
+std::string FaultPattern::to_string() const {
+  std::ostringstream os;
+  for (Round r = 1; r <= rounds(); ++r) {
+    os << "round " << r << ":";
+    for (ProcId i = 0; i < n_; ++i) {
+      os << " D(" << i << ")=" << d(i, r).to_string();
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rrfd::core

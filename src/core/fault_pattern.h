@@ -1,0 +1,86 @@
+// Fault patterns: the complete record of what an RRFD told every process.
+//
+// An execution of an RRFD system is characterized (apart from the
+// algorithm's own messages) by the family of sets D(i,r). A FaultPattern
+// stores that family for rounds 1..R; predicates (core/predicates.h) are
+// evaluated against it, adversaries (core/adversaries.h) produce it round
+// by round, and the engine (core/engine.h) records it as it drives
+// processes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/process_set.h"
+#include "core/types.h"
+
+namespace rrfd::core {
+
+/// One round's fault announcements: faults[i] == D(i, r).
+/// Invariant: all entries share the same system size n.
+using RoundFaults = std::vector<ProcessSet>;
+
+/// Union over processes of D(i, r) for a single round.
+ProcessSet union_over(const RoundFaults& round);
+
+/// Intersection over processes of D(i, r) for a single round.
+ProcessSet intersection_over(const RoundFaults& round);
+
+/// A RoundFaults where every process is told the same set `d`.
+RoundFaults uniform_round(int n, const ProcessSet& d);
+
+/// The full family {D(i,r)} for rounds 1..size().
+class FaultPattern {
+ public:
+  explicit FaultPattern(int n) : n_(n) {
+    RRFD_REQUIRE(0 < n && n <= kMaxProcesses);
+  }
+
+  int n() const { return n_; }
+
+  /// Number of recorded rounds.
+  int rounds() const { return static_cast<int>(rounds_.size()); }
+
+  /// Appends round `rounds()+1`. Every D(i,r) must be over n processes and
+  /// the paper's universal constraint D(i,r) != S must hold ("not all
+  /// processes can be late").
+  void append(RoundFaults round);
+
+  /// D(i, r); r is 1-based as in the paper.
+  const ProcessSet& d(ProcId i, Round r) const {
+    RRFD_REQUIRE(1 <= r && r <= rounds());
+    RRFD_REQUIRE(0 <= i && i < n_);
+    return rounds_[static_cast<std::size_t>(r - 1)]
+                  [static_cast<std::size_t>(i)];
+  }
+
+  /// All announcements of round r.
+  const RoundFaults& round(Round r) const {
+    RRFD_REQUIRE(1 <= r && r <= rounds());
+    return rounds_[static_cast<std::size_t>(r - 1)];
+  }
+
+  /// Union over processes of D(i, r).
+  ProcessSet round_union(Round r) const { return union_over(round(r)); }
+
+  /// Intersection over processes of D(i, r).
+  ProcessSet round_intersection(Round r) const {
+    return intersection_over(round(r));
+  }
+
+  /// Union of all announcements in rounds 1..r (r defaults to all rounds).
+  /// This is the paper's cumulative fault set U_{r>0} U_{p_i} D(i,r).
+  ProcessSet cumulative_union(Round up_to = -1) const;
+
+  /// Truncates to the first r rounds.
+  FaultPattern prefix(Round r) const;
+
+  /// Multi-line rendering for diagnostics.
+  std::string to_string() const;
+
+ private:
+  int n_;
+  std::vector<RoundFaults> rounds_;
+};
+
+}  // namespace rrfd::core

@@ -1,0 +1,49 @@
+#include "core/knowledge.h"
+
+namespace rrfd::core {
+
+KnowledgeTracker::KnowledgeTracker(int n) : n_(n) {
+  RRFD_REQUIRE(0 < n && n <= kMaxProcesses);
+  know_.reserve(static_cast<std::size_t>(n));
+  for (ProcId i = 0; i < n; ++i) know_.push_back(ProcessSet::single(n, i));
+}
+
+void KnowledgeTracker::step(const RoundFaults& round) {
+  RRFD_REQUIRE(static_cast<int>(round.size()) == n_);
+  std::vector<ProcessSet> next = know_;
+  for (ProcId i = 0; i < n_; ++i) {
+    const ProcessSet heard = round[static_cast<std::size_t>(i)].complement();
+    for (ProcId j : heard.members()) {
+      next[static_cast<std::size_t>(i)] |= know_[static_cast<std::size_t>(j)];
+    }
+  }
+  know_ = std::move(next);
+  ++rounds_;
+}
+
+void KnowledgeTracker::run(const FaultPattern& pattern) {
+  for (Round r = 1; r <= pattern.rounds(); ++r) step(pattern.round(r));
+}
+
+const ProcessSet& KnowledgeTracker::known_by(ProcId i) const {
+  RRFD_REQUIRE(0 <= i && i < n_);
+  return know_[static_cast<std::size_t>(i)];
+}
+
+ProcessSet KnowledgeTracker::known_to_all() const {
+  ProcessSet common = ProcessSet::all(n_);
+  for (const ProcessSet& k : know_) common &= k;
+  return common;
+}
+
+Round rounds_until_common_knowledge(const FaultPattern& pattern) {
+  KnowledgeTracker tracker(pattern.n());
+  if (!tracker.known_to_all().empty()) return 0;
+  for (Round r = 1; r <= pattern.rounds(); ++r) {
+    tracker.step(pattern.round(r));
+    if (!tracker.known_to_all().empty()) return r;
+  }
+  return -1;
+}
+
+}  // namespace rrfd::core

@@ -1,0 +1,57 @@
+// Knowledge propagation over fault patterns.
+//
+// Running the full-information protocol, what matters for most arguments
+// is *whose round-0 input a process has (transitively) learned*. The
+// tracker maintains know(i) = the set of processes whose inputs p_i
+// knows, updated per round by know(i) |= U_{j not in D(i,r)} know(j).
+//
+// This is the machinery behind the item-4 discussion: under the
+// no-mutual-miss predicate, if after r rounds nobody is known to all, the
+// "does not know" relation contains a cycle of length > r, so after n
+// rounds some process is known by all. The paper conjectures 2 rounds
+// suffice; bench_knowledge_cycle probes that conjecture.
+#pragma once
+
+#include <vector>
+
+#include "core/fault_pattern.h"
+
+namespace rrfd::core {
+
+/// Tracks per-process input knowledge round by round.
+class KnowledgeTracker {
+ public:
+  explicit KnowledgeTracker(int n);
+
+  int n() const { return n_; }
+
+  /// Applies one round of announcements.
+  void step(const RoundFaults& round);
+
+  /// Applies every round of a pattern.
+  void run(const FaultPattern& pattern);
+
+  /// know(i): processes whose inputs p_i currently knows.
+  const ProcessSet& known_by(ProcId i) const;
+
+  /// Processes whose input is known to every process.
+  ProcessSet known_to_all() const;
+
+  /// Processes whose input p_i does NOT know (the "does not know"
+  /// out-neighbourhood used in the cycle argument).
+  ProcessSet unknown_by(ProcId i) const { return known_by(i).complement(); }
+
+  /// Rounds applied so far.
+  Round rounds() const { return rounds_; }
+
+ private:
+  int n_;
+  Round rounds_ = 0;
+  std::vector<ProcessSet> know_;
+};
+
+/// Convenience: rounds (of the given pattern, in order) until some input is
+/// known to all; returns -1 if the pattern ends first.
+Round rounds_until_common_knowledge(const FaultPattern& pattern);
+
+}  // namespace rrfd::core

@@ -1,0 +1,100 @@
+#include "core/pattern_io.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace rrfd::core {
+namespace {
+
+/// Parses "{a,b,c}" starting at text[pos]; advances pos past the set.
+ProcessSet parse_set(const std::string& line, std::size_t& pos, int n) {
+  auto skip_ws = [&] {
+    while (pos < line.size() && std::isspace(static_cast<unsigned char>(line[pos]))) ++pos;
+  };
+  skip_ws();
+  RRFD_REQUIRE_MSG(pos < line.size() && line[pos] == '{',
+                   "expected '{' in pattern text");
+  ++pos;
+  ProcessSet out(n);
+  skip_ws();
+  while (pos < line.size() && line[pos] != '}') {
+    RRFD_REQUIRE_MSG(std::isdigit(static_cast<unsigned char>(line[pos])),
+                     "expected a process id in pattern text");
+    int value = 0;
+    while (pos < line.size() &&
+           std::isdigit(static_cast<unsigned char>(line[pos]))) {
+      value = value * 10 + (line[pos] - '0');
+      ++pos;
+    }
+    RRFD_REQUIRE_MSG(value < n, "process id out of range in pattern text");
+    out.add(value);
+    skip_ws();
+    if (pos < line.size() && line[pos] == ',') {
+      ++pos;
+      skip_ws();
+    }
+  }
+  RRFD_REQUIRE_MSG(pos < line.size() && line[pos] == '}',
+                   "unterminated set in pattern text");
+  ++pos;
+  return out;
+}
+
+}  // namespace
+
+std::string pattern_to_text(const FaultPattern& pattern) {
+  std::ostringstream os;
+  write_pattern(os, pattern);
+  return os.str();
+}
+
+void write_pattern(std::ostream& os, const FaultPattern& pattern) {
+  os << "n=" << pattern.n() << '\n';
+  for (Round r = 1; r <= pattern.rounds(); ++r) {
+    for (ProcId i = 0; i < pattern.n(); ++i) {
+      if (i > 0) os << ',';
+      os << pattern.d(i, r).to_string();
+    }
+    os << '\n';
+  }
+}
+
+FaultPattern pattern_from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_pattern(is);
+}
+
+FaultPattern read_pattern(std::istream& is) {
+  std::string line;
+  // Header (skipping comments and blank lines).
+  int n = -1;
+  while (std::getline(is, line)) {
+    std::size_t pos = 0;
+    while (pos < line.size() && std::isspace(static_cast<unsigned char>(line[pos]))) ++pos;
+    if (pos >= line.size() || line[pos] == '#') continue;
+    RRFD_REQUIRE_MSG(line.compare(pos, 2, "n=") == 0,
+                     "pattern text must start with an 'n=<count>' header");
+    n = std::stoi(line.substr(pos + 2));
+    break;
+  }
+  RRFD_REQUIRE_MSG(n > 0, "missing pattern header");
+  FaultPattern pattern(n);
+
+  while (std::getline(is, line)) {
+    std::size_t pos = 0;
+    while (pos < line.size() && std::isspace(static_cast<unsigned char>(line[pos]))) ++pos;
+    if (pos >= line.size() || line[pos] == '#') continue;
+    RoundFaults round;
+    for (ProcId i = 0; i < n; ++i) {
+      round.push_back(parse_set(line, pos, n));
+      while (pos < line.size() && (std::isspace(static_cast<unsigned char>(line[pos])) || line[pos] == ',')) ++pos;
+    }
+    RRFD_REQUIRE_MSG(pos >= line.size(), "trailing garbage in pattern line");
+    pattern.append(std::move(round));
+  }
+  return pattern;
+}
+
+}  // namespace rrfd::core

@@ -1,0 +1,34 @@
+// Textual serialization of fault patterns.
+//
+// Counterexamples are first-class artifacts in this library -- the
+// exhaustive lattice checker returns them, the benches print them, and
+// regression tests want to pin them down. The format is compact and
+// human-editable, one round per line:
+//
+//   n=4
+//   {1},{},{1,3},{}
+//   {2},{2},{},{2}
+//
+// Line r holds D(0,r),...,D(n-1,r). Whitespace is ignored; lines starting
+// with '#' are comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/fault_pattern.h"
+
+namespace rrfd::core {
+
+/// Serializes a pattern (see header comment for the format).
+std::string pattern_to_text(const FaultPattern& pattern);
+
+/// Parses the textual format. Throws ContractViolation on malformed
+/// input (bad header, wrong arity, out-of-range members, D = S).
+FaultPattern pattern_from_text(const std::string& text);
+
+/// Stream variants.
+void write_pattern(std::ostream& os, const FaultPattern& pattern);
+FaultPattern read_pattern(std::istream& is);
+
+}  // namespace rrfd::core

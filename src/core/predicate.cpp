@@ -1,0 +1,38 @@
+#include "core/predicate.h"
+
+#include <sstream>
+
+namespace rrfd::core {
+
+bool Predicate::holds_all_prefixes(const FaultPattern& pattern) const {
+  for (Round r = 0; r <= pattern.rounds(); ++r) {
+    if (!holds(pattern.prefix(r))) return false;
+  }
+  return true;
+}
+
+AndPredicate::AndPredicate(std::string name, std::vector<PredicatePtr> parts)
+    : name_(std::move(name)), parts_(std::move(parts)) {
+  RRFD_REQUIRE(!parts_.empty());
+  for (const auto& p : parts_) RRFD_REQUIRE(p != nullptr);
+}
+
+std::string AndPredicate::description() const {
+  std::ostringstream os;
+  os << "conjunction of:";
+  for (const auto& p : parts_) os << " [" << p->name() << "]";
+  return os.str();
+}
+
+bool AndPredicate::holds(const FaultPattern& pattern) const {
+  for (const auto& p : parts_) {
+    if (!p->holds(pattern)) return false;
+  }
+  return true;
+}
+
+PredicatePtr all_of(std::string name, std::vector<PredicatePtr> parts) {
+  return std::make_shared<AndPredicate>(std::move(name), std::move(parts));
+}
+
+}  // namespace rrfd::core

@@ -1,0 +1,62 @@
+// Predicate: what *is* an RRFD model.
+//
+// The paper defines a model as a predicate over the family of sets
+// {D(i,r)}. A Predicate evaluates a FaultPattern; an adversary is valid
+// for a model iff every pattern it can emit satisfies the model's
+// predicate. Submodel relations (Section 2: "A is a submodel of B iff
+// P_A => P_B") are checked with implies_on_samples() and, for small
+// systems, by exhaustive enumeration in the tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fault_pattern.h"
+
+namespace rrfd::core {
+
+/// An RRFD model, i.e. a predicate over fault patterns.
+class Predicate {
+ public:
+  virtual ~Predicate() = default;
+
+  /// Short identifier, e.g. "sync-omission(f=2)".
+  virtual std::string name() const = 0;
+
+  /// One-line human description referencing the paper.
+  virtual std::string description() const = 0;
+
+  /// Does the full pattern satisfy the model?
+  virtual bool holds(const FaultPattern& pattern) const = 0;
+
+  /// True iff every prefix of `pattern` satisfies the model. For
+  /// prefix-closed predicates (all the paper's models are) this equals
+  /// holds(); the default implementation checks every prefix explicitly so
+  /// non-prefix-closed custom predicates are still handled correctly.
+  virtual bool holds_all_prefixes(const FaultPattern& pattern) const;
+};
+
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+/// Conjunction of predicates. Most of the paper's models are built by
+/// composing primitive constraints (e.g. item 2 = item 1 /\ monotonicity).
+class AndPredicate final : public Predicate {
+ public:
+  AndPredicate(std::string name, std::vector<PredicatePtr> parts);
+
+  std::string name() const override { return name_; }
+  std::string description() const override;
+  bool holds(const FaultPattern& pattern) const override;
+
+  const std::vector<PredicatePtr>& parts() const { return parts_; }
+
+ private:
+  std::string name_;
+  std::vector<PredicatePtr> parts_;
+};
+
+/// Convenience factory for AndPredicate.
+PredicatePtr all_of(std::string name, std::vector<PredicatePtr> parts);
+
+}  // namespace rrfd::core

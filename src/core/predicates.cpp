@@ -1,0 +1,335 @@
+#include "core/predicates.h"
+
+#include "util/str.h"
+
+namespace rrfd::core {
+
+// --------------------------------------------------------------------------
+// NoSelfSuspicion
+// --------------------------------------------------------------------------
+
+std::string NoSelfSuspicion::name() const {
+  return exempt_announced_ ? "no-self-suspicion(exempt-announced)"
+                           : "no-self-suspicion";
+}
+
+std::string NoSelfSuspicion::description() const {
+  return "forall i,r: p_i not in D(i,r)" +
+         std::string(exempt_announced_
+                         ? " unless p_i was announced in an earlier round"
+                         : "");
+}
+
+bool NoSelfSuspicion::holds(const FaultPattern& pattern) const {
+  ProcessSet announced(pattern.n());
+  for (Round r = 1; r <= pattern.rounds(); ++r) {
+    for (ProcId i = 0; i < pattern.n(); ++i) {
+      if (pattern.d(i, r).contains(i) &&
+          !(exempt_announced_ && announced.contains(i))) {
+        return false;
+      }
+    }
+    announced |= pattern.round_union(r);
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// CumulativeFaultBound
+// --------------------------------------------------------------------------
+
+CumulativeFaultBound::CumulativeFaultBound(int f) : f_(f) {
+  RRFD_REQUIRE(f >= 0);
+}
+
+std::string CumulativeFaultBound::name() const {
+  return cat("cumulative-fault-bound(f=", f_, ")");
+}
+
+std::string CumulativeFaultBound::description() const {
+  return cat("|U_{r,i} D(i,r)| <= ", f_,
+             " -- at most f distinct processes ever announced");
+}
+
+bool CumulativeFaultBound::holds(const FaultPattern& pattern) const {
+  return pattern.cumulative_union().size() <= f_;
+}
+
+// --------------------------------------------------------------------------
+// CrashMonotonicity
+// --------------------------------------------------------------------------
+
+std::string CrashMonotonicity::name() const { return "crash-monotonicity"; }
+
+std::string CrashMonotonicity::description() const {
+  return "forall r,k: U_i D(i,r) subseteq D(k,r+1) -- announcements are "
+         "permanent and universal from the next round";
+}
+
+bool CrashMonotonicity::holds(const FaultPattern& pattern) const {
+  for (Round r = 1; r < pattern.rounds(); ++r) {
+    const ProcessSet announced = pattern.round_union(r);
+    for (ProcId k = 0; k < pattern.n(); ++k) {
+      if (!announced.subset_of(pattern.d(k, r + 1))) return false;
+    }
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// PerRoundFaultBound
+// --------------------------------------------------------------------------
+
+PerRoundFaultBound::PerRoundFaultBound(int f) : f_(f) {
+  RRFD_REQUIRE(f >= 0);
+}
+
+std::string PerRoundFaultBound::name() const {
+  return cat("per-round-fault-bound(f=", f_, ")");
+}
+
+std::string PerRoundFaultBound::description() const {
+  return cat("forall i,r: |D(i,r)| <= ", f_,
+             " -- each process misses at most f others per round");
+}
+
+bool PerRoundFaultBound::holds(const FaultPattern& pattern) const {
+  for (Round r = 1; r <= pattern.rounds(); ++r) {
+    for (ProcId i = 0; i < pattern.n(); ++i) {
+      if (pattern.d(i, r).size() > f_) return false;
+    }
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// SomeoneHeardByAll
+// --------------------------------------------------------------------------
+
+std::string SomeoneHeardByAll::name() const { return "someone-heard-by-all"; }
+
+std::string SomeoneHeardByAll::description() const {
+  return "forall r: |U_i D(i,r)| < n -- each round some process is "
+         "announced to nobody";
+}
+
+bool SomeoneHeardByAll::holds(const FaultPattern& pattern) const {
+  for (Round r = 1; r <= pattern.rounds(); ++r) {
+    if (pattern.round_union(r).size() >= pattern.n()) return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// NoMutualMiss
+// --------------------------------------------------------------------------
+
+std::string NoMutualMiss::name() const { return "no-mutual-miss"; }
+
+std::string NoMutualMiss::description() const {
+  return "forall r,i,j: p_j in D(i,r) => p_i not in D(j,r)";
+}
+
+bool NoMutualMiss::holds(const FaultPattern& pattern) const {
+  for (Round r = 1; r <= pattern.rounds(); ++r) {
+    for (ProcId i = 0; i < pattern.n(); ++i) {
+      for (ProcId j : pattern.d(i, r).members()) {
+        if (pattern.d(j, r).contains(i)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// ContainmentChain
+// --------------------------------------------------------------------------
+
+std::string ContainmentChain::name() const { return "containment-chain"; }
+
+std::string ContainmentChain::description() const {
+  return "forall r,i,j: D(i,r) subseteq D(j,r) or D(j,r) subseteq D(i,r)";
+}
+
+bool ContainmentChain::holds(const FaultPattern& pattern) const {
+  for (Round r = 1; r <= pattern.rounds(); ++r) {
+    const RoundFaults& round = pattern.round(r);
+    for (ProcId i = 0; i < pattern.n(); ++i) {
+      const ProcessSet& di = round[static_cast<std::size_t>(i)];
+      for (ProcId j = i + 1; j < pattern.n(); ++j) {
+        const ProcessSet& dj = round[static_cast<std::size_t>(j)];
+        if (!di.subset_of(dj) && !dj.subset_of(di)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// ImmortalProcess
+// --------------------------------------------------------------------------
+
+std::string ImmortalProcess::name() const { return "immortal-process"; }
+
+std::string ImmortalProcess::description() const {
+  return "exists p_j never in any D(i,r) -- weak accuracy of detector S";
+}
+
+bool ImmortalProcess::holds(const FaultPattern& pattern) const {
+  return pattern.cumulative_union().size() < pattern.n();
+}
+
+// --------------------------------------------------------------------------
+// KUncertainty
+// --------------------------------------------------------------------------
+
+KUncertainty::KUncertainty(int k) : k_(k) { RRFD_REQUIRE(k >= 1); }
+
+std::string KUncertainty::name() const {
+  return cat("k-uncertainty(k=", k_, ")");
+}
+
+std::string KUncertainty::description() const {
+  return cat("forall r: |U_i D(i,r) \\ ^_i D(i,r)| < ", k_,
+             " -- per-round disagreement among announcements below k");
+}
+
+bool KUncertainty::holds(const FaultPattern& pattern) const {
+  for (Round r = 1; r <= pattern.rounds(); ++r) {
+    const ProcessSet disagreement =
+        pattern.round_union(r) - pattern.round_intersection(r);
+    if (disagreement.size() >= k_) return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// EqualAnnouncements
+// --------------------------------------------------------------------------
+
+std::string EqualAnnouncements::name() const { return "equal-announcements"; }
+
+std::string EqualAnnouncements::description() const {
+  return "forall r,i,j: D(i,r) == D(j,r) -- equation (5)";
+}
+
+bool EqualAnnouncements::holds(const FaultPattern& pattern) const {
+  for (Round r = 1; r <= pattern.rounds(); ++r) {
+    const RoundFaults& round = pattern.round(r);
+    for (ProcId i = 1; i < pattern.n(); ++i) {
+      if (round[static_cast<std::size_t>(i)] != round[0]) return false;
+    }
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// QuorumSkew
+// --------------------------------------------------------------------------
+
+QuorumSkew::QuorumSkew(int t, int f) : t_(t), f_(f) {
+  RRFD_REQUIRE(0 <= f && f < t);
+}
+
+std::string QuorumSkew::name() const {
+  return cat("quorum-skew(t=", t_, ",f=", f_, ")");
+}
+
+std::string QuorumSkew::description() const {
+  return cat("each round exists Q, |Q| <= ", t_, ": outside Q |D| <= ", f_,
+             ", inside Q |D| <= ", t_);
+}
+
+bool QuorumSkew::round_ok(const RoundFaults& round) const {
+  // The minimal witness Q is exactly the set of processes whose D exceeds
+  // f; every member must still respect the bound t.
+  int oversized = 0;
+  for (const ProcessSet& d : round) {
+    if (d.size() > t_) return false;
+    if (d.size() > f_) ++oversized;
+  }
+  return oversized <= t_;
+}
+
+bool QuorumSkew::holds(const FaultPattern& pattern) const {
+  for (Round r = 1; r <= pattern.rounds(); ++r) {
+    if (!round_ok(pattern.round(r))) return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// NeverFaulty
+// --------------------------------------------------------------------------
+
+std::string NeverFaulty::name() const { return "never-faulty"; }
+
+std::string NeverFaulty::description() const {
+  return "forall i,r: D(i,r) empty -- the fault-free synchronous system";
+}
+
+bool NeverFaulty::holds(const FaultPattern& pattern) const {
+  return pattern.cumulative_union().empty();
+}
+
+// --------------------------------------------------------------------------
+// Named systems
+// --------------------------------------------------------------------------
+
+PredicatePtr sync_omission(int f) {
+  return all_of(cat("sync-omission(f=", f, ")"),
+                {std::make_shared<NoSelfSuspicion>(),
+                 std::make_shared<CumulativeFaultBound>(f)});
+}
+
+PredicatePtr sync_crash(int f) {
+  return all_of(cat("sync-crash(f=", f, ")"),
+                {std::make_shared<NoSelfSuspicion>(/*exempt_announced=*/true),
+                 std::make_shared<CumulativeFaultBound>(f),
+                 std::make_shared<CrashMonotonicity>()});
+}
+
+PredicatePtr async_message_passing(int f) {
+  return all_of(cat("async-mp(f=", f, ")"),
+                {std::make_shared<PerRoundFaultBound>(f)});
+}
+
+PredicatePtr swmr_shared_memory(int f) {
+  return all_of(cat("swmr(f=", f, ")"),
+                {std::make_shared<PerRoundFaultBound>(f),
+                 std::make_shared<SomeoneHeardByAll>()});
+}
+
+PredicatePtr swmr_shared_memory_alt(int f) {
+  return all_of(cat("swmr-alt(f=", f, ")"),
+                {std::make_shared<PerRoundFaultBound>(f),
+                 std::make_shared<NoMutualMiss>(),
+                 std::make_shared<SomeoneHeardByAll>()});
+}
+
+PredicatePtr atomic_snapshot(int f) {
+  return all_of(cat("atomic-snapshot(f=", f, ")"),
+                {std::make_shared<PerRoundFaultBound>(f),
+                 std::make_shared<NoSelfSuspicion>(),
+                 std::make_shared<ContainmentChain>()});
+}
+
+PredicatePtr detector_s() {
+  return all_of("detector-S", {std::make_shared<ImmortalProcess>()});
+}
+
+PredicatePtr k_uncertainty(int k) {
+  return all_of(cat("k-uncertainty(k=", k, ")"),
+                {std::make_shared<KUncertainty>(k)});
+}
+
+PredicatePtr equal_announcements() {
+  return all_of("equal-announcements", {std::make_shared<EqualAnnouncements>()});
+}
+
+PredicatePtr quorum_skew(int t, int f) {
+  return all_of(cat("quorum-skew(t=", t, ",f=", f, ")"),
+                {std::make_shared<QuorumSkew>(t, f)});
+}
+
+}  // namespace rrfd::core

@@ -1,0 +1,36 @@
+#include "core/process_set.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace rrfd::core {
+
+std::vector<ProcId> ProcessSet::members() const {
+  std::vector<ProcId> out;
+  out.reserve(static_cast<std::size_t>(size()));
+  std::uint64_t b = bits_;
+  while (b != 0) {
+    out.push_back(std::countr_zero(b));
+    b &= b - 1;  // clear lowest set bit
+  }
+  return out;
+}
+
+std::string ProcessSet::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (ProcId p : members()) {
+    if (!first) os << ',';
+    os << p;
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const ProcessSet& s) {
+  return os << s.to_string();
+}
+
+}  // namespace rrfd::core

@@ -1,0 +1,114 @@
+#include "core/submodel.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace rrfd::core {
+namespace {
+
+/// Odometer over the pattern space: each "digit" is one D(i,r), ranging
+/// over masks 0 .. 2^n - 2 (the full set is structurally excluded).
+class PatternOdometer {
+ public:
+  PatternOdometer(int n, Round rounds)
+      : n_(n),
+        digits_(static_cast<std::size_t>(n) * static_cast<std::size_t>(rounds),
+                0),
+        max_mask_((n == kMaxProcesses
+                       ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << n) - 1)) -
+                  1) {}
+
+  FaultPattern current() const {
+    FaultPattern p(n_);
+    const int rounds = static_cast<int>(digits_.size()) / n_;
+    std::size_t idx = 0;
+    for (Round r = 0; r < rounds; ++r) {
+      RoundFaults round;
+      round.reserve(static_cast<std::size_t>(n_));
+      for (ProcId i = 0; i < n_; ++i) {
+        round.push_back(ProcessSet::from_bits(n_, digits_[idx++]));
+      }
+      p.append(std::move(round));
+    }
+    return p;
+  }
+
+  /// Advances to the next pattern; false when wrapped around.
+  bool advance() {
+    for (std::size_t d = 0; d < digits_.size(); ++d) {
+      if (digits_[d] < max_mask_) {
+        ++digits_[d];
+        return true;
+      }
+      digits_[d] = 0;
+    }
+    return false;
+  }
+
+ private:
+  int n_;
+  std::vector<std::uint64_t> digits_;
+  std::uint64_t max_mask_;
+};
+
+}  // namespace
+
+long enumerate_patterns(int n, Round rounds,
+                        const std::function<bool(const FaultPattern&)>& visit) {
+  RRFD_REQUIRE(0 < n && n <= kMaxProcesses);
+  RRFD_REQUIRE(rounds >= 1);
+  RRFD_REQUIRE_MSG(n <= 4 && rounds <= 3,
+                   "exhaustive pattern enumeration is only practical for "
+                   "tiny systems (n <= 4, rounds <= 3)");
+  PatternOdometer odo(n, rounds);
+  long count = 0;
+  do {
+    ++count;
+    if (!visit(odo.current())) return count;
+  } while (odo.advance());
+  return count;
+}
+
+ImplicationResult implies_exhaustive(const Predicate& a, const Predicate& b,
+                                     int n, Round rounds) {
+  ImplicationResult result;
+  result.patterns_checked =
+      enumerate_patterns(n, rounds, [&](const FaultPattern& p) {
+        if (a.holds(p) && !b.holds(p)) {
+          result.holds = false;
+          result.counterexample = p;
+          return false;
+        }
+        return true;
+      });
+  return result;
+}
+
+ImplicationResult implies_on_samples(Adversary& a_adversary,
+                                     const Predicate& b, Round rounds,
+                                     int samples) {
+  RRFD_REQUIRE(samples >= 1);
+  ImplicationResult result;
+  for (int s = 0; s < samples; ++s) {
+    FaultPattern p = record_pattern(a_adversary, rounds);
+    ++result.patterns_checked;
+    if (!b.holds(p)) {
+      result.holds = false;
+      result.counterexample = p;
+      return result;
+    }
+  }
+  return result;
+}
+
+EquivalenceResult equivalent_exhaustive(const Predicate& a, const Predicate& b,
+                                        int n, Round rounds) {
+  EquivalenceResult r;
+  r.forward = implies_exhaustive(a, b, n, rounds);
+  r.backward = implies_exhaustive(b, a, n, rounds);
+  return r;
+}
+
+}  // namespace rrfd::core

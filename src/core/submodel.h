@@ -1,0 +1,55 @@
+// Submodel relations: "A is a submodel of B iff P_A => P_B" (Section 2).
+//
+// The paper's methodology is to compare systems by contrasting their
+// RRFDs; this module makes the comparison executable. For small systems
+// the implication is *decided exactly* by enumerating every fault pattern
+// (each D(i,r) ranges over all proper subsets of S); for larger systems
+// it is probed by sampling an adversary for the candidate submodel.
+//
+// Pattern-space sizes: (2^n - 1)^(n * rounds). n = 3, rounds = 1 is 343;
+// n = 3, rounds = 2 is ~118k; n = 4, rounds = 1 is ~50k -- exhaustive
+// checking is practical exactly where counterexamples are smallest.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/adversary.h"
+#include "core/predicate.h"
+
+namespace rrfd::core {
+
+/// Invokes `visit` for every fault pattern over n processes and `rounds`
+/// rounds (every combination of proper-subset D sets). Returns the number
+/// visited. If `visit` returns false, enumeration stops early.
+long enumerate_patterns(int n, Round rounds,
+                        const std::function<bool(const FaultPattern&)>& visit);
+
+/// Result of an implication check.
+struct ImplicationResult {
+  bool holds = true;
+  long patterns_checked = 0;
+  std::optional<FaultPattern> counterexample;  ///< a pattern in A \ B
+};
+
+/// Exact check of P_A => P_B over all patterns of the given size.
+ImplicationResult implies_exhaustive(const Predicate& a, const Predicate& b,
+                                     int n, Round rounds);
+
+/// Sampled check: records `samples` patterns from `a_adversary` (assumed
+/// to satisfy A) and tests them against B. A failure refutes A => B; a
+/// pass is evidence only.
+ImplicationResult implies_on_samples(Adversary& a_adversary,
+                                     const Predicate& b, Round rounds,
+                                     int samples);
+
+/// Exact equivalence check (both implications).
+struct EquivalenceResult {
+  ImplicationResult forward;   // A => B
+  ImplicationResult backward;  // B => A
+  bool equivalent() const { return forward.holds && backward.holds; }
+};
+EquivalenceResult equivalent_exhaustive(const Predicate& a, const Predicate& b,
+                                        int n, Round rounds);
+
+}  // namespace rrfd::core

@@ -1,0 +1,17 @@
+// Fundamental identifier types shared across the RRFD library.
+#pragma once
+
+namespace rrfd::core {
+
+/// Index of a process in the system S = {0, 1, ..., n-1}.
+using ProcId = int;
+
+/// Round number. The paper numbers rounds from 1; the library follows that
+/// convention everywhere a Round is exposed (round 0 is "before the first
+/// exchange", where inputs live).
+using Round = int;
+
+/// Maximum number of processes supported by ProcessSet (one 64-bit word).
+inline constexpr int kMaxProcesses = 64;
+
+}  // namespace rrfd::core

@@ -1,0 +1,79 @@
+#include "fdetect/bridge.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rrfd::fdetect {
+
+DetectorBridge::DetectorBridge(const CrashSchedule& schedule, Oracle& oracle,
+                               std::uint64_t seed, int max_delay)
+    : schedule_(schedule), oracle_(oracle), rng_(seed), max_delay_(max_delay) {
+  RRFD_REQUIRE(max_delay >= 1);
+}
+
+BridgeResult DetectorBridge::run(core::Round rounds) {
+  RRFD_REQUIRE(rounds >= 1);
+  const int n = schedule_.n();
+  BridgeResult result(n);
+  result.completion_ticks.assign(
+      static_cast<std::size_t>(rounds),
+      std::vector<long>(static_cast<std::size_t>(n), -1));
+
+  for (core::Round r = 1; r <= rounds; ++r) {
+    const ProcessSet alive = schedule_.crashed_by(now_).complement();
+    result.crashed_during_run = schedule_.crashed_by(now_);
+
+    // Alive processes broadcast; each copy gets a random delivery tick.
+    // delivered_at[j][i]: when j's round-r message reaches i (-1: never,
+    // because j is crashed and sends nothing).
+    std::vector<std::vector<long>> delivered_at(
+        static_cast<std::size_t>(n),
+        std::vector<long>(static_cast<std::size_t>(n), -1));
+    long horizon = now_;
+    for (ProcId j : alive.members()) {
+      for (ProcId i = 0; i < n; ++i) {
+        const long at =
+            now_ + 1 +
+            static_cast<long>(rng_.below(static_cast<std::uint64_t>(max_delay_)));
+        delivered_at[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] =
+            at;
+        horizon = std::max(horizon, at);
+      }
+    }
+
+    // Advance ticks; each waiting alive process completes at the first
+    // tick where everything still missing is suspected by its oracle.
+    core::RoundFaults announcements(static_cast<std::size_t>(n),
+                                    ProcessSet::none(n));
+    ProcessSet waiting = alive;
+    long tick = now_;
+    while (!waiting.empty()) {
+      ++tick;
+      RRFD_ENSURE_MSG(
+          tick <= horizon + static_cast<long>(n) * max_delay_ + 4,
+          "detector bridge failed to complete a round: the oracle lacks "
+          "completeness");
+      for (ProcId i : waiting.members()) {
+        ProcessSet missing(n);
+        for (ProcId j = 0; j < n; ++j) {
+          const long at = delivered_at[static_cast<std::size_t>(j)]
+                                      [static_cast<std::size_t>(i)];
+          if (at < 0 || at > tick) missing.add(j);
+        }
+        if (missing.empty() ||
+            missing.subset_of(oracle_.suspects(i, tick))) {
+          announcements[static_cast<std::size_t>(i)] = missing;
+          result.completion_ticks[static_cast<std::size_t>(r - 1)]
+                                 [static_cast<std::size_t>(i)] = tick;
+          waiting.remove(i);
+        }
+      }
+    }
+    now_ = tick;
+    result.pattern.append(announcements);
+  }
+  return result;
+}
+
+}  // namespace rrfd::fdetect

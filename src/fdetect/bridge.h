@@ -1,0 +1,59 @@
+// The bridge from classical failure detectors to RRFDs.
+//
+// Item 6 describes it operationally: "Processes use the failure detector
+// S to advance from one round to the next. Thus, D(i,r) is the value
+// that allows p_i to complete round r." Concretely: in round r every
+// alive process broadcasts; process i blocks until every peer has either
+// delivered its round-r message or is currently suspected by i's oracle;
+// the still-missing set at that moment is D(i,r).
+//
+// The bridge turns any oracle-augmented asynchronous execution into a
+// fault pattern, after which the RRFD machinery applies verbatim:
+//   * strong completeness makes the wait terminate (crashed senders are
+//     suspected, so nobody waits for them forever);
+//   * S's weak accuracy means one process is never suspected, hence never
+//     in any D(i,r) -- the ImmortalProcess predicate -- so the rotating-
+//     coordinator algorithm solves consensus (run the pattern through
+//     the engine with a ScriptedAdversary);
+//   * diamond-S only guarantees that *eventually*: pre-stabilization
+//     rounds may lack an immortal and the n-round algorithm can fail if
+//     started too early, while any n-round window after stabilization
+//     succeeds. This is precisely "RRFD generalizes the earlier notion
+//     of fault-detector" (Section 7), rederived executably.
+#pragma once
+
+#include "core/fault_pattern.h"
+#include "fdetect/oracle.h"
+
+namespace rrfd::fdetect {
+
+struct BridgeResult {
+  core::FaultPattern pattern;
+  /// Global tick at which each process completed each round
+  /// (ticks[r-1][i]; -1 once the process has crashed).
+  std::vector<std::vector<long>> completion_ticks;
+  core::ProcessSet crashed_during_run;
+
+  explicit BridgeResult(int n) : pattern(n), crashed_during_run(n) {}
+};
+
+/// Runs `rounds` detector-driven rounds over an asynchronous message
+/// exchange with randomized per-message delivery delays (1..max_delay
+/// ticks). The oracle is queried with the advancing global tick, so
+/// stabilization-time semantics are honoured.
+class DetectorBridge {
+ public:
+  DetectorBridge(const CrashSchedule& schedule, Oracle& oracle,
+                 std::uint64_t seed, int max_delay = 8);
+
+  BridgeResult run(core::Round rounds);
+
+ private:
+  const CrashSchedule& schedule_;
+  Oracle& oracle_;
+  Rng rng_;
+  int max_delay_;
+  long now_ = 0;
+};
+
+}  // namespace rrfd::fdetect

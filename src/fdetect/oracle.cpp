@@ -1,0 +1,103 @@
+#include "fdetect/oracle.h"
+
+#include "util/check.h"
+
+namespace rrfd::fdetect {
+
+CrashSchedule::CrashSchedule(int n)
+    : n_(n), crash_times_(static_cast<std::size_t>(n), -1) {
+  RRFD_REQUIRE(0 < n && n <= core::kMaxProcesses);
+}
+
+void CrashSchedule::crash_at(ProcId p, long time) {
+  RRFD_REQUIRE(0 <= p && p < n_);
+  RRFD_REQUIRE(time >= 0);
+  crash_times_[static_cast<std::size_t>(p)] = time;
+}
+
+long CrashSchedule::crash_time(ProcId p) const {
+  RRFD_REQUIRE(0 <= p && p < n_);
+  return crash_times_[static_cast<std::size_t>(p)];
+}
+
+ProcessSet CrashSchedule::crashed_by(long time) const {
+  ProcessSet out(n_);
+  for (ProcId p = 0; p < n_; ++p) {
+    if (is_crashed(p, time)) out.add(p);
+  }
+  return out;
+}
+
+ProcessSet CrashSchedule::correct() const {
+  ProcessSet out(n_);
+  for (ProcId p = 0; p < n_; ++p) {
+    if (crash_time(p) < 0) out.add(p);
+  }
+  return out;
+}
+
+ProcessSet PerfectOracle::suspects(ProcId /*i*/, long time) {
+  return schedule_.crashed_by(time);
+}
+
+namespace {
+
+ProcId pick_immortal(const CrashSchedule& schedule, Rng& rng,
+                     ProcId requested) {
+  if (requested >= 0) {
+    RRFD_REQUIRE_MSG(schedule.crash_time(requested) < 0,
+                     "the never-suspected process must be correct");
+    return requested;
+  }
+  const ProcessSet correct = schedule.correct();
+  RRFD_REQUIRE_MSG(!correct.empty(), "some process must be correct");
+  const std::vector<ProcId> members = correct.members();
+  return members[static_cast<std::size_t>(rng.below(members.size()))];
+}
+
+}  // namespace
+
+StrongOracle::StrongOracle(const CrashSchedule& schedule, std::uint64_t seed,
+                           ProcId never_suspected, double false_suspicion)
+    : schedule_(schedule),
+      rng_(seed),
+      immortal_(pick_immortal(schedule, rng_, never_suspected)),
+      false_suspicion_(false_suspicion) {}
+
+ProcessSet StrongOracle::suspects(ProcId i, long time) {
+  // Strong completeness: everything crashed. Capricious inaccuracy:
+  // random false suspicions, except the designated process.
+  ProcessSet out = schedule_.crashed_by(time);
+  for (ProcId p = 0; p < schedule_.n(); ++p) {
+    if (p == immortal_ || p == i || out.contains(p)) continue;
+    if (rng_.chance(false_suspicion_)) out.add(p);
+  }
+  RRFD_ENSURE(!out.contains(immortal_));
+  return out;
+}
+
+EventuallyStrongOracle::EventuallyStrongOracle(const CrashSchedule& schedule,
+                                               std::uint64_t seed,
+                                               long stabilization_time,
+                                               ProcId never_suspected,
+                                               double false_suspicion)
+    : schedule_(schedule),
+      rng_(seed),
+      stabilization_(stabilization_time),
+      immortal_(pick_immortal(schedule, rng_, never_suspected)),
+      false_suspicion_(false_suspicion) {
+  RRFD_REQUIRE(stabilization_time >= 0);
+}
+
+ProcessSet EventuallyStrongOracle::suspects(ProcId i, long time) {
+  ProcessSet out = schedule_.crashed_by(time);
+  for (ProcId p = 0; p < schedule_.n(); ++p) {
+    if (p == i || out.contains(p)) continue;
+    // Before stabilization even the designated process may be suspected.
+    if (p == immortal_ && time >= stabilization_) continue;
+    if (rng_.chance(false_suspicion_)) out.add(p);
+  }
+  return out;
+}
+
+}  // namespace rrfd::fdetect

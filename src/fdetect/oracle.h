@@ -1,0 +1,122 @@
+// Classical (Chandra-Toueg style) failure-detector oracles.
+//
+// Section 7: "it will be interesting to show that in a precise sense
+// RRFD generalizes the earlier notion of fault-detector [5,6,7,8], and
+// rederive the associated results." This module supplies the other side
+// of that bridge: time-indexed suspicion oracles with the classical
+// completeness/accuracy axes, over an explicit crash schedule. The
+// bridge itself (fdetect/bridge.h) turns an oracle-augmented
+// asynchronous execution into an RRFD fault pattern.
+//
+// Oracles are *unreliable*: within their class guarantees they may
+// suspect correct processes, disagree between observers, and change
+// their minds -- exactly the behaviours the RRFD inherits.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/process_set.h"
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace rrfd::fdetect {
+
+using core::ProcId;
+using core::ProcessSet;
+
+/// When each process crashes (time is an abstract monotone counter; -1 =
+/// never). Used both to drive oracles and to cut processes out of the
+/// execution.
+class CrashSchedule {
+ public:
+  explicit CrashSchedule(int n);
+
+  int n() const { return n_; }
+
+  /// Declares that `p` crashes at `time`.
+  void crash_at(ProcId p, long time);
+
+  /// Processes crashed at or before `time`.
+  ProcessSet crashed_by(long time) const;
+
+  /// Processes that never crash.
+  ProcessSet correct() const;
+
+  bool is_crashed(ProcId p, long time) const {
+    return crash_time(p) >= 0 && crash_time(p) <= time;
+  }
+
+  long crash_time(ProcId p) const;
+
+ private:
+  int n_;
+  std::vector<long> crash_times_;
+};
+
+/// A failure-detector oracle: per observer, per time, a suspected set.
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+  virtual std::string name() const = 0;
+
+  /// The set observer `i` suspects at `time`.
+  virtual ProcessSet suspects(ProcId i, long time) = 0;
+};
+
+/// P (perfect): suspects exactly the crashed processes -- strong
+/// completeness and strong accuracy.
+class PerfectOracle final : public Oracle {
+ public:
+  explicit PerfectOracle(const CrashSchedule& schedule)
+      : schedule_(schedule) {}
+  std::string name() const override { return "P"; }
+  ProcessSet suspects(ProcId i, long time) override;
+
+ private:
+  const CrashSchedule& schedule_;
+};
+
+/// S (strong): strong completeness (every crashed process is suspected,
+/// here immediately) + weak accuracy (one designated correct process is
+/// never suspected by anyone). Other correct processes may be suspected
+/// capriciously.
+class StrongOracle final : public Oracle {
+ public:
+  StrongOracle(const CrashSchedule& schedule, std::uint64_t seed,
+               ProcId never_suspected = -1, double false_suspicion = 0.3);
+  std::string name() const override { return "S"; }
+  ProcessSet suspects(ProcId i, long time) override;
+
+  ProcId never_suspected() const { return immortal_; }
+
+ private:
+  const CrashSchedule& schedule_;
+  Rng rng_;
+  ProcId immortal_;
+  double false_suspicion_;
+};
+
+/// Diamond-S (eventually strong): like S, but weak accuracy holds only
+/// from `stabilization_time` on -- before that even the designated
+/// process may be suspected.
+class EventuallyStrongOracle final : public Oracle {
+ public:
+  EventuallyStrongOracle(const CrashSchedule& schedule, std::uint64_t seed,
+                         long stabilization_time, ProcId never_suspected = -1,
+                         double false_suspicion = 0.3);
+  std::string name() const override { return "diamond-S"; }
+  ProcessSet suspects(ProcId i, long time) override;
+
+  long stabilization_time() const { return stabilization_; }
+  ProcId never_suspected() const { return immortal_; }
+
+ private:
+  const CrashSchedule& schedule_;
+  Rng rng_;
+  long stabilization_;
+  ProcId immortal_;
+  double false_suspicion_;
+};
+
+}  // namespace rrfd::fdetect

@@ -1,0 +1,201 @@
+#include "msgpass/abd.h"
+
+#include "util/str.h"
+
+namespace rrfd::msgpass {
+
+AbdRegister::AbdRegister(int n, core::ProcId writer, std::uint64_t seed,
+                         int initial)
+    : net_(n, seed),
+      writer_(writer),
+      replica_ts_(static_cast<std::size_t>(n), 0),
+      replica_value_(static_cast<std::size_t>(n), initial),
+      pending_(static_cast<std::size_t>(n)) {
+  RRFD_REQUIRE(0 <= writer && writer < n);
+}
+
+const AbdOpRecord& AbdRegister::op(int id) const {
+  RRFD_REQUIRE(0 <= id && id < static_cast<int>(ops_.size()));
+  return ops_[static_cast<std::size_t>(id)];
+}
+
+int AbdRegister::begin_write(int value) {
+  RRFD_REQUIRE_MSG(!pending_[static_cast<std::size_t>(writer_)],
+                   "writer already has an operation in flight");
+  RRFD_REQUIRE_MSG(!net_.crashed().contains(writer_), "writer crashed");
+
+  const int id = static_cast<int>(ops_.size());
+  ++writer_ts_;
+  AbdOpRecord rec;
+  rec.id = id;
+  rec.kind = AbdOpRecord::Kind::kWrite;
+  rec.client = writer_;
+  rec.value = value;
+  rec.timestamp = writer_ts_;
+  rec.started_at = clock_;
+  ops_.push_back(rec);
+
+  Pending p;
+  p.op_id = id;
+  p.write_back_phase = true;  // writes have only the store phase
+  p.best_ts = writer_ts_;
+  p.best_value = value;
+  pending_[static_cast<std::size_t>(writer_)] = p;
+
+  net_.broadcast(writer_, Message{Message::Type::kStore, id, writer_ts_, value});
+  return id;
+}
+
+int AbdRegister::begin_read(core::ProcId client) {
+  RRFD_REQUIRE(0 <= client && client < net_.n());
+  RRFD_REQUIRE_MSG(!pending_[static_cast<std::size_t>(client)],
+                   "client already has an operation in flight");
+  RRFD_REQUIRE_MSG(!net_.crashed().contains(client), "client crashed");
+
+  const int id = static_cast<int>(ops_.size());
+  AbdOpRecord rec;
+  rec.id = id;
+  rec.kind = AbdOpRecord::Kind::kRead;
+  rec.client = client;
+  rec.started_at = clock_;
+  ops_.push_back(rec);
+
+  Pending p;
+  p.op_id = id;
+  pending_[static_cast<std::size_t>(client)] = p;
+
+  net_.broadcast(client, Message{Message::Type::kQuery, id, 0, 0});
+  return id;
+}
+
+void AbdRegister::complete(Pending& pending, long ts, int value) {
+  AbdOpRecord& rec = ops_[static_cast<std::size_t>(pending.op_id)];
+  rec.timestamp = ts;
+  if (rec.kind == AbdOpRecord::Kind::kRead) rec.value = value;
+  rec.finished_at = clock_;
+}
+
+void AbdRegister::on_message(core::ProcId src, core::ProcId dst,
+                             const Message& m) {
+  switch (m.type) {
+    case Message::Type::kStore: {
+      // Replica: install if newer, acknowledge regardless.
+      const auto d = static_cast<std::size_t>(dst);
+      if (m.ts > replica_ts_[d]) {
+        replica_ts_[d] = m.ts;
+        replica_value_[d] = m.value;
+      }
+      net_.send(dst, src, Message{Message::Type::kStoreAck, m.op_id, m.ts, 0});
+      return;
+    }
+    case Message::Type::kQuery: {
+      const auto d = static_cast<std::size_t>(dst);
+      net_.send(dst, src,
+                Message{Message::Type::kQueryReply, m.op_id, replica_ts_[d],
+                        replica_value_[d]});
+      return;
+    }
+    case Message::Type::kStoreAck: {
+      auto& slot = pending_[static_cast<std::size_t>(dst)];
+      if (!slot || slot->op_id != m.op_id || !slot->write_back_phase) return;
+      if (++slot->acks >= majority()) {
+        complete(*slot, slot->best_ts, slot->best_value);
+        slot.reset();
+      }
+      return;
+    }
+    case Message::Type::kQueryReply: {
+      auto& slot = pending_[static_cast<std::size_t>(dst)];
+      if (!slot || slot->op_id != m.op_id || slot->write_back_phase) return;
+      if (m.ts > slot->best_ts) {
+        slot->best_ts = m.ts;
+        slot->best_value = m.value;
+      }
+      if (++slot->acks >= majority()) {
+        if (skip_write_back_) {
+          complete(*slot, slot->best_ts, slot->best_value);
+          slot.reset();
+          return;
+        }
+        // Phase 2: write the adopted pair back to a majority.
+        slot->write_back_phase = true;
+        slot->acks = 0;
+        net_.broadcast(dst, Message{Message::Type::kStore, m.op_id,
+                                    slot->best_ts, slot->best_value});
+      }
+      return;
+    }
+  }
+}
+
+bool AbdRegister::step() {
+  const bool delivered = net_.deliver_one(
+      [this](core::ProcId src, core::ProcId dst, const Message& m) {
+        on_message(src, dst, m);
+      });
+  if (delivered) ++clock_;
+  return delivered;
+}
+
+void AbdRegister::run_until_quiet(long max_deliveries) {
+  long count = 0;
+  while (count < max_deliveries && step()) ++count;
+}
+
+void AbdRegister::crash(core::ProcId p) {
+  net_.crash(p);
+  pending_[static_cast<std::size_t>(p)].reset();  // its op will never finish
+}
+
+std::string check_abd_atomicity(const std::vector<AbdOpRecord>& history) {
+  // Collect completed writes by timestamp (single writer: timestamps are
+  // unique and ordered by issue order).
+  for (const AbdOpRecord& r : history) {
+    if (r.kind != AbdOpRecord::Kind::kRead || !r.done()) continue;
+
+    // Validity: the returned timestamp corresponds to a write with that
+    // value, or is 0 (the initial value).
+    if (r.timestamp != 0) {
+      bool matched = false;
+      for (const AbdOpRecord& w : history) {
+        if (w.kind == AbdOpRecord::Kind::kWrite && w.timestamp == r.timestamp) {
+          matched = true;
+          if (w.value != r.value) {
+            return cat("read op ", r.id, " returned value ", r.value,
+                       " but the timestamp-", r.timestamp, " write wrote ",
+                       w.value);
+          }
+        }
+      }
+      if (!matched) {
+        return cat("read op ", r.id, " returned unknown timestamp ",
+                   r.timestamp);
+      }
+    }
+
+    // Reads-follow-writes: a write completed before the read started must
+    // be visible (read ts >= write ts).
+    for (const AbdOpRecord& w : history) {
+      if (w.kind == AbdOpRecord::Kind::kWrite && w.done() &&
+          w.finished_at <= r.started_at && r.timestamp < w.timestamp) {
+        return cat("read op ", r.id, " (ts ", r.timestamp,
+                   ") missed write op ", w.id, " (ts ", w.timestamp,
+                   ") that completed before it started");
+      }
+    }
+
+    // No new/old inversion between reads.
+    for (const AbdOpRecord& other : history) {
+      if (other.kind == AbdOpRecord::Kind::kRead && other.done() &&
+          other.finished_at <= r.started_at &&
+          r.timestamp < other.timestamp) {
+        return cat("new/old inversion: read op ", r.id, " (ts ", r.timestamp,
+                   ") started after read op ", other.id, " (ts ",
+                   other.timestamp, ") completed");
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace rrfd::msgpass

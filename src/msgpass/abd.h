@@ -1,0 +1,124 @@
+// ABD: a single-writer multi-reader atomic register from asynchronous
+// message passing with a majority of correct processes (Attiya, Bar-Noy
+// & Dolev -- the paper's reference [22], the result behind Section 2
+// item 4's "implementation of shared-memory by message-passing").
+//
+// Every process hosts a replica (timestamp, value). Operations are
+// two-phase quorum exchanges:
+//   write(v):  stamp (ts+1), send STORE to all, await majority acks.
+//   read():    send QUERY to all, await a majority of (ts, v) replies,
+//              adopt the maximum; then WRITE-BACK that pair to a
+//              majority before returning (the phase that makes reads
+//              atomic rather than merely regular).
+// With fewer than a majority of crashes every operation terminates; the
+// moment a majority is lost, operations block -- exactly the partition
+// boundary predicate (4) talks about.
+//
+// Operations are explicit state machines driven by network deliveries,
+// so a test can interleave any number of concurrent operations under a
+// seeded schedule and then check atomicity on the recorded history.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "msgpass/event_net.h"
+
+namespace rrfd::msgpass {
+
+/// One completed (or pending) operation, for history checking.
+struct AbdOpRecord {
+  enum class Kind { kWrite, kRead };
+
+  int id = 0;
+  Kind kind = Kind::kRead;
+  core::ProcId client = -1;
+  int value = 0;       ///< written value / value returned by the read
+  long timestamp = 0;  ///< the timestamp the operation installed or adopted
+  long started_at = 0;   ///< delivery-count when the op was issued
+  long finished_at = -1; ///< delivery-count when it completed (-1 = pending)
+
+  bool done() const { return finished_at >= 0; }
+};
+
+class AbdRegister {
+ public:
+  /// n replicas; `writer` is the unique writing client; reads may be
+  /// issued by any process.
+  AbdRegister(int n, core::ProcId writer, std::uint64_t seed,
+              int initial = 0);
+
+  int n() const { return net_.n(); }
+
+  /// Issues operations (asynchronous; complete via step()/run_until_quiet).
+  /// A client may have one operation in flight at a time.
+  int begin_write(int value);
+  int begin_read(core::ProcId client);
+
+  /// Delivers one network message; false when the network is idle.
+  bool step();
+
+  /// Drives the network until idle (all issuable progress made).
+  void run_until_quiet(long max_deliveries = 1 << 20);
+
+  /// Crashes a replica/client.
+  void crash(core::ProcId p);
+
+  const std::vector<AbdOpRecord>& history() const { return ops_; }
+  const AbdOpRecord& op(int id) const;
+  long messages_sent() const { return net_.messages_sent(); }
+
+ private:
+  struct Message {
+    enum class Type { kStore, kStoreAck, kQuery, kQueryReply };
+    Type type = Type::kStore;
+    int op_id = 0;
+    long ts = 0;
+    int value = 0;
+  };
+
+  struct Pending {
+    int op_id = 0;
+    bool write_back_phase = false;  // reads: currently in phase 2
+    int acks = 0;
+    long best_ts = -1;
+    int best_value = 0;
+  };
+
+  void on_message(core::ProcId src, core::ProcId dst, const Message& m);
+  void complete(Pending& pending, long ts, int value);
+  int majority() const { return net_.n() / 2 + 1; }
+
+  EventNet<Message> net_;
+  core::ProcId writer_;
+
+  // Replica state, one per process.
+  std::vector<long> replica_ts_;
+  std::vector<int> replica_value_;
+
+  // Client state, one (optional) pending op per process.
+  std::vector<std::optional<Pending>> pending_;
+
+  long writer_ts_ = 0;
+  std::vector<AbdOpRecord> ops_;
+  long clock_ = 0;  // delivery counter, for history ordering
+
+  // Ablation hook: skip the read write-back phase (breaks atomicity; see
+  // tests/msgpass/abd_test.cpp).
+ public:
+  void set_skip_write_back_for_testing(bool skip) { skip_write_back_ = skip; }
+
+ private:
+  bool skip_write_back_ = false;
+};
+
+/// Atomicity (single-writer) checker over a completed history:
+///  * every read returns a value actually written (or the initial value);
+///  * a read that starts after a write completes never returns an older
+///    timestamp (reads-follow-writes);
+///  * if read A completes before read B starts, ts(B) >= ts(A) (no
+///    new/old inversion).
+/// Returns an empty string if the history is atomic, else a diagnosis.
+std::string check_abd_atomicity(const std::vector<AbdOpRecord>& history);
+
+}  // namespace rrfd::msgpass

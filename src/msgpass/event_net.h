@@ -1,0 +1,112 @@
+// A typed, event-driven asynchronous point-to-point network.
+//
+// Complements the round-enforced simulator (round_sim.h): protocols that
+// are *not* round-based -- quorum protocols like ABD -- exchange typed
+// messages over per-link FIFO channels, with a seeded scheduler choosing
+// delivery order and crashes cutting a process out of the network. This
+// is the raw asynchronous message-passing system N of Section 2 items
+// 3-4, before any round structure is imposed on it.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/process_set.h"
+#include "core/types.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace rrfd::msgpass {
+
+template <typename M>
+class EventNet {
+ public:
+  /// Delivery callback: (src, dst, message).
+  using Handler = std::function<void(core::ProcId, core::ProcId, const M&)>;
+
+  EventNet(int n, std::uint64_t seed) : n_(n), rng_(seed), crashed_(n) {
+    RRFD_REQUIRE(0 < n && n <= core::kMaxProcesses);
+    links_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  }
+
+  int n() const { return n_; }
+
+  /// Enqueues a message. Sends from or to a crashed process are dropped
+  /// (a crashed process neither sends nor receives).
+  void send(core::ProcId src, core::ProcId dst, M m) {
+    RRFD_REQUIRE(0 <= src && src < n_ && 0 <= dst && dst < n_);
+    if (crashed_.contains(src) || crashed_.contains(dst)) return;
+    link(src, dst).push_back(std::move(m));
+    ++sent_;
+  }
+
+  /// Sends to every process (including the sender).
+  void broadcast(core::ProcId src, const M& m) {
+    for (core::ProcId dst = 0; dst < n_; ++dst) send(src, dst, m);
+  }
+
+  /// Crashes a process: pending traffic to and from it evaporates.
+  void crash(core::ProcId p) {
+    RRFD_REQUIRE(0 <= p && p < n_);
+    crashed_.add(p);
+    for (core::ProcId q = 0; q < n_; ++q) {
+      link(p, q).clear();
+      link(q, p).clear();
+    }
+  }
+
+  const core::ProcessSet& crashed() const { return crashed_; }
+
+  bool idle() const {
+    for (const auto& l : links_) {
+      if (!l.empty()) return false;
+    }
+    return true;
+  }
+
+  long messages_sent() const { return sent_; }
+  long messages_delivered() const { return delivered_; }
+
+  /// Delivers one pending message chosen uniformly at random among
+  /// non-empty links (respecting per-link FIFO). Returns false if idle.
+  bool deliver_one(const Handler& handler) {
+    std::vector<std::size_t> ready;
+    for (std::size_t l = 0; l < links_.size(); ++l) {
+      if (!links_[l].empty()) ready.push_back(l);
+    }
+    if (ready.empty()) return false;
+    const std::size_t l =
+        ready[static_cast<std::size_t>(rng_.below(ready.size()))];
+    const auto src = static_cast<core::ProcId>(l / static_cast<std::size_t>(n_));
+    const auto dst = static_cast<core::ProcId>(l % static_cast<std::size_t>(n_));
+    M m = std::move(links_[l].front());
+    links_[l].pop_front();
+    ++delivered_;
+    handler(src, dst, m);
+    return true;
+  }
+
+  /// Keeps delivering until idle or the budget runs out; returns the
+  /// number of deliveries performed.
+  long run_until_idle(const Handler& handler, long max_deliveries = 1 << 20) {
+    long count = 0;
+    while (count < max_deliveries && deliver_one(handler)) ++count;
+    return count;
+  }
+
+ private:
+  std::deque<M>& link(core::ProcId src, core::ProcId dst) {
+    return links_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+                  static_cast<std::size_t>(dst)];
+  }
+
+  int n_;
+  Rng rng_;
+  core::ProcessSet crashed_;
+  std::vector<std::deque<M>> links_;
+  long sent_ = 0;
+  long delivered_ = 0;
+};
+
+}  // namespace rrfd::msgpass

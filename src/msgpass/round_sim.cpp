@@ -1,0 +1,157 @@
+#include "msgpass/round_sim.h"
+
+#include "util/check.h"
+
+namespace rrfd::msgpass {
+
+RoundEnforcedSim::RoundEnforcedSim(int n, int f, std::uint64_t seed)
+    : n_(n), f_(f), rng_(seed), crashed_(n) {
+  RRFD_REQUIRE(0 < n && n <= core::kMaxProcesses);
+  RRFD_REQUIRE(0 <= f && f < n);
+  procs_.assign(static_cast<std::size_t>(n), ProcState(n));
+  links_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+}
+
+void RoundEnforcedSim::add_crash(const CrashPlan& plan) {
+  RRFD_REQUIRE(0 <= plan.who && plan.who < n_);
+  RRFD_REQUIRE(plan.in_round >= 1);
+  RRFD_REQUIRE(0 <= plan.reaches && plan.reaches <= n_);
+  RRFD_REQUIRE_MSG(static_cast<int>(crash_plans_.size()) < f_,
+                   "more crashes than the failure bound f");
+  for (const CrashPlan& existing : crash_plans_) {
+    RRFD_REQUIRE_MSG(existing.who != plan.who,
+                     "process already has a crash plan");
+  }
+  crash_plans_.push_back(plan);
+}
+
+void RoundEnforcedSim::broadcast(ProcId src, Round r, std::uint64_t payload) {
+  // Determine destinations: everyone, unless this is the sender's crash
+  // round, in which case a random subset of size `reaches` (the essence of
+  // a crash mid-broadcast).
+  std::vector<ProcId> dests;
+  dests.reserve(static_cast<std::size_t>(n_));
+  for (ProcId d = 0; d < n_; ++d) dests.push_back(d);
+
+  for (const CrashPlan& plan : crash_plans_) {
+    if (plan.who == src && plan.in_round == r) {
+      rng_.shuffle(dests);
+      dests.resize(static_cast<std::size_t>(plan.reaches));
+      crashed_.add(src);
+      procs_[static_cast<std::size_t>(src)].finished = true;
+      break;
+    }
+  }
+
+  for (ProcId d : dests) {
+    links_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(d)]
+        .push_back(Event{src, d, r, payload});
+  }
+}
+
+void RoundEnforcedSim::enter_round(ProcId i, Round r, RoundProtocol& protocol) {
+  ProcState& st = procs_[static_cast<std::size_t>(i)];
+  st.current = r;
+  st.received_from = ProcessSet::none(n_);
+
+  broadcast(i, r, protocol.emit(i, r));
+  if (st.finished) return;  // crashed during this broadcast
+
+  // Drain messages that arrived early for this round.
+  auto it = st.pending.find(r);
+  if (it != st.pending.end()) {
+    for (const auto& [src, payload] : it->second) {
+      protocol.deliver(i, r, src, payload);
+      st.received_from.add(src);
+    }
+    st.pending.erase(it);
+  }
+  try_finalize(i, protocol);
+}
+
+void RoundEnforcedSim::try_finalize(ProcId i, RoundProtocol& protocol) {
+  ProcState& st = procs_[static_cast<std::size_t>(i)];
+  while (!st.finished && st.received_from.size() >= n_ - f_) {
+    const Round r = st.current;
+    const ProcessSet missing = st.received_from.complement();
+    fault_sets_[static_cast<std::size_t>(r - 1)][static_cast<std::size_t>(i)] =
+        missing;
+    protocol.round_complete(i, r, missing);
+    if (r >= target_rounds_) {
+      st.finished = true;
+      return;
+    }
+    enter_round(i, r + 1, protocol);
+    // enter_round re-invokes try_finalize; if it advanced further or
+    // finished, the loop condition handles it (st.current changed).
+    return;
+  }
+}
+
+void RoundEnforcedSim::accept(ProcId i, Round r, ProcId src,
+                              std::uint64_t payload, RoundProtocol& protocol) {
+  ProcState& st = procs_[static_cast<std::size_t>(i)];
+  if (st.finished) return;          // done or crashed: drop
+  if (r < st.current) return;       // late: discard (communication closed)
+  if (r > st.current) {             // early: buffer
+    st.pending[r][src] = payload;
+    return;
+  }
+  if (st.received_from.contains(src)) return;  // per-link FIFO dedup guard
+  protocol.deliver(i, r, src, payload);
+  st.received_from.add(src);
+  try_finalize(i, protocol);
+}
+
+FaultPattern RoundEnforcedSim::run(RoundProtocol& protocol, Round rounds) {
+  RRFD_REQUIRE(rounds >= 1);
+  RRFD_REQUIRE_MSG(target_rounds_ == 0, "RoundEnforcedSim is single-use");
+  target_rounds_ = rounds;
+  fault_sets_.assign(
+      static_cast<std::size_t>(rounds),
+      std::vector<ProcessSet>(static_cast<std::size_t>(n_),
+                              ProcessSet::none(n_)));
+
+  for (ProcId i = 0; i < n_; ++i) enter_round(i, 1, protocol);
+
+  // Event loop: deliver pending messages in random order (per-link FIFO)
+  // until every alive process has finished its rounds.
+  for (;;) {
+    std::vector<std::size_t> ready;
+    bool anyone_unfinished = false;
+    for (ProcId i = 0; i < n_; ++i) {
+      if (!procs_[static_cast<std::size_t>(i)].finished) {
+        anyone_unfinished = true;
+      }
+    }
+    if (!anyone_unfinished) break;
+
+    for (std::size_t l = 0; l < links_.size(); ++l) {
+      if (links_[l].empty()) continue;
+      const ProcId dst = static_cast<ProcId>(l % static_cast<std::size_t>(n_));
+      if (procs_[static_cast<std::size_t>(dst)].finished) {
+        links_[l].clear();  // destination is done; messages evaporate
+        continue;
+      }
+      ready.push_back(l);
+    }
+    if (ready.empty()) {
+      // No deliverable messages but some process is still waiting: can only
+      // happen if more than f processes crashed, which add_crash prevents.
+      RRFD_ENSURE_MSG(false, "round enforcement deadlocked");
+    }
+
+    const std::size_t link =
+        ready[static_cast<std::size_t>(rng_.below(ready.size()))];
+    Event ev = links_[link].front();
+    links_[link].pop_front();
+    accept(ev.dst, ev.round, ev.src, ev.payload, protocol);
+  }
+
+  FaultPattern pattern(n_);
+  for (const auto& round : fault_sets_) pattern.append(round);
+  return pattern;
+}
+
+}  // namespace rrfd::msgpass

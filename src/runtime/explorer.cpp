@@ -1,0 +1,55 @@
+#include "runtime/explorer.h"
+
+#include "util/check.h"
+
+namespace rrfd::runtime {
+
+Scheduler::Choice ScheduleExplorer::TreeScheduler::pick(
+    const ProcessSet& runnable, int /*step*/) {
+  RRFD_REQUIRE(!runnable.empty());
+  if (depth_ == path_.size()) {
+    // New decision point: enumerate all alternatives (steps first, then
+    // crashes within the remaining budget) and take the first.
+    Node node;
+    for (ProcId p : runnable.members()) node.alternatives.push_back({p, false});
+    if (crashes_ < max_crashes_) {
+      for (ProcId p : runnable.members()) node.alternatives.push_back({p, true});
+    }
+    path_.push_back(std::move(node));
+  }
+  const Node& node = path_[depth_];
+  RRFD_ENSURE(node.chosen < node.alternatives.size());
+  Choice c = node.alternatives[node.chosen];
+  // Replay consistency: the tree must be deterministic under replay.
+  RRFD_ENSURE_MSG(runnable.contains(c.next),
+                  "nondeterministic simulation: replayed choice not runnable");
+  ++depth_;
+  if (c.crash) ++crashes_;
+  return c;
+}
+
+ScheduleExplorer::Stats ScheduleExplorer::explore(
+    const std::function<void(Scheduler&)>& run_one) {
+  std::vector<Node> path;
+  Stats stats;
+
+  while (stats.schedules < options_.max_schedules) {
+    TreeScheduler scheduler(path, options_.max_crashes);
+    run_one(scheduler);
+    ++stats.schedules;
+
+    // Backtrack: advance the deepest node with an unexplored alternative.
+    while (!path.empty() &&
+           path.back().chosen + 1 >= path.back().alternatives.size()) {
+      path.pop_back();
+    }
+    if (path.empty()) {
+      stats.exhausted = true;
+      return stats;
+    }
+    ++path.back().chosen;
+  }
+  return stats;
+}
+
+}  // namespace rrfd::runtime

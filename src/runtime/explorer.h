@@ -1,0 +1,68 @@
+// Exhaustive schedule exploration (bounded model checking) for protocols
+// running on the cooperative runtime.
+//
+// The explorer enumerates the tree of scheduler choices by depth-first
+// search with replay: each run follows a forced prefix and then defaults
+// to the first alternative, recording the alternatives available at every
+// new decision point; backtracking advances the deepest unexplored branch.
+// With a crash budget, "crash p" choices are enumerated alongside "step p"
+// choices, so safety properties are checked against every interleaving
+// *and* every crash placement (up to the budget).
+//
+// Exhaustive exploration is exponential; it is meant for small instances
+// (n <= 3, short protocols) as in tests/shm/adopt_commit_test.cpp, which
+// model-checks the paper's Section 4.2 protocol.
+#pragma once
+
+#include <functional>
+
+#include "runtime/sim.h"
+
+namespace rrfd::runtime {
+
+class ScheduleExplorer {
+ public:
+  struct Options {
+    long max_schedules = 100000;  ///< stop after this many runs
+    int max_crashes = 0;          ///< crash-choice budget per schedule
+  };
+
+  struct Stats {
+    long schedules = 0;   ///< runs executed
+    bool exhausted = false;  ///< true iff the whole tree was covered
+  };
+
+  ScheduleExplorer() = default;
+  explicit ScheduleExplorer(Options options) : options_(options) {}
+
+  /// Runs `run_one` once per schedule. `run_one` must build a *fresh*
+  /// simulation, run it with the provided scheduler, and perform its
+  /// assertions; any exception it throws aborts the exploration and
+  /// propagates to the caller (carrying the failing schedule's context).
+  Stats explore(const std::function<void(Scheduler&)>& run_one);
+
+ private:
+  struct Node {
+    std::vector<Scheduler::Choice> alternatives;
+    std::size_t chosen = 0;
+  };
+
+  /// Scheduler used for one replayed run; records new decision points.
+  class TreeScheduler final : public Scheduler {
+   public:
+    TreeScheduler(std::vector<Node>& path, int max_crashes)
+        : path_(path), max_crashes_(max_crashes) {}
+
+    Choice pick(const ProcessSet& runnable, int step) override;
+
+   private:
+    std::vector<Node>& path_;
+    int max_crashes_;
+    int crashes_ = 0;
+    std::size_t depth_ = 0;
+  };
+
+  Options options_{};
+};
+
+}  // namespace rrfd::runtime

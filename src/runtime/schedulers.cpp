@@ -1,0 +1,53 @@
+#include "runtime/schedulers.h"
+
+#include "util/check.h"
+
+namespace rrfd::runtime {
+
+Scheduler::Choice RoundRobinScheduler::pick(const ProcessSet& runnable,
+                                            int /*step*/) {
+  RRFD_REQUIRE(!runnable.empty());
+  // Lowest id strictly greater than last_, wrapping around.
+  for (ProcId p : runnable.members()) {
+    if (p > last_) {
+      last_ = p;
+      return {p, false};
+    }
+  }
+  last_ = runnable.min();
+  return {last_, false};
+}
+
+RandomScheduler::RandomScheduler(std::uint64_t seed, double crash_prob,
+                                 int max_crashes)
+    : rng_(seed), crash_prob_(crash_prob), max_crashes_(max_crashes) {
+  RRFD_REQUIRE(max_crashes >= 0);
+}
+
+Scheduler::Choice RandomScheduler::pick(const ProcessSet& runnable,
+                                        int /*step*/) {
+  RRFD_REQUIRE(!runnable.empty());
+  const std::vector<ProcId> members = runnable.members();
+  const ProcId p =
+      members[static_cast<std::size_t>(rng_.below(members.size()))];
+  if (crashes_ < max_crashes_ && rng_.chance(crash_prob_)) {
+    ++crashes_;
+    return {p, true};
+  }
+  return {p, false};
+}
+
+ScriptedScheduler::ScriptedScheduler(std::vector<Choice> script)
+    : script_(std::move(script)) {}
+
+Scheduler::Choice ScriptedScheduler::pick(const ProcessSet& runnable,
+                                          int /*step*/) {
+  RRFD_REQUIRE(!runnable.empty());
+  if (next_ < script_.size()) {
+    Choice c = script_[next_++];
+    if (runnable.contains(c.next)) return c;
+  }
+  return {runnable.min(), false};
+}
+
+}  // namespace rrfd::runtime

@@ -1,0 +1,59 @@
+// Stock schedulers for the cooperative runtime.
+//
+// RoundRobinScheduler  -- fair deterministic baseline.
+// RandomScheduler      -- seeded uniform choice with optional crash
+//                         injection; the workhorse of randomized sweeps.
+// ScriptedScheduler    -- replays an explicit choice sequence (falling back
+//                         to lowest-id) for hand-crafted counterexamples.
+#pragma once
+
+#include <vector>
+
+#include "runtime/sim.h"
+#include "util/rng.h"
+
+namespace rrfd::runtime {
+
+/// Cycles through runnable processes in id order.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  Choice pick(const ProcessSet& runnable, int step) override;
+
+ private:
+  ProcId last_ = -1;
+};
+
+/// Uniform random choice among runnable processes. With probability
+/// `crash_prob` (and while under the crash budget) the chosen process is
+/// crashed instead of stepped.
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed, double crash_prob = 0.0,
+                           int max_crashes = 0);
+
+  Choice pick(const ProcessSet& runnable, int step) override;
+
+  int crashes_injected() const { return crashes_; }
+
+ private:
+  Rng rng_;
+  double crash_prob_;
+  int max_crashes_;
+  int crashes_ = 0;
+};
+
+/// Follows a scripted sequence of choices; when the script is exhausted or
+/// names a process that is not runnable, falls back to the lowest-id
+/// runnable process.
+class ScriptedScheduler final : public Scheduler {
+ public:
+  explicit ScriptedScheduler(std::vector<Choice> script);
+
+  Choice pick(const ProcessSet& runnable, int step) override;
+
+ private:
+  std::vector<Choice> script_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace rrfd::runtime

@@ -1,0 +1,164 @@
+#include "runtime/sim.h"
+
+#include "util/check.h"
+
+namespace rrfd::runtime {
+
+int Context::n() const { return sim_->n(); }
+
+void Context::step() { sim_->process_step(id_); }
+
+Simulation::Simulation(int n, Body body) {
+  RRFD_REQUIRE(0 < n && n <= core::kMaxProcesses);
+  RRFD_REQUIRE(body != nullptr);
+  bodies_.assign(static_cast<std::size_t>(n), body);
+  states_.assign(static_cast<std::size_t>(n), State::kNotStarted);
+  crash_flags_.assign(static_cast<std::size_t>(n), false);
+  finished_.assign(static_cast<std::size_t>(n), false);
+}
+
+Simulation::Simulation(std::vector<Body> bodies) : bodies_(std::move(bodies)) {
+  RRFD_REQUIRE(!bodies_.empty() &&
+               static_cast<int>(bodies_.size()) <= core::kMaxProcesses);
+  for (const Body& b : bodies_) RRFD_REQUIRE(b != nullptr);
+  states_.assign(bodies_.size(), State::kNotStarted);
+  crash_flags_.assign(bodies_.size(), false);
+  finished_.assign(bodies_.size(), false);
+}
+
+Simulation::~Simulation() {
+  // If run() was never called (or threw), make sure threads can exit: crash
+  // everything still pending and join.
+  if (started_) {
+    for (std::size_t i = 0; i < bodies_.size(); ++i) {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (finished_[i]) continue;
+      crash_flags_[i] = true;
+      turn_ = static_cast<ProcId>(i);
+      cv_.notify_all();
+      cv_.wait(lk, [&] { return turn_ == -1; });
+    }
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Simulation::process_main(ProcId id) {
+  Context ctx(this, id);
+  try {
+    // Initial wait: do not run any body code until first granted a step.
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      states_[static_cast<std::size_t>(id)] = State::kBlocked;
+      cv_.wait(lk, [&] { return turn_ == id; });
+      if (crash_flags_[static_cast<std::size_t>(id)]) throw Crashed{};
+      states_[static_cast<std::size_t>(id)] = State::kRunning;
+    }
+    bodies_[static_cast<std::size_t>(id)](ctx);
+  } catch (const Crashed&) {
+    // Normal crash unwinding; nothing to record here (the scheduler knows).
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  states_[static_cast<std::size_t>(id)] = State::kDone;
+  finished_[static_cast<std::size_t>(id)] = true;
+  turn_ = -1;
+  cv_.notify_all();
+}
+
+void Simulation::process_step(ProcId id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  // Yield the baton back to the scheduler...
+  states_[static_cast<std::size_t>(id)] = State::kBlocked;
+  turn_ = -1;
+  cv_.notify_all();
+  // ...and wait to be granted the next step.
+  cv_.wait(lk, [&] { return turn_ == id; });
+  if (crash_flags_[static_cast<std::size_t>(id)]) throw Crashed{};
+  states_[static_cast<std::size_t>(id)] = State::kRunning;
+}
+
+void Simulation::grant(ProcId id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  turn_ = id;
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return turn_ == -1; });
+}
+
+SimOutcome Simulation::run(Scheduler& scheduler, int max_steps) {
+  RRFD_REQUIRE_MSG(!started_, "Simulation is single-use");
+  started_ = true;
+
+  const int count = n();
+  SimOutcome outcome(count);
+
+  threads_.reserve(static_cast<std::size_t>(count));
+  for (ProcId i = 0; i < count; ++i) {
+    threads_.emplace_back([this, i] { process_main(i); });
+  }
+
+  ProcessSet runnable = ProcessSet::all(count);
+  while (!runnable.empty()) {
+    if (outcome.steps >= max_steps) {
+      crash_all_remaining(runnable, outcome);
+      for (std::thread& t : threads_) t.join();
+      threads_.clear();
+      throw StepBudgetExhausted(max_steps);
+    }
+
+    Scheduler::Choice choice = scheduler.pick(runnable, outcome.steps);
+    RRFD_REQUIRE_MSG(runnable.contains(choice.next),
+                     "scheduler picked a process that is not runnable");
+
+    if (choice.crash) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        crash_flags_[static_cast<std::size_t>(choice.next)] = true;
+      }
+      grant(choice.next);  // wakes it; its pending step() throws Crashed
+      outcome.crashed.add(choice.next);
+      runnable.remove(choice.next);
+      continue;
+    }
+
+    grant(choice.next);
+    outcome.schedule.push_back(choice.next);
+    ++outcome.steps;
+
+    bool done;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      done = finished_[static_cast<std::size_t>(choice.next)];
+    }
+    if (done) {
+      if (!outcome.crashed.contains(choice.next)) {
+        outcome.completed.add(choice.next);
+      }
+      runnable.remove(choice.next);
+    }
+  }
+
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+
+  if (first_error_) std::rethrow_exception(first_error_);
+  return outcome;
+}
+
+void Simulation::crash_all_remaining(ProcessSet remaining,
+                                     SimOutcome& outcome) {
+  for (ProcId p : remaining.members()) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (finished_[static_cast<std::size_t>(p)]) continue;
+      crash_flags_[static_cast<std::size_t>(p)] = true;
+    }
+    grant(p);
+    outcome.crashed.add(p);
+  }
+}
+
+}  // namespace rrfd::runtime

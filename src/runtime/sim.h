@@ -1,0 +1,143 @@
+// Cooperative deterministic runtime for shared-memory protocols.
+//
+// The paper's shared-memory substrates (Sections 2 items 4-5, 4.2) are
+// asynchronous: correctness must hold for *every* interleaving of process
+// steps and every crash pattern. This runtime executes each simulated
+// process on its own OS thread but serializes them with a baton: exactly
+// one process runs at a time, and a Scheduler decides who steps next.
+// Every shared-memory operation calls Context::step(), which is the only
+// interleaving point -- so a run is fully determined by the schedule, and
+// schedules can be random (seeded), scripted, or enumerated exhaustively
+// (runtime/explorer.h).
+//
+// Crashes are injected by the scheduler: a crashed process's next step()
+// throws Crashed, unwinding its stack; the protocol simply stops there,
+// exactly like a crash in the asynchronous shared-memory model.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/process_set.h"
+#include "core/types.h"
+
+namespace rrfd::runtime {
+
+using core::ProcId;
+using core::ProcessSet;
+
+/// Thrown inside a simulated process when the scheduler crashes it. Do not
+/// catch it in protocol code -- the runtime handles the unwinding.
+struct Crashed {};
+
+/// Thrown by Simulation::run when the step budget is exhausted (indicating
+/// a non-wait-free protocol or a livelocked schedule).
+class StepBudgetExhausted : public std::runtime_error {
+ public:
+  explicit StepBudgetExhausted(int steps)
+      : std::runtime_error("simulation exceeded step budget of " +
+                           std::to_string(steps)) {}
+};
+
+class Simulation;
+
+/// Handle a process body uses to interact with the runtime.
+class Context {
+ public:
+  /// This process's identifier.
+  ProcId id() const { return id_; }
+
+  /// Number of processes in the simulation.
+  int n() const;
+
+  /// Interleaving point: yields to the scheduler and blocks until granted
+  /// the next step. Every shared-memory operation calls this exactly once
+  /// before touching memory. Throws Crashed if this process was crashed.
+  void step();
+
+ private:
+  friend class Simulation;
+  Context(Simulation* sim, ProcId id) : sim_(sim), id_(id) {}
+
+  Simulation* sim_;
+  ProcId id_;
+};
+
+/// Chooses the next process to step. Called with the set of processes that
+/// are alive and not finished; must return a member of it (or a crash
+/// decision for a member).
+class Scheduler {
+ public:
+  struct Choice {
+    ProcId next;         ///< who acts
+    bool crash = false;  ///< if true, `next` is crashed instead of stepping
+  };
+
+  virtual ~Scheduler() = default;
+  virtual Choice pick(const ProcessSet& runnable, int step) = 0;
+};
+
+/// Outcome of a simulation run.
+struct SimOutcome {
+  ProcessSet completed;  ///< ran their body to completion
+  ProcessSet crashed;    ///< were crashed by the scheduler
+  int steps = 0;         ///< total steps granted
+  std::vector<ProcId> schedule;  ///< the step sequence actually taken
+
+  explicit SimOutcome(int n) : completed(n), crashed(n) {}
+};
+
+/// Runs n process bodies under a scheduler. Single-use: construct, run once.
+class Simulation {
+ public:
+  using Body = std::function<void(Context&)>;
+
+  /// Same body for every process (distinguished by Context::id()).
+  Simulation(int n, Body body);
+
+  /// One body per process.
+  explicit Simulation(std::vector<Body> bodies);
+
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Executes to completion (every process finished or crashed).
+  /// Exceptions other than Crashed thrown by process bodies are captured
+  /// and rethrown here after the run is wound down.
+  SimOutcome run(Scheduler& scheduler, int max_steps = 1 << 20);
+
+  int n() const { return static_cast<int>(bodies_.size()); }
+
+ private:
+  friend class Context;
+
+  enum class State { kNotStarted, kBlocked, kRunning, kDone };
+
+  void process_main(ProcId id);
+  void process_step(ProcId id);  // Context::step body
+  void grant(ProcId id);
+  void await_yield();
+  void crash_all_remaining(ProcessSet remaining, SimOutcome& outcome);
+
+  std::vector<Body> bodies_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  ProcId turn_ = -1;  // -1: scheduler's turn
+  std::vector<State> states_;
+  std::vector<bool> crash_flags_;
+  std::vector<bool> finished_;  // done (completed or crashed)
+  std::exception_ptr first_error_;
+  bool started_ = false;
+};
+
+}  // namespace rrfd::runtime

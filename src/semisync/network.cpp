@@ -1,0 +1,94 @@
+#include "semisync/network.h"
+
+#include "util/check.h"
+
+namespace rrfd::semisync {
+
+StepSim::StepSim(std::vector<StepProcess*> processes, StepSimOptions options)
+    : processes_(std::move(processes)),
+      options_(options),
+      rng_(options.seed),
+      inboxes_(processes_.size()),
+      crash_after_(processes_.size(), -1) {
+  RRFD_REQUIRE(!processes_.empty() &&
+               static_cast<int>(processes_.size()) <= core::kMaxProcesses);
+  for (StepProcess* p : processes_) RRFD_REQUIRE(p != nullptr);
+  RRFD_REQUIRE(options_.phi >= 1);
+}
+
+void StepSim::crash_after(ProcId p, int after_steps) {
+  RRFD_REQUIRE(0 <= p && p < static_cast<int>(processes_.size()));
+  RRFD_REQUIRE(after_steps >= 0);
+  crash_after_[static_cast<std::size_t>(p)] = after_steps;
+}
+
+void StepSim::deliver_and_step(ProcId p, StepSimResult& result) {
+  const auto pi = static_cast<std::size_t>(p);
+
+  // Deliver: everything due (age >= phi-1) must arrive now; younger
+  // messages may arrive early at the adversary's whim. Buffers are FIFO,
+  // and a delivered message unblocks everything sent before it (otherwise
+  // delivery order could invert sends).
+  std::deque<Pending>& inbox = inboxes_[pi];
+  std::size_t take = 0;
+  for (std::size_t idx = 0; idx < inbox.size(); ++idx) {
+    const bool due = inbox[idx].age >= options_.phi - 1;
+    if (due || rng_.chance(options_.early_delivery_prob)) take = idx + 1;
+  }
+  std::vector<Envelope> received;
+  received.reserve(take);
+  for (std::size_t idx = 0; idx < take; ++idx) {
+    received.push_back(inbox.front().env);
+    inbox.pop_front();
+  }
+  // Remaining pending messages age by one recipient step.
+  for (Pending& m : inbox) ++m.age;
+
+  std::optional<Broadcast> out = processes_[pi]->step(received);
+  ++result.steps_taken[pi];
+  ++result.events;
+
+  if (out) {
+    const Envelope env{p, out->round, out->payload};
+    for (std::size_t q = 0; q < processes_.size(); ++q) {
+      inboxes_[q].push_back(Pending{env, 0});
+    }
+  }
+}
+
+StepSimResult StepSim::run() {
+  const int n = static_cast<int>(processes_.size());
+  StepSimResult result(n);
+
+  for (ProcId p = 0; p < n; ++p) {
+    if (crash_after_[static_cast<std::size_t>(p)] == 0) result.crashed.add(p);
+  }
+
+  while (result.events < options_.max_events) {
+    // Eligible: alive, undecided.
+    ProcessSet eligible(n);
+    for (ProcId p = 0; p < n; ++p) {
+      if (!result.crashed.contains(p) &&
+          !processes_[static_cast<std::size_t>(p)]->decided()) {
+        eligible.add(p);
+      }
+    }
+    if (eligible.empty()) {
+      result.all_alive_decided = true;
+      return result;
+    }
+
+    const std::vector<ProcId> members = eligible.members();
+    const ProcId p =
+        members[static_cast<std::size_t>(rng_.below(members.size()))];
+    deliver_and_step(p, result);
+
+    const auto pi = static_cast<std::size_t>(p);
+    if (crash_after_[pi] >= 0 && result.steps_taken[pi] >= crash_after_[pi]) {
+      result.crashed.add(p);
+    }
+  }
+  return result;  // budget exhausted; all_alive_decided stays false
+}
+
+}  // namespace rrfd::semisync

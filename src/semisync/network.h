@@ -1,0 +1,110 @@
+// The semi-synchronous model of Dolev, Dwork & Stockmeyer (Section 5).
+//
+// Properties, as the paper lists them:
+//   * no bounds on relative process speeds (the scheduler orders steps
+//     arbitrarily);
+//   * crash failures (a crashed process simply stops taking steps);
+//   * each step atomically receives all buffered messages and then
+//     broadcasts at most one message;
+//   * broadcast is reliable: a sent message is eventually delivered to
+//     every process;
+//   * bounded delivery: a message sent at global event e is in process
+//     k's buffer no later than k's phi-th step after e. phi = 1 is the
+//     DDS "synchronous communication" reading (delivered before the
+//     recipient's next step); the paper's extended abstract leaves the
+//     constant garbled, so the simulator exposes it as a knob and
+//     bench_semisync locates the guarantee boundary (Theorem 5.1 holds at
+//     phi = 1 and is violated by schedules at phi >= 2).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/process_set.h"
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace rrfd::semisync {
+
+using core::ProcId;
+using core::ProcessSet;
+
+/// A message in flight or delivered. `round` is algorithm-level tagging
+/// (every Section-5 algorithm tags messages with its round number).
+struct Envelope {
+  ProcId sender = -1;
+  int round = 0;
+  int payload = 0;
+};
+
+/// What a process asks the network to broadcast at a step.
+struct Broadcast {
+  int round = 0;
+  int payload = 0;
+};
+
+/// A process in the step model. One step() call = one atomic
+/// receive-then-broadcast step.
+class StepProcess {
+ public:
+  virtual ~StepProcess() = default;
+
+  /// `received`: everything delivered at this step, in send order.
+  /// Returns the broadcast for this step, or nullopt to stay silent.
+  virtual std::optional<Broadcast> step(const std::vector<Envelope>& received) = 0;
+
+  /// A decided process halts (takes no further steps).
+  virtual bool decided() const = 0;
+  virtual int decision() const = 0;
+};
+
+/// Simulation options.
+struct StepSimOptions {
+  int phi = 1;                    ///< delivery bound (see header comment)
+  double early_delivery_prob = 0.5;  ///< chance a not-yet-due message is
+                                     ///< delivered early (phi > 1 only)
+  std::uint64_t seed = 1;         ///< scheduler + early-delivery seed
+  long max_events = 1 << 20;      ///< global step budget
+};
+
+/// Result of a run.
+struct StepSimResult {
+  long events = 0;                 ///< total steps taken (all processes)
+  std::vector<int> steps_taken;    ///< per-process step counts
+  bool all_alive_decided = false;  ///< every non-crashed process decided
+  ProcessSet crashed;
+
+  explicit StepSimResult(int n)
+      : steps_taken(static_cast<std::size_t>(n), 0), crashed(n) {}
+};
+
+/// Event-driven simulator for the step model. Non-owning over processes.
+class StepSim {
+ public:
+  StepSim(std::vector<StepProcess*> processes, StepSimOptions options);
+
+  /// Crashes process p once it has taken exactly `after_steps` steps
+  /// (0 = never runs). Call before run().
+  void crash_after(ProcId p, int after_steps);
+
+  /// Runs until every alive process has decided (or budget exhausted).
+  StepSimResult run();
+
+ private:
+  struct Pending {
+    Envelope env;
+    int age = 0;  ///< steps the recipient has taken since the send
+  };
+
+  void deliver_and_step(ProcId p, StepSimResult& result);
+
+  std::vector<StepProcess*> processes_;
+  StepSimOptions options_;
+  Rng rng_;
+  std::vector<std::deque<Pending>> inboxes_;   // per recipient
+  std::vector<int> crash_after_;               // -1 = never
+};
+
+}  // namespace rrfd::semisync

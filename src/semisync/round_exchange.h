@@ -1,0 +1,114 @@
+// The 2-steps-per-round structure of Section 5, as a reusable component.
+//
+// "A process's execution occurs in blocks of 2 steps. If a process
+// receives a round-r message before sending its own, then it sends no
+// further messages [this round], although it continues to receive.
+// Otherwise it broadcasts its round-r message, tagging it with the round
+// number. [...] At the end of round r, process p_i takes D(i,r) to be the
+// set of processes from which it does not receive round-r messages."
+//
+// The first receive/send of a round acts as an atomic read-modify-write:
+// broadcast if and only if the receive returned no round-r message.
+// Theorem 5.1: with delivery bound phi = 1 the resulting D(i,r) are equal
+// across processes (equation 5) -- the k=1 detector of Theorem 3.1, which
+// yields the 2-step consensus algorithm.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/process_set.h"
+#include "semisync/network.h"
+#include "util/check.h"
+
+namespace rrfd::semisync {
+
+/// Drives the 2-step round structure for one process. The owner supplies,
+/// per round, the payload to (conditionally) broadcast, and receives the
+/// completed round's view.
+class RoundExchange {
+ public:
+  /// A completed round as seen by this process.
+  struct RoundView {
+    int round = 0;
+    ProcessSet heard;              ///< senders of round-r messages received
+    std::map<ProcId, int> values;  ///< their payloads
+    ProcessSet fault_set;          ///< D(i,r) = complement of heard
+
+    RoundView(int r, int n) : round(r), heard(n), fault_set(n) {}
+  };
+
+  RoundExchange(int n, ProcId self) : n_(n), self_(self) {
+    RRFD_REQUIRE(0 < n && n <= core::kMaxProcesses);
+    RRFD_REQUIRE(0 <= self && self < n);
+  }
+
+  int current_round() const { return round_; }
+  ProcId self() const { return self_; }
+
+  /// Processes one simulator step. `payload` is what this process would
+  /// broadcast if it turns out to be first in its round; `out` receives
+  /// the broadcast decision for this step. Returns the completed round's
+  /// view on every second step, nullopt on first steps.
+  std::optional<RoundView> on_step(const std::vector<Envelope>& received,
+                                   int payload,
+                                   std::optional<Broadcast>& out) {
+    record(received);
+    out.reset();
+
+    if (!mid_round_) {
+      // First receive/send of the round: the atomic read-modify-write --
+      // broadcast iff no round-r message has been received yet.
+      if (heard(round_).senders.empty()) {
+        out = Broadcast{round_, payload};
+      }
+      mid_round_ = true;
+      return std::nullopt;
+    }
+
+    // Second step: the round is communication-closed here.
+    mid_round_ = false;
+    RoundView view(round_, n_);
+    const Bucket& bucket = heard(round_);
+    view.heard = bucket.senders;
+    view.values = bucket.values;
+    view.fault_set = bucket.senders.complement();
+    buckets_.erase(round_);
+    ++round_;
+    return view;
+  }
+
+ private:
+  struct Bucket {
+    ProcessSet senders;
+    std::map<ProcId, int> values;
+
+    explicit Bucket(int n) : senders(n) {}
+  };
+
+  Bucket& heard(int round) {
+    auto it = buckets_.find(round);
+    if (it == buckets_.end()) it = buckets_.emplace(round, Bucket(n_)).first;
+    return it->second;
+  }
+
+  void record(const std::vector<Envelope>& received) {
+    for (const Envelope& env : received) {
+      // Rounds are communication-closed: messages for finished rounds are
+      // discarded, messages for future rounds buffer until we get there.
+      if (env.round < round_) continue;
+      Bucket& b = heard(env.round);
+      b.senders.add(env.sender);
+      b.values[env.sender] = env.payload;
+    }
+  }
+
+  int n_;
+  ProcId self_;
+  int round_ = 1;
+  bool mid_round_ = false;
+  std::map<int, Bucket> buckets_;
+};
+
+}  // namespace rrfd::semisync

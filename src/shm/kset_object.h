@@ -1,0 +1,57 @@
+// A linearizable k-set-consensus object.
+//
+// Theorem 3.3 assumes "a system [that] allows a solution to the problem of
+// k-set consensus"; this object is that assumption made executable. Its
+// guarantees are exactly the task's:
+//   validity:    every returned value was proposed by somebody;
+//   k-agreement: at most k distinct values are ever returned.
+// Within that envelope the object is adversarial: a seeded coin decides
+// whether a proposal is admitted as a new "winner" or redirected to an
+// existing one, so experiments range over many legal behaviours.
+#pragma once
+
+#include <vector>
+
+#include "runtime/sim.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace rrfd::shm {
+
+class KSetObject {
+ public:
+  KSetObject(int k, std::uint64_t seed) : k_(k), rng_(seed) {
+    RRFD_REQUIRE(k >= 1);
+  }
+
+  int k() const { return k_; }
+
+  /// Proposes `value`; returns one of the object's winners (one atomic
+  /// step). The first proposal always wins; later proposals may be
+  /// admitted while fewer than k winners exist.
+  int propose(runtime::Context& ctx, int value) {
+    ctx.step();
+    return propose_unsimulated(value);
+  }
+
+  /// Same semantics without a scheduler step -- for use outside the
+  /// cooperative runtime (e.g. driving the object from engine-level code).
+  int propose_unsimulated(int value) {
+    if (winners_.empty() ||
+        (static_cast<int>(winners_.size()) < k_ && rng_.chance(0.5))) {
+      winners_.push_back(value);
+      return value;
+    }
+    return winners_[static_cast<std::size_t>(rng_.below(winners_.size()))];
+  }
+
+  /// Winners so far (for validation).
+  const std::vector<int>& winners() const { return winners_; }
+
+ private:
+  int k_;
+  Rng rng_;
+  std::vector<int> winners_;
+};
+
+}  // namespace rrfd::shm

@@ -1,0 +1,97 @@
+// Single-writer multi-reader registers on the cooperative runtime.
+//
+// The primitive of Section 2 item 4: an array C_1..C_n where process p_i
+// writes C_i and reads all others. Every read and write costs exactly one
+// scheduler step, which is the only interleaving point -- so executions of
+// register-based protocols range over all interleavings the asynchronous
+// SWMR model allows.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "runtime/sim.h"
+#include "util/check.h"
+
+namespace rrfd::shm {
+
+using core::ProcId;
+using runtime::Context;
+
+/// A single SWMR register. Writes are restricted to the owner; reads are
+/// open to everyone. Both are atomic (one step each).
+template <typename T>
+class SwmrRegister {
+ public:
+  explicit SwmrRegister(ProcId owner, T initial = T{})
+      : owner_(owner), value_(std::move(initial)) {}
+
+  ProcId owner() const { return owner_; }
+
+  /// Atomic write; only the owner may call this.
+  void write(Context& ctx, T v) {
+    RRFD_REQUIRE_MSG(ctx.id() == owner_,
+                     "SWMR register written by a non-owner");
+    ctx.step();
+    value_ = std::move(v);
+  }
+
+  /// Atomic read.
+  T read(Context& ctx) const {
+    ctx.step();
+    return value_;
+  }
+
+  /// Non-simulated inspection for validators and tests (no step, must only
+  /// be used outside or after a run).
+  const T& peek() const { return value_; }
+
+ private:
+  ProcId owner_;
+  T value_;
+};
+
+/// An array of n SWMR registers, one per process, each initialized to
+/// nullopt ("unwritten", the paper's bottom).
+template <typename T>
+class SwmrArray {
+ public:
+  explicit SwmrArray(int n) {
+    RRFD_REQUIRE(0 < n && n <= core::kMaxProcesses);
+    cells_.reserve(static_cast<std::size_t>(n));
+    for (ProcId i = 0; i < n; ++i) cells_.emplace_back(i);
+  }
+
+  int n() const { return static_cast<int>(cells_.size()); }
+
+  /// Writes the caller's own cell.
+  void write(Context& ctx, T v) {
+    cells_[static_cast<std::size_t>(ctx.id())].write(ctx, std::move(v));
+  }
+
+  /// Reads one cell.
+  std::optional<T> read(Context& ctx, ProcId j) const {
+    RRFD_REQUIRE(0 <= j && j < n());
+    return cells_[static_cast<std::size_t>(j)].read(ctx);
+  }
+
+  /// Reads every cell once, in index order (n steps). Not atomic -- this
+  /// is the "collect" primitive, NOT a snapshot.
+  std::vector<std::optional<T>> collect(Context& ctx) const {
+    std::vector<std::optional<T>> out;
+    out.reserve(cells_.size());
+    for (const auto& c : cells_) out.push_back(c.read(ctx));
+    return out;
+  }
+
+  /// Non-simulated inspection (see SwmrRegister::peek).
+  const std::optional<T>& peek(ProcId j) const {
+    RRFD_REQUIRE(0 <= j && j < n());
+    return cells_[static_cast<std::size_t>(j)].peek();
+  }
+
+ private:
+  std::vector<SwmrRegister<std::optional<T>>> cells_;
+};
+
+}  // namespace rrfd::shm

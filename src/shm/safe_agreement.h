@@ -1,0 +1,83 @@
+// Safe agreement (Borowsky-Gafni): the building block of the BG
+// simulation behind the asynchronous impossibility results ([9]) that
+// Section 4 reduces the synchronous lower bounds to.
+//
+// Like consensus, but termination is sacrificed exactly where FLP bites:
+//   validity + agreement always;
+//   a propose() never blocks;
+//   resolve() returns the decision unless some proposer crashed inside
+//   the two-write "doorway" -- then the object may be stuck forever.
+// Contrast with adopt-commit (agreement/adopt_commit.h): adopt-commit is
+// wait-free but may fail to commit; safe agreement always decides unless
+// a crash lands in the doorway. The pair brackets what is achievable
+// wait-free.
+//
+// Implementation (the classic one): levels in SWMR registers.
+//   propose(v): write (v, level 1); snapshot;
+//               if somebody is at level 2, step back to level 0,
+//               else advance to level 2.
+//   resolve():  snapshot; if anyone is at level 1 the object is
+//               unresolved (somebody is in the doorway); otherwise decide
+//               the value of the lowest-id level-2 entry (at least one
+//               exists: the first to leave the doorway went to 2).
+#pragma once
+
+#include <optional>
+
+#include "shm/registers.h"
+#include "shm/snapshot.h"
+
+namespace rrfd::shm {
+
+class SafeAgreement {
+ public:
+  explicit SafeAgreement(int n) : cells_(n) {}
+
+  int n() const { return cells_.n(); }
+
+  /// Wait-free; call at most once per process.
+  void propose(runtime::Context& ctx, int value) {
+    cells_.update(ctx, Entry{value, 1});
+    const View<Entry> view = cells_.scan(ctx);
+    bool someone_done = false;
+    for (const auto& e : view) {
+      someone_done = someone_done || (e && e->level == 2);
+    }
+    cells_.update(ctx, Entry{value, someone_done ? 0 : 2});
+  }
+
+  /// One snapshot; nullopt while some proposer sits in the doorway
+  /// (level 1). Poll until resolved -- which may be never if that
+  /// proposer crashed there.
+  std::optional<int> resolve(runtime::Context& ctx) {
+    const View<Entry> view = cells_.scan(ctx);
+    std::optional<int> decision;
+    for (const auto& e : view) {
+      if (!e) continue;
+      if (e->level == 1) return std::nullopt;  // doorway occupied
+      if (e->level == 2 && !decision) decision = e->value;  // lowest id
+    }
+    return decision;  // nullopt also when nobody proposed yet
+  }
+
+  /// Convenience: propose then poll resolve until it answers. Blocks (by
+  /// looping) while the doorway is occupied -- use only where the caller
+  /// bounds steps externally.
+  int propose_and_resolve(runtime::Context& ctx, int value) {
+    propose(ctx, value);
+    for (;;) {
+      const std::optional<int> d = resolve(ctx);
+      if (d) return *d;
+    }
+  }
+
+ private:
+  struct Entry {
+    int value = 0;
+    int level = 0;  // 0 = backed off, 1 = doorway, 2 = committed
+  };
+
+  DirectSnapshot<Entry> cells_;
+};
+
+}  // namespace rrfd::shm

@@ -1,0 +1,192 @@
+// Atomic snapshots: the substrate of Section 2 item 5 and Section 4.2.
+//
+// Three implementations, strongest guarantees to weakest assumptions:
+//
+//  * DirectSnapshot -- a linearizable reference object whose update and
+//    scan are single atomic steps. This is "assume an atomic snapshot
+//    object exists" made executable; the other two are checked against it.
+//
+//  * AfekSnapshot -- the wait-free construction of Afek, Attiya, Dolev,
+//    Gafni, Merritt & Shavit (JACM 1993, the paper's reference [21]) from
+//    SWMR registers: double collects with embedded scans. Every register
+//    access is one step, so the construction is exercised under arbitrary
+//    interleavings and crashes.
+//
+//  * ImmediateSnapshot -- the one-shot immediate snapshot of Borowsky &
+//    Gafni (the paper's reference [4]): views satisfy self-inclusion,
+//    containment, and immediacy, which is precisely the RRFD predicate of
+//    item 5 (round views form a containment chain).
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "shm/registers.h"
+
+namespace rrfd::shm {
+
+/// A view: for each process, its value if it is in the view.
+template <typename T>
+using View = std::vector<std::optional<T>>;
+
+/// Linearizable reference snapshot object (single-step update and scan).
+template <typename T>
+class DirectSnapshot {
+ public:
+  explicit DirectSnapshot(int n) : cells_(static_cast<std::size_t>(n)) {
+    RRFD_REQUIRE(0 < n && n <= core::kMaxProcesses);
+  }
+
+  int n() const { return static_cast<int>(cells_.size()); }
+
+  /// Atomically installs the caller's value.
+  void update(Context& ctx, T v) {
+    ctx.step();
+    cells_[static_cast<std::size_t>(ctx.id())] = std::move(v);
+  }
+
+  /// Atomically reads all cells.
+  View<T> scan(Context& ctx) const {
+    ctx.step();
+    return cells_;
+  }
+
+  /// Non-simulated inspection.
+  const View<T>& peek() const { return cells_; }
+
+ private:
+  View<T> cells_;
+};
+
+/// Wait-free snapshot from SWMR registers (Afek et al.).
+///
+/// Each cell carries (value, sequence number, embedded view). A scanner
+/// double-collects until either two collects agree (a clean snapshot) or
+/// some process is seen to move twice, in which case that process's
+/// embedded view -- taken entirely within the scanner's interval -- is
+/// returned. Updates perform an embedded scan and then a single write.
+template <typename T>
+class AfekSnapshot {
+ public:
+  explicit AfekSnapshot(int n) : regs_(n) {}
+
+  int n() const { return regs_.n(); }
+
+  /// Wait-free update: embedded scan + one write.
+  void update(Context& ctx, T v) {
+    View<T> embedded = scan(ctx);
+    const std::optional<Cell> prior = regs_.peek(ctx.id());
+    const long seq = prior ? prior->seq + 1 : 1;
+    regs_.write(ctx, Cell{std::move(v), seq, std::move(embedded)});
+  }
+
+  /// Wait-free scan.
+  View<T> scan(Context& ctx) const {
+    std::vector<bool> moved(static_cast<std::size_t>(n()), false);
+    std::vector<std::optional<Cell>> a = regs_.collect(ctx);
+    for (;;) {
+      std::vector<std::optional<Cell>> b = regs_.collect(ctx);
+      bool clean = true;
+      for (ProcId j = 0; j < n(); ++j) {
+        const auto ja = static_cast<std::size_t>(j);
+        const long sa = a[ja] ? a[ja]->seq : 0;
+        const long sb = b[ja] ? b[ja]->seq : 0;
+        if (sa == sb) continue;
+        clean = false;
+        if (moved[ja]) {
+          // j completed an entire update inside our scan: its embedded
+          // view is a snapshot within our interval.
+          return b[ja]->embedded;
+        }
+        moved[ja] = true;
+      }
+      if (clean) return values_of(b);
+      a = std::move(b);
+    }
+  }
+
+ private:
+  struct Cell {
+    T value;
+    long seq = 0;
+    View<T> embedded;
+  };
+
+  static View<T> values_of(const std::vector<std::optional<Cell>>& cells) {
+    View<T> out(cells.size());
+    for (std::size_t j = 0; j < cells.size(); ++j) {
+      if (cells[j]) out[j] = cells[j]->value;
+    }
+    return out;
+  }
+
+  SwmrArray<Cell> regs_;
+};
+
+/// One-shot immediate snapshot (Borowsky-Gafni). Each participant calls
+/// participate() exactly once; the returned views V satisfy
+///   self-inclusion:  i in V_i
+///   containment:     V_i subseteq V_j or V_j subseteq V_i
+///   immediacy:       j in V_i  =>  V_j subseteq V_i
+/// which is the item-5 RRFD round structure (D(i,r) = complement of V_i).
+template <typename T>
+class ImmediateSnapshot {
+ public:
+  explicit ImmediateSnapshot(int n) : regs_(n) {}
+
+  int n() const { return regs_.n(); }
+
+  /// Announces `v` and returns this process's view. At most one call per
+  /// process per object.
+  View<T> participate(Context& ctx, T v) {
+    const int count = n();
+    int level = count + 1;
+    for (;;) {
+      --level;
+      RRFD_ENSURE(level >= 1);
+      regs_.write(ctx, Cell{v, level});
+      std::vector<std::optional<Cell>> collected = regs_.collect(ctx);
+      int at_or_below = 0;
+      for (const auto& c : collected) {
+        if (c && c->level <= level) ++at_or_below;
+      }
+      if (at_or_below >= level) {
+        View<T> view(collected.size());
+        for (std::size_t j = 0; j < collected.size(); ++j) {
+          if (collected[j] && collected[j]->level <= level) {
+            view[j] = collected[j]->value;
+          }
+        }
+        return view;
+      }
+    }
+  }
+
+ private:
+  struct Cell {
+    T value;
+    int level = 0;
+  };
+
+  SwmrArray<Cell> regs_;
+};
+
+/// Size of a view (number of present entries).
+template <typename T>
+int view_size(const View<T>& v) {
+  return static_cast<int>(
+      std::count_if(v.begin(), v.end(), [](const auto& e) { return e.has_value(); }));
+}
+
+/// Does `a` contain `b` (as sets of present indices)?
+template <typename T>
+bool view_contains(const View<T>& a, const View<T>& b) {
+  RRFD_REQUIRE(a.size() == b.size());
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    if (b[j] && !a[j]) return false;
+  }
+  return true;
+}
+
+}  // namespace rrfd::shm

@@ -1,0 +1,75 @@
+// Lightweight contract checking for the RRFD library.
+//
+// RRFD_REQUIRE  -- precondition on public API boundaries; always on.
+// RRFD_ENSURE   -- postcondition / internal invariant; always on.
+// RRFD_ASSERT   -- debug-only sanity check (compiled out in NDEBUG builds).
+//
+// Violations throw rrfd::ContractViolation (derived from std::logic_error)
+// so tests can assert on misuse and simulations never continue from a
+// corrupted state.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rrfd {
+
+/// Thrown when a documented precondition or invariant of the library is
+/// violated by the caller (or, for ENSURE, by the library itself).
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr, const char* file,
+                    int line, const std::string& msg)
+      : std::logic_error(std::string(kind) + " failed: (" + expr + ") at " +
+                         file + ":" + std::to_string(line) +
+                         (msg.empty() ? "" : ": " + msg)) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg = {}) {
+  throw ContractViolation(kind, expr, file, line, msg);
+}
+}  // namespace detail
+
+}  // namespace rrfd
+
+#define RRFD_REQUIRE(expr)                                                 \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::rrfd::detail::contract_fail("precondition", #expr, __FILE__,       \
+                                    __LINE__);                             \
+  } while (0)
+
+#define RRFD_REQUIRE_MSG(expr, msg)                                        \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::rrfd::detail::contract_fail("precondition", #expr, __FILE__,       \
+                                    __LINE__, (msg));                      \
+  } while (0)
+
+#define RRFD_ENSURE(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::rrfd::detail::contract_fail("invariant", #expr, __FILE__,          \
+                                    __LINE__);                             \
+  } while (0)
+
+#define RRFD_ENSURE_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::rrfd::detail::contract_fail("invariant", #expr, __FILE__,          \
+                                    __LINE__, (msg));                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define RRFD_ASSERT(expr) ((void)0)
+#else
+#define RRFD_ASSERT(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::rrfd::detail::contract_fail("assertion", #expr, __FILE__,          \
+                                    __LINE__);                             \
+  } while (0)
+#endif

@@ -1,0 +1,18 @@
+#include "util/log.h"
+
+namespace rrfd {
+
+LogLevel Log::level_ = LogLevel::kOff;
+
+LogLevel Log::level() { return level_; }
+
+void Log::set_level(LogLevel level) { level_ = level; }
+
+void Log::write(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) <= static_cast<int>(level_) &&
+      level != LogLevel::kOff) {
+    std::cerr << "[rrfd] " << msg << '\n';
+  }
+}
+
+}  // namespace rrfd

@@ -1,0 +1,38 @@
+// Minimal leveled logger for simulation tracing.
+//
+// Off by default; tests and examples can raise the level to watch a run
+// round by round. Not thread-safe by design: the cooperative runtime
+// serializes all process steps, so only one logical thread logs at a time.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+namespace rrfd {
+
+enum class LogLevel { kOff = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+/// Global log configuration (process-wide).
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// Emits `msg` if `level` is at or below the configured verbosity.
+  static void write(LogLevel level, const std::string& msg);
+
+ private:
+  static LogLevel level_;
+};
+
+inline void log_info(const std::string& msg) {
+  Log::write(LogLevel::kInfo, msg);
+}
+inline void log_debug(const std::string& msg) {
+  Log::write(LogLevel::kDebug, msg);
+}
+inline void log_trace(const std::string& msg) {
+  Log::write(LogLevel::kTrace, msg);
+}
+
+}  // namespace rrfd

@@ -1,0 +1,75 @@
+// Deterministic, seedable random number generation for simulations.
+//
+// Every stochastic component of the library (adversaries, schedulers,
+// workload generators) takes an explicit Rng so that any execution can be
+// reproduced from its seed. The generator is xoshiro256** (Blackman &
+// Vigna), seeded through splitmix64 -- fast, high quality, and stable
+// across platforms (unlike std::default_random_engine).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rrfd {
+
+/// xoshiro256** pseudo-random generator with convenience sampling helpers.
+/// Satisfies std::uniform_random_bit_generator, so it also works with
+/// <random> distributions and std::shuffle.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes the state; the subsequent stream depends only on `seed`.
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  /// Next raw 64-bit value.
+  result_type operator()() { return next(); }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Fisher-Yates shuffle of an arbitrary vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A uniformly random permutation of {0, 1, ..., n-1}.
+  std::vector<int> permutation(int n);
+
+  /// Chooses `k` distinct elements of {0..n-1}, in random order.
+  std::vector<int> sample_without_replacement(int n, int k);
+
+  /// Forks an independent generator whose stream is a deterministic
+  /// function of this generator's current state. Useful for giving each
+  /// simulated process its own stream.
+  Rng fork();
+
+ private:
+  std::uint64_t next();
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace rrfd

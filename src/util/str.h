@@ -1,0 +1,38 @@
+// Small string-building helpers (GCC 12 lacks <format>).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rrfd {
+
+/// Concatenates the stream representations of all arguments.
+template <typename... Args>
+std::string cat(Args&&... args) {
+  std::ostringstream os;
+  ((os << std::forward<Args>(args)), ...);
+  return os.str();
+}
+
+/// Joins container elements with a separator: join({1,2,3}, ",") == "1,2,3".
+template <typename Container>
+std::string join(const Container& c, const std::string& sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& e : c) {
+    if (!first) os << sep;
+    os << e;
+    first = false;
+  }
+  return os.str();
+}
+
+/// Fixed-width right-aligned decimal rendering, for plain-text tables.
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+
+/// Renders a double with the given precision (printf "%.*f").
+std::string fixed(double v, int precision);
+
+}  // namespace rrfd

@@ -1,0 +1,172 @@
+// Theorem 4.3: an asynchronous Atomic-Snapshot system with at most k
+// crash failures implements the first floor(f/k) rounds of a synchronous
+// system with at most f *crash* faults (strengthening Theorem 4.1 from
+// send-omission to crash via adopt-commit, in the style of Neiger-Toueg
+// omission-to-crash transformers).
+//
+// One simulated synchronous round costs three asynchronous rounds:
+//  (1) write the simulated round value to a snapshot; scan until at most
+//      k values are missing. The missed set M_i joins the locally
+//      proposed-faulty set F_i (snapshot linearization makes the M_i a
+//      containment chain, so each simulated round adds at most k new
+//      processes to U_i F_i).
+//  (2+3) for every process j, run an adopt-commit with input "j-faulty"
+//      (if j in F_i) or "j-alive(v_j)". Commit-faulty delivers bottom --
+//      j appears crashed to us this round; adopt-faulty keeps j in F_i
+//      but still delivers j's value (recovered from the adopt-commit's
+//      round-1 proposals: a faulty adoption can only form after some
+//      alive proposal was written, so one re-collect finds it);
+//      an alive result delivers j's value directly.
+//
+// Crash monotonicity holds because a commit anywhere forces everyone to
+// adopt-or-commit faulty (AC property 2), hence everyone proposes faulty
+// next round, hence everyone commits faulty (AC property 1) from then on.
+#pragma once
+
+#include <limits>
+#include <optional>
+
+#include "agreement/adopt_commit.h"
+#include "core/engine.h"
+#include "shm/snapshot.h"
+
+namespace rrfd::xform {
+
+/// The "j-faulty" proposal in the per-process adopt-commit instances.
+inline constexpr int kFaultyProposal = std::numeric_limits<int>::min();
+
+template <typename Decision>
+struct CrashFromAsyncResult {
+  core::FaultPattern simulated;  ///< the delivered-bottom sets D(i,r)
+  core::ProcessSet crashed;      ///< executors crashed by the scheduler
+  std::vector<std::optional<Decision>> decisions;  ///< per sync process
+  int async_rounds_used = 0;     ///< 3 per simulated round (bookkeeping)
+
+  explicit CrashFromAsyncResult(int n)
+      : simulated(n),
+        crashed(n),
+        decisions(static_cast<std::size_t>(n), std::nullopt) {}
+};
+
+/// Runs `rounds` simulated synchronous rounds of the given sync-model
+/// processes (engine RoundProcess concept, int messages) on the
+/// asynchronous shared-memory substrate with at most k crash failures.
+/// The scheduler must not crash more than k executors (a RandomScheduler
+/// with max_crashes = k, say); otherwise the scan loop legitimately
+/// blocks and the step budget throws.
+template <typename P>
+  requires core::RoundProcess<P> && std::same_as<typename P::Message, int>
+CrashFromAsyncResult<typename P::Decision> run_crash_from_async(
+    std::vector<P>& sync_procs, int k, core::Round rounds,
+    runtime::Scheduler& scheduler, int max_steps = 1 << 22) {
+  const int n = static_cast<int>(sync_procs.size());
+  RRFD_REQUIRE(0 < n && n <= core::kMaxProcesses);
+  RRFD_REQUIRE(1 <= k && k < n);
+  RRFD_REQUIRE(rounds >= 1);
+  // The theorem covers the first floor(f/k) rounds of a synchronous system
+  // with f < n faults: beyond k*rounds < n the simulation could commit
+  // every process faulty, leaving a round with D(i,r) = S, which is
+  // outside the RRFD structure ("not all processes can be late").
+  RRFD_REQUIRE_MSG(k * rounds < n,
+                   "fault budget k*rounds must stay below n (Theorem 4.3 "
+                   "covers the first floor(f/k) rounds, f < n)");
+
+  struct RoundObjects {
+    shm::DirectSnapshot<int> snapshot;
+    std::vector<agreement::AdoptCommit> per_process;
+
+    RoundObjects(int n_) : snapshot(n_) {
+      per_process.reserve(static_cast<std::size_t>(n_));
+      for (int j = 0; j < n_; ++j) per_process.emplace_back(n_);
+    }
+  };
+  std::vector<RoundObjects> shared;
+  shared.reserve(static_cast<std::size_t>(rounds));
+  for (core::Round r = 0; r < rounds; ++r) shared.emplace_back(n);
+
+  std::vector<std::vector<core::ProcessSet>> d_sets(
+      static_cast<std::size_t>(rounds),
+      std::vector<core::ProcessSet>(static_cast<std::size_t>(n),
+                                    core::ProcessSet::none(n)));
+
+  runtime::Simulation sim(n, [&](runtime::Context& ctx) {
+    const core::ProcId i = ctx.id();
+    P& proc = sync_procs[static_cast<std::size_t>(i)];
+    core::ProcessSet faulty(n);  // F_i: processes we propose to have crashed
+
+    for (core::Round r = 1; r <= rounds; ++r) {
+      RoundObjects& obj = shared[static_cast<std::size_t>(r - 1)];
+
+      // Async round 1: publish the simulated value; scan until at most k
+      // values are missing.
+      const int value = proc.emit(r);
+      RRFD_REQUIRE_MSG(value != kFaultyProposal,
+                       "simulated value collides with the faulty sentinel");
+      obj.snapshot.update(ctx, value);
+      shm::View<int> view;
+      core::ProcessSet missing(n);
+      for (;;) {
+        view = obj.snapshot.scan(ctx);
+        missing = core::ProcessSet::none(n);
+        for (core::ProcId j = 0; j < n; ++j) {
+          if (!view[static_cast<std::size_t>(j)]) missing.add(j);
+        }
+        if (missing.size() <= k) break;
+      }
+      faulty |= missing;
+
+      // Async rounds 2+3: n adopt-commit instances decide, per process j,
+      // whether this simulated round delivers j's value or bottom.
+      std::vector<std::optional<int>> inbox(static_cast<std::size_t>(n));
+      core::ProcessSet bottom(n);
+      for (core::ProcId j = 0; j < n; ++j) {
+        const auto js = static_cast<std::size_t>(j);
+        const int proposal =
+            faulty.contains(j) ? kFaultyProposal : *view[js];
+        const agreement::AdoptCommitResult res =
+            obj.per_process[js].run(ctx, proposal);
+
+        if (res.value != kFaultyProposal) {
+          inbox[js] = res.value;  // alive (committed or adopted)
+          continue;
+        }
+        faulty.add(j);
+        if (res.commit) {
+          bottom.add(j);  // j crashed as far as round r is concerned
+          continue;
+        }
+        // Adopt-faulty: deliver j's value anyway. Some alive proposal was
+        // necessarily written before any faulty adoption could form.
+        std::optional<int> recovered;
+        for (const auto& prop : obj.per_process[js].collect_proposals(ctx)) {
+          if (prop && *prop != kFaultyProposal) {
+            recovered = *prop;
+            break;
+          }
+        }
+        RRFD_ENSURE_MSG(recovered.has_value(),
+                        "adopt-faulty without a written alive proposal");
+        inbox[js] = *recovered;
+      }
+
+      d_sets[static_cast<std::size_t>(r - 1)][static_cast<std::size_t>(i)] =
+          bottom;
+      proc.absorb(r, inbox, bottom);
+    }
+  });
+
+  CrashFromAsyncResult<typename P::Decision> result(n);
+  runtime::SimOutcome outcome = sim.run(scheduler, max_steps);
+  result.crashed = outcome.crashed;
+  result.async_rounds_used = 3 * rounds;
+  for (const auto& round : d_sets) result.simulated.append(round);
+  for (core::ProcId i = 0; i < n; ++i) {
+    const P& proc = sync_procs[static_cast<std::size_t>(i)];
+    if (!result.crashed.contains(i) && proc.decided()) {
+      result.decisions[static_cast<std::size_t>(i)] = proc.decision();
+    }
+  }
+  return result;
+}
+
+}  // namespace rrfd::xform

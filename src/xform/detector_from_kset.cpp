@@ -1,0 +1,83 @@
+#include "xform/detector_from_kset.h"
+
+#include <set>
+
+#include "util/check.h"
+
+namespace rrfd::xform {
+
+DetectorFromKSetResult run_detector_from_kset(int n, int k,
+                                              core::Round rounds,
+                                              runtime::Scheduler& scheduler,
+                                              std::uint64_t seed,
+                                              int max_steps) {
+  RRFD_REQUIRE(0 < n && n <= core::kMaxProcesses);
+  RRFD_REQUIRE(1 <= k && k <= n);
+  RRFD_REQUIRE(rounds >= 1);
+
+  // Per-round shared state.
+  struct RoundObjects {
+    shm::SwmrArray<int> emissions;  // the round's emitted values
+    shm::SwmrArray<int> outputs;    // k-set outputs (identifiers)
+    shm::KSetObject kset;
+
+    RoundObjects(int n_, int k_, std::uint64_t s)
+        : emissions(n_), outputs(n_), kset(k_, s) {}
+  };
+  std::vector<RoundObjects> shared;
+  shared.reserve(static_cast<std::size_t>(rounds));
+  for (core::Round r = 1; r <= rounds; ++r) {
+    shared.emplace_back(n, k, seed ^ (0x9e37u + static_cast<unsigned>(r)));
+  }
+
+  // D sets land here, one slot per (round, process); written only by the
+  // owning simulated process (steps are serialized, so no data races).
+  std::vector<std::vector<core::ProcessSet>> d_sets(
+      static_cast<std::size_t>(rounds),
+      std::vector<core::ProcessSet>(static_cast<std::size_t>(n),
+                                    core::ProcessSet::none(n)));
+  DetectorFromKSetResult result(n, rounds);
+
+  runtime::Simulation sim(n, [&](runtime::Context& ctx) {
+    const core::ProcId i = ctx.id();
+    for (core::Round r = 1; r <= rounds; ++r) {
+      RoundObjects& obj = shared[static_cast<std::size_t>(r - 1)];
+
+      // Emit: append the round's value to our cell.
+      obj.emissions.write(ctx, i * 1000 + r);
+
+      // Run k-set consensus on identifiers; publish and collect outputs.
+      const int chosen = obj.kset.propose(ctx, i);
+      obj.outputs.write(ctx, chosen);
+      std::set<int> q;
+      for (const auto& cell : obj.outputs.collect(ctx)) {
+        if (cell) q.insert(*cell);
+      }
+      RRFD_ENSURE(!q.empty());  // contains at least our own output
+
+      core::ProcessSet heard(n);
+      for (int id : q) {
+        RRFD_ENSURE(0 <= id && id < n);
+        heard.add(id);
+      }
+      d_sets[static_cast<std::size_t>(r - 1)][static_cast<std::size_t>(i)] =
+          heard.complement();
+
+      // The theorem's claim: everyone in Q has already emitted this round.
+      const auto emitted = obj.emissions.collect(ctx);
+      for (int id : q) {
+        if (!emitted[static_cast<std::size_t>(id)]) {
+          result.emission_visible[static_cast<std::size_t>(r - 1)]
+                                 [static_cast<std::size_t>(i)] = false;
+        }
+      }
+    }
+  });
+
+  runtime::SimOutcome outcome = sim.run(scheduler, max_steps);
+  result.crashed = outcome.crashed;
+  for (const auto& round : d_sets) result.pattern.append(round);
+  return result;
+}
+
+}  // namespace rrfd::xform

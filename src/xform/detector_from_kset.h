@@ -1,0 +1,50 @@
+// Theorem 3.3: a system with a k-set-consensus object and SWMR shared
+// memory supports the k-uncertainty detector of Theorem 3.1.
+//
+// Per round r:
+//   * each process appends its round-r value to its cell (the emission);
+//   * all run one k-set consensus with their own identifiers as input;
+//   * each process writes its k-set output j to an output cell, collects
+//     the output cells, and takes Q = the set of identifiers it read;
+//   * D(i,r) := S \ Q.
+// Any two Q's differ only in chosen identifiers (at most k of them), and
+// all contain the identifier whose output cell was written first -- so
+// |union D \ intersection D| <= k - 1 < k.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/fault_pattern.h"
+#include "runtime/sim.h"
+#include "shm/kset_object.h"
+#include "shm/registers.h"
+
+namespace rrfd::xform {
+
+/// Result of running the construction.
+struct DetectorFromKSetResult {
+  core::FaultPattern pattern;            ///< the D(i,r) family produced
+  core::ProcessSet crashed;              ///< processes crashed mid-run
+  std::vector<std::vector<bool>> emission_visible;
+  ///< emission_visible[r-1][i]: every member of process i's round-r Q had
+  ///< already emitted when i computed D(i,r) (the theorem's "it can read
+  ///< emitted values for Q at round r").
+
+  DetectorFromKSetResult(int n, core::Round rounds)
+      : pattern(n),
+        crashed(n),
+        emission_visible(static_cast<std::size_t>(rounds),
+                         std::vector<bool>(static_cast<std::size_t>(n), true)) {}
+};
+
+/// Runs `rounds` rounds of the Theorem 3.3 construction for n processes
+/// under the given scheduler. `seed` feeds the k-set objects' adversarial
+/// choices.
+DetectorFromKSetResult run_detector_from_kset(int n, int k,
+                                              core::Round rounds,
+                                              runtime::Scheduler& scheduler,
+                                              std::uint64_t seed,
+                                              int max_steps = 1 << 20);
+
+}  // namespace rrfd::xform

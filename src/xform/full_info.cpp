@@ -1,0 +1,70 @@
+#include "xform/full_info.h"
+
+namespace rrfd::xform {
+
+bool history_equal(const HistoryPtr& a, const HistoryPtr& b) {
+  if (a == b) return true;  // shared structure fast path
+  if (!a || !b) return false;
+  if (a->proc != b->proc || a->input != b->input ||
+      a->rounds.size() != b->rounds.size()) {
+    return false;
+  }
+  for (std::size_t q = 0; q < a->rounds.size(); ++q) {
+    const auto& ra = a->rounds[q];
+    const auto& rb = b->rounds[q];
+    if (ra.size() != rb.size()) return false;
+    auto ita = ra.begin();
+    auto itb = rb.begin();
+    for (; ita != ra.end(); ++ita, ++itb) {
+      if (ita->first != itb->first) return false;
+      if (!history_equal(ita->second, itb->second)) return false;
+    }
+  }
+  return true;
+}
+
+HistoryPtr recover_emission(const HistoryPtr& h, core::Round r) {
+  RRFD_REQUIRE(h != nullptr);
+  RRFD_REQUIRE(1 <= r);
+  RRFD_REQUIRE(static_cast<std::size_t>(r - 1) <= h->rounds.size());
+  if (static_cast<std::size_t>(r - 1) == h->rounds.size()) return h;
+  auto copy = std::make_shared<History>();
+  copy->proc = h->proc;
+  copy->input = h->input;
+  copy->rounds.assign(h->rounds.begin(),
+                      h->rounds.begin() + (r - 1));
+  return copy;
+}
+
+FullInfoProcess::FullInfoProcess(core::ProcId id, int input)
+    : id_(id), input_(input) {
+  accumulating_.proc = id;
+  accumulating_.input = input;
+}
+
+HistoryPtr FullInfoProcess::history() const {
+  return std::make_shared<History>(accumulating_);
+}
+
+HistoryPtr FullInfoProcess::emit(core::Round r) {
+  RRFD_REQUIRE(static_cast<std::size_t>(r - 1) == accumulating_.rounds.size());
+  HistoryPtr h = history();
+  emissions_.push_back(h);
+  return h;
+}
+
+void FullInfoProcess::absorb(core::Round r,
+                             const std::vector<std::optional<HistoryPtr>>& inbox,
+                             const core::ProcessSet& d) {
+  RRFD_REQUIRE(static_cast<std::size_t>(r - 1) == accumulating_.rounds.size());
+  std::map<core::ProcId, HistoryPtr> received;
+  for (std::size_t j = 0; j < inbox.size(); ++j) {
+    if (inbox[j]) {
+      RRFD_REQUIRE(!d.contains(static_cast<core::ProcId>(j)));
+      received.emplace(static_cast<core::ProcId>(j), *inbox[j]);
+    }
+  }
+  accumulating_.rounds.push_back(std::move(received));
+}
+
+}  // namespace rrfd::xform

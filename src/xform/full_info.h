@@ -1,0 +1,77 @@
+// Item 3, reverse direction: the round-based RRFD system implements the
+// plain asynchronous system via full information.
+//
+// "Run A in full information mode. When process p_i receives a round-r
+// message at round r from p_j it can recreate all the simulated messages
+// it missed from p_j since the last round it received a message from p_j.
+// It can thus simulate their FIFO reception at that moment."
+//
+// FullInfoProcess emits its complete history each round; histories are
+// immutable DAG nodes shared by pointer. recover_emission() truncates a
+// received history to reconstruct what its owner emitted in any earlier
+// round -- exactly the recreation step of the simulation. The tests
+// verify reconstructed emissions are structurally identical to the ones
+// the engine actually transported.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/process_set.h"
+#include "core/types.h"
+#include "util/check.h"
+
+namespace rrfd::xform {
+
+/// Immutable full-information history of one process up to some round.
+/// rounds.size() == r-1 means "as emitted at round r" (inputs only at
+/// round 1).
+struct History {
+  core::ProcId proc = -1;
+  int input = 0;
+  /// rounds[q-1]: messages received in round q, sender -> their history
+  /// as emitted at round q. Absent sender = missed (in D).
+  std::vector<std::map<core::ProcId, std::shared_ptr<const History>>> rounds;
+};
+
+using HistoryPtr = std::shared_ptr<const History>;
+
+/// Structural equality (histories are DAGs; compares recursively).
+bool history_equal(const HistoryPtr& a, const HistoryPtr& b);
+
+/// Reconstructs what `h`'s owner emitted at round `r` (1-based), i.e. the
+/// prefix of `h` with r-1 recorded rounds. Requires r-1 <= h->rounds.size().
+HistoryPtr recover_emission(const HistoryPtr& h, core::Round r);
+
+/// The full-information protocol as an engine RoundProcess.
+class FullInfoProcess {
+ public:
+  using Message = HistoryPtr;
+  using Decision = int;  // trivially the input; full-info never "decides"
+
+  FullInfoProcess(core::ProcId id, int input);
+
+  HistoryPtr emit(core::Round r);
+
+  void absorb(core::Round r, const std::vector<std::optional<HistoryPtr>>& inbox,
+              const core::ProcessSet& d);
+
+  bool decided() const { return false; }
+  int decision() const { return input_; }
+
+  /// The history as currently accumulated (emission for the next round).
+  HistoryPtr history() const;
+
+  /// All emissions made so far, by round (ground truth for recovery tests).
+  const std::vector<HistoryPtr>& emissions() const { return emissions_; }
+
+ private:
+  core::ProcId id_;
+  int input_;
+  History accumulating_;
+  std::vector<HistoryPtr> emissions_;
+};
+
+}  // namespace rrfd::xform

@@ -1,0 +1,67 @@
+#include "xform/pattern_checks.h"
+
+#include "util/check.h"
+
+namespace rrfd::xform {
+namespace {
+
+core::ProcessSet union_among(const core::FaultPattern& pattern, core::Round r,
+                             const core::ProcessSet& alive) {
+  core::ProcessSet u(pattern.n());
+  for (core::ProcId i : alive.members()) u |= pattern.d(i, r);
+  return u;
+}
+
+core::ProcessSet intersection_among(const core::FaultPattern& pattern,
+                                    core::Round r,
+                                    const core::ProcessSet& alive) {
+  core::ProcessSet x = core::ProcessSet::all(pattern.n());
+  for (core::ProcId i : alive.members()) x &= pattern.d(i, r);
+  return x;
+}
+
+}  // namespace
+
+bool crash_pattern_holds_among(const core::FaultPattern& pattern,
+                               const core::ProcessSet& alive, int budget) {
+  RRFD_REQUIRE(pattern.n() == alive.n());
+  RRFD_REQUIRE(!alive.empty());
+  core::ProcessSet announced(pattern.n());
+  for (core::Round r = 1; r <= pattern.rounds(); ++r) {
+    for (core::ProcId i : alive.members()) {
+      // Monotonicity: everything announced earlier must be in every row.
+      if (!announced.subset_of(pattern.d(i, r))) return false;
+      // Self-suspicion is only legitimate for a process that is genuinely
+      // crashed in the simulated system: announced in an earlier round,
+      // or announced by some *other* observer in this very round (the
+      // Corollary 4.4 "I crashed" outcome, where a process commits its own
+      // faultiness together with everybody else).
+      if (pattern.d(i, r).contains(i) && !announced.contains(i)) {
+        bool corroborated = false;
+        for (core::ProcId j : alive.members()) {
+          corroborated =
+              corroborated || (j != i && pattern.d(j, r).contains(i));
+        }
+        if (!corroborated) return false;
+      }
+    }
+    announced |= union_among(pattern, r, alive);
+    if (announced.size() > budget) return false;
+  }
+  return true;
+}
+
+bool k_uncertainty_holds_among(const core::FaultPattern& pattern,
+                               const core::ProcessSet& alive, int k) {
+  RRFD_REQUIRE(pattern.n() == alive.n());
+  RRFD_REQUIRE(!alive.empty());
+  RRFD_REQUIRE(k >= 1);
+  for (core::Round r = 1; r <= pattern.rounds(); ++r) {
+    const core::ProcessSet disagreement =
+        union_among(pattern, r, alive) - intersection_among(pattern, r, alive);
+    if (disagreement.size() >= k) return false;
+  }
+  return true;
+}
+
+}  // namespace rrfd::xform

@@ -1,0 +1,26 @@
+// Predicate checks restricted to a subset of observers.
+//
+// Simulations executed on the crash-prone runtime produce fault patterns
+// whose rows for crashed *executors* are vacuous (a crashed executor
+// reports nothing). The model guarantees only bind the processes that are
+// actually running, so the Theorem 4.3 / Theorem 3.3 validations check
+// the predicates over the alive rows.
+#pragma once
+
+#include "core/fault_pattern.h"
+
+namespace rrfd::xform {
+
+/// Synchronous-crash validity over `alive` rows: no self-suspicion before
+/// announcement, cumulative announcements bounded by `budget`, and crash
+/// monotonicity (everything announced in round r appears in every alive
+/// row of round r+1).
+bool crash_pattern_holds_among(const core::FaultPattern& pattern,
+                               const core::ProcessSet& alive, int budget);
+
+/// Theorem 3.1 detector validity over `alive` rows:
+/// |U D \ ^ D| < k per round, computed over alive observers only.
+bool k_uncertainty_holds_among(const core::FaultPattern& pattern,
+                               const core::ProcessSet& alive, int k);
+
+}  // namespace rrfd::xform

@@ -1,0 +1,86 @@
+#include "xform/round_combiner.h"
+
+#include "core/predicates.h"
+#include "util/check.h"
+
+namespace rrfd::xform {
+namespace {
+
+/// Relayed knowledge: what i has "heard of" after a relay round, where the
+/// round-2 senders report their round-1 views. First-hand round-1 hearing
+/// counts as well (a process knows what it heard itself).
+ProcessSet heard_of(ProcId i, const core::RoundFaults& round1,
+                    const core::RoundFaults& round2, bool first_hand) {
+  const int n = static_cast<int>(round1.size());
+  const ProcessSet heard2 =
+      round2[static_cast<std::size_t>(i)].complement();
+  ProcessSet known(n);
+  if (first_hand) {
+    known |= round1[static_cast<std::size_t>(i)].complement();
+  }
+  for (ProcId j : heard2.members()) {
+    known |= round1[static_cast<std::size_t>(j)].complement();
+  }
+  return known;
+}
+
+core::RoundFaults combine(const core::RoundFaults& round1,
+                          const core::RoundFaults& round2, bool first_hand) {
+  RRFD_REQUIRE(!round1.empty() && round1.size() == round2.size());
+  const int n = static_cast<int>(round1.size());
+  core::RoundFaults derived;
+  derived.reserve(round1.size());
+  for (ProcId i = 0; i < n; ++i) {
+    derived.push_back(heard_of(i, round1, round2, first_hand).complement());
+  }
+  return derived;
+}
+
+}  // namespace
+
+core::RoundFaults swmr_round_from_async(const core::RoundFaults& round1,
+                                        const core::RoundFaults& round2) {
+  return combine(round1, round2, /*first_hand=*/true);
+}
+
+FaultPattern swmr_from_async(const FaultPattern& async_pattern) {
+  RRFD_REQUIRE_MSG(async_pattern.rounds() % 2 == 0,
+                   "need an even number of constituent rounds");
+  FaultPattern out(async_pattern.n());
+  for (Round r = 1; r + 1 <= async_pattern.rounds(); r += 2) {
+    out.append(swmr_round_from_async(async_pattern.round(r),
+                                     async_pattern.round(r + 1)));
+  }
+  return out;
+}
+
+core::RoundFaults async_round_from_quorum_skew(const core::RoundFaults& round1,
+                                               const core::RoundFaults& round2) {
+  // Identical relay construction; only the *guarantee* differs (and is
+  // checked by the tests against the respective predicates). First-hand
+  // hearing is included here too -- it only shrinks D'.
+  return combine(round1, round2, /*first_hand=*/true);
+}
+
+FaultPattern async_from_quorum_skew(const FaultPattern& b_pattern) {
+  RRFD_REQUIRE_MSG(b_pattern.rounds() % 2 == 0,
+                   "need an even number of constituent rounds");
+  FaultPattern out(b_pattern.n());
+  for (Round r = 1; r + 1 <= b_pattern.rounds(); r += 2) {
+    out.append(async_round_from_quorum_skew(b_pattern.round(r),
+                                            b_pattern.round(r + 1)));
+  }
+  return out;
+}
+
+FaultPattern omission_from_snapshot(const FaultPattern& snapshot_pattern,
+                                    int k, int f) {
+  RRFD_REQUIRE(1 <= k && k <= f);
+  RRFD_REQUIRE_MSG(snapshot_pattern.rounds() <= f / k,
+                   "Theorem 4.1 covers only the first floor(f/k) rounds");
+  RRFD_REQUIRE_MSG(core::atomic_snapshot(k)->holds(snapshot_pattern),
+                   "input is not an atomic-snapshot(k) pattern");
+  return snapshot_pattern;
+}
+
+}  // namespace rrfd::xform

@@ -1,0 +1,64 @@
+// Pattern-level model simulations: combining rounds of one RRFD system to
+// implement a round of another (Section 2 items 3-4, Section 4.1).
+//
+// "An RRFD system A implements B if by combining some rounds of A to
+// simulate a round of B we can simulate the messages emitted at the round
+// and implement a predicate that implies B's RRFD predicate."
+//
+// These functions operate on fault patterns directly: they compute the
+// derived round's D' sets from the constituent rounds' D sets, exactly as
+// the full-information relaying in the paper's constructions would. The
+// algorithmic side (actual message contents) is exercised separately by
+// the msgpass and engine tests; at the pattern level, what matters is
+// that the derived pattern satisfies the target predicate -- which the
+// property tests check against the declarative predicate zoo.
+#pragma once
+
+#include "core/fault_pattern.h"
+
+namespace rrfd::xform {
+
+using core::FaultPattern;
+using core::ProcessSet;
+using core::ProcId;
+using core::Round;
+
+/// Item 4: two rounds of the asynchronous system (predicate 3, with
+/// 2f < n) implement one SWMR round (predicates 3 and 4).
+///
+/// Round 1: everyone emits its value; round 2: everyone emits the set of
+/// processes it heard in round 1. The derived announcement set is
+///   D'(i) = S \ heard-of(i),
+/// where heard-of(i) is everything i heard first-hand in round 1 plus
+/// everything reported by the round-2 senders it heard. Because everyone
+/// hears a majority in round 1, some process is heard by a majority, and
+/// any two majorities intersect -- so that process is known to all:
+/// predicate 4 holds.
+core::RoundFaults swmr_round_from_async(const core::RoundFaults& round1,
+                                        const core::RoundFaults& round2);
+
+/// Combines a 2R-round async pattern into an R-round SWMR pattern.
+FaultPattern swmr_from_async(const FaultPattern& async_pattern);
+
+/// Item 3: two rounds of system B (quorum-skew(t, f), f < t, 2t < n)
+/// implement one round of system A (per-round bound f). Relaying: i "hears
+/// of" j's emission if some round-2 sender it heard had heard j in round 1.
+/// Any process hears at least n - t round-2 senders, hence at least one
+/// outside Q, whose round-1 view misses at most f -- so |D'(i)| <= f.
+core::RoundFaults async_round_from_quorum_skew(const core::RoundFaults& round1,
+                                               const core::RoundFaults& round2);
+
+/// Combines a 2R-round B pattern into an R-round A pattern.
+FaultPattern async_from_quorum_skew(const FaultPattern& b_pattern);
+
+/// Theorem 4.1: an atomic-snapshot pattern with per-round bound k, taken
+/// over floor(f/k) rounds, *is* a send-omission(f) pattern -- the
+/// simulation is the identity on announcements. This helper asserts the
+/// structural preconditions (no self-suspicion, containment, per-round
+/// bound k, at most floor(f/k) rounds) and returns the pattern unchanged;
+/// the predicate implication is what Theorem 4.1 proves and what the
+/// tests verify declaratively.
+FaultPattern omission_from_snapshot(const FaultPattern& snapshot_pattern,
+                                    int k, int f);
+
+}  // namespace rrfd::xform

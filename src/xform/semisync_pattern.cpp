@@ -1,0 +1,79 @@
+#include "xform/semisync_pattern.h"
+
+#include <memory>
+
+#include "semisync/round_exchange.h"
+#include "util/check.h"
+
+namespace rrfd::xform {
+namespace {
+
+/// Step process that just runs the 2-step round structure `rounds` times,
+/// recording every completed round's fault set.
+class ExchangeRunner final : public semisync::StepProcess {
+ public:
+  ExchangeRunner(int n, core::ProcId self, core::Round rounds)
+      : exchange_(n, self), rounds_(rounds) {}
+
+  std::optional<semisync::Broadcast> step(
+      const std::vector<semisync::Envelope>& received) override {
+    std::optional<semisync::Broadcast> out;
+    auto view = exchange_.on_step(received, /*payload=*/exchange_.self(), out);
+    if (view) {
+      fault_sets.push_back(view->fault_set);
+      if (view->round >= rounds_) done_ = true;
+    }
+    return out;
+  }
+
+  bool decided() const override { return done_; }
+  int decision() const override { return 0; }
+
+  std::vector<core::ProcessSet> fault_sets;
+
+ private:
+  semisync::RoundExchange exchange_;
+  core::Round rounds_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+SemisyncPatternResult semisync_pattern(int n, core::Round rounds,
+                                       const semisync::StepSimOptions& options) {
+  RRFD_REQUIRE(0 < n && n <= core::kMaxProcesses);
+  RRFD_REQUIRE(rounds >= 1);
+
+  std::vector<std::unique_ptr<ExchangeRunner>> runners;
+  std::vector<semisync::StepProcess*> raw;
+  for (core::ProcId i = 0; i < n; ++i) {
+    runners.push_back(std::make_unique<ExchangeRunner>(n, i, rounds));
+    raw.push_back(runners.back().get());
+  }
+
+  semisync::StepSim sim(raw, options);
+  semisync::StepSimResult run = sim.run();
+
+  SemisyncPatternResult result(n);
+  result.steps_taken = run.steps_taken;
+  result.completed = run.all_alive_decided && run.crashed.empty();
+  for (const auto& runner : runners) {
+    for (const core::ProcessSet& d : runner->fault_sets) {
+      result.had_full_fault_set = result.had_full_fault_set || d.full();
+    }
+  }
+  if (result.completed && !result.had_full_fault_set) {
+    for (core::Round r = 1; r <= rounds; ++r) {
+      core::RoundFaults round;
+      for (core::ProcId i = 0; i < n; ++i) {
+        round.push_back(
+            runners[static_cast<std::size_t>(i)]
+                ->fault_sets[static_cast<std::size_t>(r - 1)]);
+      }
+      result.pattern.append(round);
+    }
+  }
+  return result;
+}
+
+}  // namespace rrfd::xform

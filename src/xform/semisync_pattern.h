@@ -1,0 +1,32 @@
+// Extracting an RRFD fault pattern from the semi-synchronous substrate
+// (Section 5's implementation of the equal-announcement detector).
+//
+// Runs plain RoundExchange processes for a number of rounds under the
+// step simulator and assembles, per round, D(i,r) as each process
+// reported it. Theorem 5.1 is the statement that with phi = 1 the result
+// satisfies equation (5) -- EqualAnnouncements -- which the tests and
+// bench_semisync check; with phi >= 2 adversarial schedules violate it.
+#pragma once
+
+#include "core/fault_pattern.h"
+#include "semisync/network.h"
+
+namespace rrfd::xform {
+
+struct SemisyncPatternResult {
+  core::FaultPattern pattern;
+  std::vector<int> steps_taken;
+  bool completed = false;  ///< all processes finished all rounds
+  /// Some process heard nobody in some round (possible when phi >= 2; a
+  /// D(i,r) = S outcome, which is outside the RRFD structural envelope and
+  /// counts as an equation-(5) violation). The pattern is not built then.
+  bool had_full_fault_set = false;
+
+  explicit SemisyncPatternResult(int n) : pattern(n) {}
+};
+
+/// Runs `rounds` rounds of the 2-step exchange for n processes.
+SemisyncPatternResult semisync_pattern(int n, core::Round rounds,
+                                       const semisync::StepSimOptions& options);
+
+}  // namespace rrfd::xform

@@ -1,0 +1,163 @@
+// Ablations: remove one load-bearing piece of each construction and watch
+// the guarantee collapse. These tests document *why* the paper's designs
+// are shaped the way they are.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "agreement/adopt_commit.h"
+#include "agreement/one_round_kset.h"
+#include "agreement/tasks.h"
+#include "core/adversaries.h"
+#include "core/engine.h"
+#include "core/predicates.h"
+#include "runtime/explorer.h"
+#include "runtime/schedulers.h"
+#include "shm/registers.h"
+
+namespace rrfd::agreement {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Ablation 1: adopt-commit without the second register round.
+// ---------------------------------------------------------------------------
+
+/// One-round "adopt-commit": write, collect, commit on unanimity. The
+/// write-then-collect order already makes commits unique, but without the
+/// second round a commit does NOT force others to adopt its value -- the
+/// convergence property (2) that Theorem 4.3 depends on.
+struct OneRoundAdoptCommit {
+  explicit OneRoundAdoptCommit(int n) : cells(n) {}
+
+  AdoptCommitResult run(runtime::Context& ctx, int proposal) {
+    cells.write(ctx, proposal);
+    std::set<int> seen;
+    for (const auto& c : cells.collect(ctx)) {
+      if (c) seen.insert(*c);
+    }
+    if (seen.size() == 1) return {true, *seen.begin()};
+    return {false, proposal};
+  }
+
+  shm::SwmrArray<int> cells;
+};
+
+TEST(Ablation, AdoptCommitNeedsItsSecondRound) {
+  // Property (2): "if any process commits to v then all processes commit
+  // or adopt v". Exhaustively explore the one-round variant with distinct
+  // proposals: some schedule must show a commit that fails to drag the
+  // other process along -- the failure the second round exists to prevent.
+  auto divergence_reachable = [](auto make_protocol) {
+    runtime::ScheduleExplorer explorer;
+    bool diverged = false;
+    explorer.explore([&](runtime::Scheduler& sched) {
+      auto ac = make_protocol();
+      std::vector<std::optional<AdoptCommitResult>> results(2);
+      runtime::Simulation sim(2, [&](runtime::Context& ctx) {
+        results[static_cast<std::size_t>(ctx.id())] = ac->run(ctx, ctx.id());
+      });
+      sim.run(sched);
+      if (results[0] && results[1]) {
+        for (int c = 0; c < 2; ++c) {
+          const auto& committer = *results[static_cast<std::size_t>(c)];
+          const auto& other = *results[static_cast<std::size_t>(1 - c)];
+          if (committer.commit && other.value != committer.value) {
+            diverged = true;
+          }
+        }
+      }
+    });
+    return diverged;
+  };
+
+  EXPECT_TRUE(divergence_reachable(
+      [] { return std::make_unique<OneRoundAdoptCommit>(2); }))
+      << "one-round adopt-commit unexpectedly satisfies property (2)";
+  // Control arm: the real two-round protocol never diverges.
+  EXPECT_FALSE(divergence_reachable(
+      [] { return std::make_unique<AdoptCommit>(2); }));
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 2: Theorem 3.1 without the lowest-identifier rule.
+// ---------------------------------------------------------------------------
+
+/// Decides on the HIGHEST-identifier heard process instead of the lowest.
+struct HighestRuleKSet {
+  using Message = int;
+  using Decision = int;
+
+  explicit HighestRuleKSet(int input) : input_(input) {}
+  int emit(core::Round) const { return input_; }
+  void absorb(core::Round r, const std::vector<std::optional<int>>& inbox,
+              const core::ProcessSet& d) {
+    if (r != 1) return;
+    decision_ = *inbox[static_cast<std::size_t>(d.complement().max())];
+  }
+  bool decided() const { return decision_.has_value(); }
+  int decision() const { return *decision_; }
+
+  int input_;
+  std::optional<int> decision_;
+};
+
+TEST(Ablation, TheoremThreeOneNeedsTheLowestIdRule) {
+  // With the lowest-id rule, all chosen processes but the largest lie in
+  // union-minus-intersection, bounding disagreement by k. The highest-id
+  // rule has no such structure: a hand-built 2-uncertainty pattern forces
+  // 3 distinct decisions.
+  const int n = 4;
+  core::FaultPattern p(n);
+  // Uncertainty set {2,3} (|.| = 2 < k+1, so this is a 3-uncertainty
+  // pattern; we compare both algorithms at k = 3).
+  p.append({core::ProcessSet(n, {2, 3}), core::ProcessSet(n, {3}),
+            core::ProcessSet(n), core::ProcessSet(n)});
+  ASSERT_TRUE(core::KUncertainty(3).holds(p));
+
+  std::vector<int> inputs{1, 2, 3, 4};
+  {
+    std::vector<HighestRuleKSet> ps;
+    for (int v : inputs) ps.emplace_back(v);
+    core::ScriptedAdversary adv(p);
+    auto result = core::run_rounds(ps, adv);
+    // Highest-heard: p0 decides input(1)=2, p1 decides input(2)=3,
+    // p2/p3 decide input(3)=4: 3 distinct values.
+    EXPECT_EQ(distinct_decision_count(result.decisions,
+                                      core::ProcessSet::all(n)),
+              3);
+  }
+  {
+    std::vector<OneRoundKSet> ps;
+    for (int v : inputs) ps.emplace_back(v);
+    core::ScriptedAdversary adv(p);
+    auto result = core::run_rounds(ps, adv);
+    // Lowest-heard: everyone hears p0, everyone decides 1.
+    EXPECT_EQ(distinct_decision_count(result.decisions,
+                                      core::ProcessSet::all(n)),
+              1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 3: the semi-synchronous silence rule (Section 5).
+// ---------------------------------------------------------------------------
+
+TEST(Ablation, SectionFiveNeedsTheSilenceRule) {
+  // If every process broadcasts regardless of what it received (no
+  // "receive before send => stay silent"), multiple broadcasters appear
+  // in a round and the heard sets need not be singletons -- the one-round
+  // equal-announcement structure comes precisely from the read-modify-
+  // write silencing. We verify at the pattern level: announcements built
+  // from "everyone broadcasts, random subsets delivered per process"
+  // violate equation (5) easily.
+  core::AsyncAdversary adv(4, 2, /*seed=*/12);
+  bool violated = false;
+  for (int trial = 0; trial < 50 && !violated; ++trial) {
+    core::FaultPattern p = core::record_pattern(adv, 1);
+    violated = !core::EqualAnnouncements().holds(p);
+  }
+  EXPECT_TRUE(violated);
+}
+
+}  // namespace
+}  // namespace rrfd::agreement

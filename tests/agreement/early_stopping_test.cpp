@@ -1,0 +1,148 @@
+// Early-deciding consensus driven by the RRFD announcement sets.
+#include "agreement/early_stopping.h"
+
+#include <gtest/gtest.h>
+
+#include "agreement/tasks.h"
+#include "core/adversaries.h"
+#include "core/engine.h"
+
+namespace rrfd::agreement {
+namespace {
+
+using core::ProcessSet;
+using core::run_rounds;
+
+std::vector<EarlyStoppingConsensus> make_processes(
+    int n, const std::vector<int>& inputs) {
+  std::vector<EarlyStoppingConsensus> ps;
+  for (int v : inputs) ps.emplace_back(n, v);
+  return ps;
+}
+
+TEST(EarlyStopping, FailureFreeRunDecidesAtRoundTwo) {
+  const int n = 5;
+  std::vector<int> inputs{5, 3, 8, 1, 9};
+  auto ps = make_processes(n, inputs);
+  core::BenignAdversary adv(n);
+  auto result = run_rounds(ps, adv);
+  EXPECT_EQ(result.rounds, 2);
+  for (const auto& p : ps) {
+    EXPECT_EQ(p.decision(), 1);
+    EXPECT_EQ(p.decision_round(), 2);
+  }
+}
+
+class EarlyStoppingSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(EarlyStoppingSweep, ConsensusUnderRandomCrashPatterns) {
+  auto [n, f, seed] = GetParam();
+  std::vector<int> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back((i * 5 + 3) % (2 * n));
+
+  for (int trial = 0; trial < 40; ++trial) {
+    auto ps = make_processes(n, inputs);
+    core::CrashAdversary adv(n, f,
+                             seed + static_cast<std::uint64_t>(trial) * 31,
+                             /*crash_prob=*/0.35);
+    core::EngineOptions opts;
+    opts.max_rounds = f + 4;  // f' + 3 <= f + 3 always suffices
+    auto result = run_rounds(ps, adv, opts);
+
+    const ProcessSet alive = adv.announced().complement();
+    TaskCheck check = check_consensus(inputs, result.decisions, alive);
+    EXPECT_TRUE(check.ok) << check.failure << "\n"
+                          << result.pattern.to_string();
+    // Adaptivity bound: every alive process decided by f' + 3 where f' is
+    // the number of actual faults (heard sets need one round to equalize
+    // after the last crash, plus one verification round).
+    const int actual_faults = adv.announced().size();
+    for (core::ProcId i : alive.members()) {
+      EXPECT_LE(ps[static_cast<std::size_t>(i)].decision_round(),
+                actual_faults + 3)
+          << result.pattern.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EarlyStoppingSweep,
+    ::testing::Combine(::testing::Values(4, 6, 10, 16),
+                       ::testing::Values(1, 2, 3),
+                       ::testing::Values(2u, 1234u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, std::uint64_t>>& pinfo) {
+      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_f" +
+             std::to_string(std::get<1>(pinfo.param)) + "_s" +
+             std::to_string(std::get<2>(pinfo.param));
+    });
+
+TEST(EarlyStopping, SurvivesTheChainExecution) {
+  // The chain adversary is exactly the execution that kills naive early
+  // stopping: secret values hop through crashers. The reporter check must
+  // block premature decisions, and agreement must hold once the chain is
+  // exhausted.
+  for (int f = 1; f <= 4; ++f) {
+    const int k = 1;
+    const int n = f + k + 2;
+    core::ChainAdversary adv(n, f, k);
+    const std::vector<int> inputs = adv.violating_inputs();
+    auto ps = make_processes(n, inputs);
+    core::EngineOptions opts;
+    opts.max_rounds = f + 4;
+    auto result = run_rounds(ps, adv, opts);
+
+    ProcessSet survivors = ProcessSet::all(n);
+    for (core::Round j = 1; j <= adv.rounds(); ++j) {
+      survivors.remove(adv.crasher(0, j));
+    }
+    TaskCheck check = check_consensus(inputs, result.decisions, survivors);
+    EXPECT_TRUE(check.ok) << "f=" << f << ": " << check.failure << "\n"
+                          << result.pattern.to_string();
+    // Nobody may decide while the chain is still feeding secrets: the
+    // terminal receives value 0 in round f, so any decision before round
+    // f+1 would have missed it.
+    for (core::ProcId i : survivors.members()) {
+      EXPECT_EQ(*result.decisions[static_cast<std::size_t>(i)], 0);
+    }
+  }
+}
+
+TEST(EarlyStopping, AdaptivityBeatsFloodMinWhenFaultsAreFew) {
+  // f = 5 budget but zero actual faults: early stopping takes 2 rounds
+  // where flood-min would take f + 1 = 6.
+  const int n = 8;
+  std::vector<int> inputs{4, 7, 2, 9, 5, 6, 8, 3};
+  auto ps = make_processes(n, inputs);
+  core::BenignAdversary adv(n);
+  auto result = run_rounds(ps, adv);
+  EXPECT_EQ(result.rounds, 2);
+  EXPECT_TRUE(result.all_decided);
+}
+
+TEST(EarlyStopping, DoesNotDecideAtRoundOne) {
+  const int n = 3;
+  std::vector<int> inputs{1, 2, 3};
+  auto ps = make_processes(n, inputs);
+  core::BenignAdversary adv(n);
+  core::EngineOptions opts;
+  opts.max_rounds = 1;
+  opts.stop_when_all_decided = false;
+  auto result = run_rounds(ps, adv, opts);
+  for (const auto& d : result.decisions) EXPECT_FALSE(d.has_value());
+}
+
+TEST(EarlyStopping, CurrentMinTracksFlooding) {
+  const int n = 3;
+  std::vector<int> inputs{5, 1, 9};
+  auto ps = make_processes(n, inputs);
+  core::BenignAdversary adv(n);
+  core::EngineOptions opts;
+  opts.max_rounds = 1;
+  opts.stop_when_all_decided = false;
+  run_rounds(ps, adv, opts);
+  for (const auto& p : ps) EXPECT_EQ(p.current_min(), 1);
+}
+
+}  // namespace
+}  // namespace rrfd::agreement

@@ -1,0 +1,131 @@
+// Theorem 3.1: one-round k-set agreement under the k-uncertainty RRFD.
+#include "agreement/one_round_kset.h"
+
+#include <gtest/gtest.h>
+
+#include "agreement/tasks.h"
+#include "core/adversaries.h"
+#include "core/engine.h"
+#include "core/predicates.h"
+
+namespace rrfd::agreement {
+namespace {
+
+using core::EngineOptions;
+using core::FaultPattern;
+using core::KUncertaintyAdversary;
+using core::ProcessSet;
+using core::run_rounds;
+
+std::vector<OneRoundKSet> make_processes(const std::vector<int>& inputs) {
+  std::vector<OneRoundKSet> ps;
+  ps.reserve(inputs.size());
+  for (int v : inputs) ps.emplace_back(v);
+  return ps;
+}
+
+TEST(OneRoundKSet, DecidesInExactlyOneRound) {
+  std::vector<int> inputs{10, 20, 30, 40};
+  auto ps = make_processes(inputs);
+  KUncertaintyAdversary adv(4, 2, /*seed=*/1);
+  auto result = run_rounds(ps, adv);
+  EXPECT_EQ(result.rounds, 1);
+  EXPECT_TRUE(result.all_decided);
+}
+
+TEST(OneRoundKSet, BenignRunDecidesLowestInput) {
+  std::vector<int> inputs{10, 20, 30};
+  auto ps = make_processes(inputs);
+  core::BenignAdversary adv(3);
+  auto result = run_rounds(ps, adv);
+  for (const auto& d : result.decisions) EXPECT_EQ(*d, 10);
+}
+
+class OneRoundKSetSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(OneRoundKSetSweep, SolvesKSetAgreementUnderKUncertainty) {
+  auto [n, k, seed] = GetParam();
+  if (k > n) GTEST_SKIP() << "uncertainty bound k must be at most n";
+  std::vector<int> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(i * 3 + 1);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    auto ps = make_processes(inputs);
+    KUncertaintyAdversary adv(n, k,
+                              seed + static_cast<std::uint64_t>(trial) * 101);
+    auto result = run_rounds(ps, adv);
+    ASSERT_TRUE(result.all_decided);
+    TaskCheck check = check_k_set_agreement(inputs, result.decisions, k,
+                                            ProcessSet::all(n));
+    EXPECT_TRUE(check.ok) << check.failure << "\n"
+                          << result.pattern.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OneRoundKSetSweep,
+    ::testing::Combine(::testing::Values(4, 8, 16, 64),
+                       ::testing::Values(1, 2, 3, 8),
+                       ::testing::Values(11u, 77u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, std::uint64_t>>& pinfo) {
+      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_k" +
+             std::to_string(std::get<1>(pinfo.param)) + "_s" +
+             std::to_string(std::get<2>(pinfo.param));
+    });
+
+TEST(OneRoundKSet, ConsensusUnderEqualAnnouncements) {
+  // Equation 5 (k=1): everyone sees the same D, so everyone picks the same
+  // lowest survivor -- consensus.
+  std::vector<int> inputs{5, 6, 7, 8, 9};
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    auto ps = make_processes(inputs);
+    core::EqualAdversary adv(5, seed, /*miss_prob=*/0.6);
+    auto result = run_rounds(ps, adv);
+    TaskCheck check =
+        check_consensus(inputs, result.decisions, ProcessSet::all(5));
+    EXPECT_TRUE(check.ok) << check.failure;
+  }
+}
+
+TEST(OneRoundKSet, Corollary32SnapshotWithKMinus1Failures) {
+  // Corollary 3.2: k-set agreement solvable in asynchronous shared memory
+  // with k-1 failures -- the snapshot RRFD with f = k-1 implies the
+  // k-uncertainty predicate, so the same one-round algorithm works.
+  for (int k = 1; k <= 4; ++k) {
+    const int n = 7;
+    std::vector<int> inputs;
+    for (int i = 0; i < n; ++i) inputs.push_back(100 - i);
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+      auto ps = make_processes(inputs);
+      core::SnapshotAdversary adv(n, k - 1, seed);
+      auto result = run_rounds(ps, adv);
+      TaskCheck check = check_k_set_agreement(inputs, result.decisions, k,
+                                              ProcessSet::all(n));
+      EXPECT_TRUE(check.ok) << "k=" << k << ": " << check.failure;
+    }
+  }
+}
+
+TEST(OneRoundKSet, UncertaintyBoundIsTightKPlusOneValuesPossible) {
+  // With a detector of uncertainty exactly k (i.e. a (k+1)-uncertainty
+  // pattern), k+1 distinct decisions are reachable -- the algorithm's
+  // guarantee degrades exactly with the detector, as Theorem 3.1's proof
+  // predicts. Hand-build a worst case: D(i) staggered prefixes.
+  const int n = 4;
+  FaultPattern p(n);
+  // D(0)={}, D(1)={0}, D(2)={0,1}, D(3)={0,1,2}: uncertainty = 3.
+  p.append({ProcessSet(n), ProcessSet(n, {0}), ProcessSet(n, {0, 1}),
+            ProcessSet(n, {0, 1, 2})});
+  ASSERT_TRUE(core::k_uncertainty(4)->holds(p));
+  ASSERT_FALSE(core::k_uncertainty(3)->holds(p));
+
+  std::vector<int> inputs{1, 2, 3, 4};
+  auto ps = make_processes(inputs);
+  core::ScriptedAdversary adv(p);
+  auto result = run_rounds(ps, adv);
+  EXPECT_EQ(distinct_decision_count(result.decisions, ProcessSet::all(n)), 4);
+}
+
+}  // namespace
+}  // namespace rrfd::agreement

@@ -1,0 +1,108 @@
+// Structured consensus (reference [16]): leader suggestion + adopt-commit
+// per phase. Safety is unconditional; termination needs scheduler luck
+// (FLP forbids more).
+#include "agreement/phase_consensus.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "agreement/tasks.h"
+#include "runtime/schedulers.h"
+
+namespace rrfd::agreement {
+namespace {
+
+using runtime::RandomScheduler;
+using runtime::RoundRobinScheduler;
+
+TEST(PhaseConsensus, RoundRobinDecidesInPhaseOne) {
+  RoundRobinScheduler sched;
+  auto result = run_phase_consensus({4, 7, 2, 9}, /*max_phases=*/8, sched);
+  EXPECT_TRUE(result.all_alive_decided);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(result.decisions[i].has_value());
+    EXPECT_EQ(*result.decisions[i], 4);  // leader 0's input
+    EXPECT_EQ(result.decision_phase[i], 1);
+  }
+}
+
+TEST(PhaseConsensus, SafetyUnderRandomSchedules) {
+  const std::vector<int> inputs{3, 1, 4, 1, 5};
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    RandomScheduler sched(seed);
+    auto result = run_phase_consensus(inputs, /*max_phases=*/20, sched);
+    std::set<int> decided;
+    for (const auto& d : result.decisions) {
+      if (d) decided.insert(*d);
+    }
+    EXPECT_LE(decided.size(), 1u) << "seed " << seed;
+    for (int v : decided) {
+      EXPECT_TRUE(std::find(inputs.begin(), inputs.end(), v) != inputs.end());
+    }
+  }
+}
+
+TEST(PhaseConsensus, SafetyUnderCrashes) {
+  const std::vector<int> inputs{9, 8, 7, 6};
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    RandomScheduler sched(seed, /*crash_prob=*/0.02, /*max_crashes=*/3);
+    auto result = run_phase_consensus(inputs, /*max_phases=*/20, sched);
+    std::set<int> decided;
+    for (const auto& d : result.decisions) {
+      if (d) decided.insert(*d);
+    }
+    EXPECT_LE(decided.size(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(PhaseConsensus, TerminatesQuicklyUnderFairSchedules) {
+  // Not guaranteed by theory (FLP), but overwhelmingly likely: almost all
+  // fair random runs decide within a few phases.
+  int decided_runs = 0;
+  int max_phase = 0;
+  const int runs = 50;
+  for (std::uint64_t seed = 100; seed < 100 + runs; ++seed) {
+    RandomScheduler sched(seed);
+    auto result = run_phase_consensus({1, 2, 3}, /*max_phases=*/30, sched);
+    if (result.all_alive_decided) {
+      ++decided_runs;
+      for (int p : result.decision_phase) max_phase = std::max(max_phase, p);
+    }
+  }
+  EXPECT_GT(decided_runs, runs * 8 / 10);
+  EXPECT_LE(max_phase, 30);
+}
+
+TEST(PhaseConsensus, DecidersStopAtMostOnePhaseApart) {
+  // Once somebody commits in phase p, everyone else decides by phase p+1
+  // (the adopt-commit chain makes phase p+1 unanimous).
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    RandomScheduler sched(seed);
+    auto result = run_phase_consensus({5, 6, 7, 8}, /*max_phases=*/30, sched);
+    if (!result.all_alive_decided) continue;
+    int lo = 1 << 20, hi = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (result.crashed.contains(static_cast<core::ProcId>(i))) continue;
+      lo = std::min(lo, result.decision_phase[i]);
+      hi = std::max(hi, result.decision_phase[i]);
+    }
+    EXPECT_LE(hi - lo, 1) << "seed " << seed;
+  }
+}
+
+TEST(PhaseConsensus, SingleProcessDecidesImmediately) {
+  RoundRobinScheduler sched;
+  auto result = run_phase_consensus({42}, 4, sched);
+  ASSERT_TRUE(result.decisions[0].has_value());
+  EXPECT_EQ(*result.decisions[0], 42);
+  EXPECT_EQ(result.decision_phase[0], 1);
+}
+
+TEST(PhaseConsensus, ValidatesArguments) {
+  RoundRobinScheduler sched;
+  EXPECT_THROW(run_phase_consensus({1, 2}, 0, sched), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rrfd::agreement

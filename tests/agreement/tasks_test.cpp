@@ -1,0 +1,96 @@
+#include "agreement/tasks.h"
+
+#include <gtest/gtest.h>
+
+namespace rrfd::agreement {
+namespace {
+
+using core::ProcessSet;
+
+TEST(Tasks, PassesCorrectConsensus) {
+  std::vector<int> inputs{3, 1, 2};
+  std::vector<std::optional<int>> decisions{1, 1, 1};
+  EXPECT_TRUE(check_consensus(inputs, decisions, ProcessSet::all(3)).ok);
+}
+
+TEST(Tasks, FailsOnDisagreement) {
+  std::vector<int> inputs{3, 1, 2};
+  std::vector<std::optional<int>> decisions{1, 2, 1};
+  auto res = check_consensus(inputs, decisions, ProcessSet::all(3));
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.failure.find("agreement"), std::string::npos);
+}
+
+TEST(Tasks, FailsOnInventedValue) {
+  std::vector<int> inputs{3, 1, 2};
+  std::vector<std::optional<int>> decisions{9, 9, 9};
+  auto res = check_consensus(inputs, decisions, ProcessSet::all(3));
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.failure.find("validity"), std::string::npos);
+}
+
+TEST(Tasks, FailsOnMissingDecision) {
+  std::vector<int> inputs{3, 1, 2};
+  std::vector<std::optional<int>> decisions{1, std::nullopt, 1};
+  auto res = check_consensus(inputs, decisions, ProcessSet::all(3));
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.failure.find("termination"), std::string::npos);
+}
+
+TEST(Tasks, MustDecideRestrictsTermination) {
+  std::vector<int> inputs{3, 1, 2};
+  std::vector<std::optional<int>> decisions{1, std::nullopt, 1};
+  // Process 1 crashed: only 0 and 2 must decide.
+  EXPECT_TRUE(check_consensus(inputs, decisions, ProcessSet(3, {0, 2})).ok);
+}
+
+TEST(Tasks, MustDecideRestrictsAgreementCount) {
+  std::vector<int> inputs{3, 1, 2};
+  std::vector<std::optional<int>> decisions{1, 2, 1};
+  // The crashed process's deviating decision doesn't count.
+  EXPECT_TRUE(check_consensus(inputs, decisions, ProcessSet(3, {0, 2})).ok);
+}
+
+TEST(Tasks, ValidityStillAppliesToExcludedProcesses) {
+  std::vector<int> inputs{3, 1, 2};
+  std::vector<std::optional<int>> decisions{1, 99, 1};
+  // Even a non-counted process must not invent values.
+  auto res = check_consensus(inputs, decisions, ProcessSet(3, {0, 2}));
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.failure.find("validity"), std::string::npos);
+}
+
+TEST(Tasks, KSetAllowsUpToKValues) {
+  std::vector<int> inputs{0, 1, 2, 3};
+  std::vector<std::optional<int>> decisions{0, 1, 0, 1};
+  EXPECT_TRUE(
+      check_k_set_agreement(inputs, decisions, 2, ProcessSet::all(4)).ok);
+  EXPECT_FALSE(
+      check_k_set_agreement(inputs, decisions, 1, ProcessSet::all(4)).ok);
+}
+
+TEST(Tasks, KSetBoundaryExactlyKPlusOneFails) {
+  std::vector<int> inputs{0, 1, 2};
+  std::vector<std::optional<int>> decisions{0, 1, 2};
+  EXPECT_TRUE(
+      check_k_set_agreement(inputs, decisions, 3, ProcessSet::all(3)).ok);
+  EXPECT_FALSE(
+      check_k_set_agreement(inputs, decisions, 2, ProcessSet::all(3)).ok);
+}
+
+TEST(Tasks, DistinctDecisionCount) {
+  std::vector<std::optional<int>> decisions{1, 2, 1, std::nullopt, 3};
+  EXPECT_EQ(distinct_decision_count(decisions, ProcessSet::all(5)), 3);
+  EXPECT_EQ(distinct_decision_count(decisions, ProcessSet(5, {0, 2})), 1);
+  EXPECT_EQ(distinct_decision_count(decisions, ProcessSet(5, {3})), 0);
+}
+
+TEST(Tasks, SizeMismatchThrows) {
+  std::vector<int> inputs{1, 2};
+  std::vector<std::optional<int>> decisions{1};
+  EXPECT_THROW(check_consensus(inputs, decisions, core::ProcessSet::all(2)),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace rrfd::agreement

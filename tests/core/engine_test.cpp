@@ -1,0 +1,172 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adversaries.h"
+
+namespace rrfd::core {
+namespace {
+
+/// Test process: emits its id each round, records exactly what it received,
+/// decides after `decide_after` rounds on the set of peers it heard from in
+/// the final round.
+struct Recorder {
+  using Message = int;
+  using Decision = std::uint64_t;
+
+  ProcId id = 0;
+  Round decide_after = 1;
+  Round rounds_seen = 0;
+  std::vector<std::vector<std::optional<int>>> inboxes;
+  std::vector<ProcessSet> fault_sets;
+
+  int emit(Round) { return id; }
+
+  void absorb(Round r, const std::vector<std::optional<int>>& inbox,
+              const ProcessSet& d) {
+    EXPECT_EQ(r, rounds_seen + 1);
+    rounds_seen = r;
+    inboxes.push_back(inbox);
+    fault_sets.push_back(d);
+  }
+
+  bool decided() const { return rounds_seen >= decide_after; }
+
+  std::uint64_t decision() const {
+    ProcessSet heard(fault_sets.back().n());
+    for (std::size_t j = 0; j < inboxes.back().size(); ++j) {
+      if (inboxes.back()[j]) heard.add(static_cast<ProcId>(j));
+    }
+    return heard.bits();
+  }
+};
+
+std::vector<Recorder> make_processes(int n, Round decide_after) {
+  std::vector<Recorder> ps;
+  for (ProcId i = 0; i < n; ++i) {
+    ps.push_back(Recorder{.id = i, .decide_after = decide_after, .rounds_seen = 0, .inboxes = {}, .fault_sets = {}});
+  }
+  return ps;
+}
+
+TEST(Engine, DeliversExactlyComplementOfD) {
+  const int n = 4;
+  FaultPattern script(n);
+  script.append({ProcessSet(n, {1, 2}), ProcessSet(n), ProcessSet(n, {0}),
+                 ProcessSet(n, {3})});
+  ScriptedAdversary adv(script);
+  auto ps = make_processes(n, 1);
+  auto result = run_rounds(ps, adv);
+
+  ASSERT_EQ(result.rounds, 1);
+  // p0 missed {1,2}: receives messages from 0 and 3 only.
+  EXPECT_TRUE(ps[0].inboxes[0][0].has_value());
+  EXPECT_FALSE(ps[0].inboxes[0][1].has_value());
+  EXPECT_FALSE(ps[0].inboxes[0][2].has_value());
+  EXPECT_TRUE(ps[0].inboxes[0][3].has_value());
+  // p1 missed nobody: receives all four, each carrying the sender's id.
+  for (int j = 0; j < n; ++j) {
+    ASSERT_TRUE(ps[1].inboxes[0][static_cast<std::size_t>(j)].has_value());
+    EXPECT_EQ(*ps[1].inboxes[0][static_cast<std::size_t>(j)], j);
+  }
+  // p3 missed itself: no self-delivery.
+  EXPECT_FALSE(ps[3].inboxes[0][3].has_value());
+  EXPECT_TRUE(ps[3].inboxes[0][0].has_value());
+}
+
+TEST(Engine, PassesFaultSetsToProcesses) {
+  const int n = 3;
+  FaultPattern script(n);
+  script.append({ProcessSet(n, {2}), ProcessSet(n), ProcessSet(n, {0, 1})});
+  ScriptedAdversary adv(script);
+  auto ps = make_processes(n, 1);
+  run_rounds(ps, adv);
+  EXPECT_EQ(ps[0].fault_sets[0], ProcessSet(n, {2}));
+  EXPECT_EQ(ps[1].fault_sets[0], ProcessSet(n));
+  EXPECT_EQ(ps[2].fault_sets[0], ProcessSet(n, {0, 1}));
+}
+
+TEST(Engine, RecordsThePatternItWasFed) {
+  const int n = 5;
+  SwmrAdversary adv(n, 2, /*seed=*/9);
+  auto ps = make_processes(n, 3);
+  auto result = run_rounds(ps, adv);
+  EXPECT_EQ(result.pattern.rounds(), 3);
+  adv.reset();
+  FaultPattern replay = record_pattern(adv, 3);
+  for (Round r = 1; r <= 3; ++r) {
+    for (ProcId i = 0; i < n; ++i) {
+      EXPECT_EQ(result.pattern.d(i, r), replay.d(i, r));
+    }
+  }
+}
+
+TEST(Engine, StopsWhenAllDecided) {
+  BenignAdversary adv(3);
+  auto ps = make_processes(3, 2);
+  auto result = run_rounds(ps, adv);
+  EXPECT_EQ(result.rounds, 2);
+  EXPECT_TRUE(result.all_decided);
+  for (const auto& d : result.decisions) EXPECT_TRUE(d.has_value());
+}
+
+TEST(Engine, RunsExactlyMaxRoundsWhenAskedTo) {
+  BenignAdversary adv(3);
+  auto ps = make_processes(3, 1);
+  EngineOptions opts;
+  opts.max_rounds = 7;
+  opts.stop_when_all_decided = false;
+  auto result = run_rounds(ps, adv, opts);
+  EXPECT_EQ(result.rounds, 7);
+  EXPECT_EQ(ps[0].rounds_seen, 7);
+}
+
+TEST(Engine, ReportsUndecidedAtMaxRounds) {
+  BenignAdversary adv(3);
+  auto ps = make_processes(3, 100);
+  EngineOptions opts;
+  opts.max_rounds = 5;
+  auto result = run_rounds(ps, adv, opts);
+  EXPECT_EQ(result.rounds, 5);
+  EXPECT_FALSE(result.all_decided);
+  for (const auto& d : result.decisions) EXPECT_FALSE(d.has_value());
+}
+
+TEST(Engine, RejectsMismatchedProcessCount) {
+  BenignAdversary adv(4);
+  auto ps = make_processes(3, 1);
+  EXPECT_THROW(run_rounds(ps, adv), ContractViolation);
+}
+
+TEST(Engine, DistinctDecisionsFiltersAndDeduplicates) {
+  const int n = 4;
+  FaultPattern script(n);
+  // p0 and p1 hear everyone; p2 and p3 miss p0.
+  script.append({ProcessSet(n), ProcessSet(n), ProcessSet(n, {0}),
+                 ProcessSet(n, {0})});
+  ScriptedAdversary adv(script);
+  auto ps = make_processes(n, 1);
+  auto result = run_rounds(ps, adv);
+
+  auto all = result.distinct_decisions();
+  EXPECT_EQ(all.size(), 2u);  // {0,1,2,3} and {1,2,3}
+
+  auto among = result.distinct_decisions(ProcessSet(n, {2, 3}));
+  ASSERT_EQ(among.size(), 1u);
+  EXPECT_EQ(among[0], ProcessSet(n, {1, 2, 3}).bits());
+}
+
+TEST(Engine, ProcessesKeepParticipatingAfterDeciding) {
+  // Decision is commitment, not halting: a process that decided in round 1
+  // still emits and absorbs in round 2 (the "forever do" loop).
+  BenignAdversary adv(2);
+  std::vector<Recorder> ps;
+  ps.push_back(Recorder{.id = 0, .decide_after = 1, .rounds_seen = 0, .inboxes = {}, .fault_sets = {}});
+  ps.push_back(Recorder{.id = 1, .decide_after = 3, .rounds_seen = 0, .inboxes = {}, .fault_sets = {}});
+  auto result = run_rounds(ps, adv);
+  EXPECT_EQ(result.rounds, 3);
+  EXPECT_EQ(ps[0].rounds_seen, 3);
+}
+
+}  // namespace
+}  // namespace rrfd::core

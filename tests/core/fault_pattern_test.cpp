@@ -1,0 +1,120 @@
+#include "core/fault_pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace rrfd::core {
+namespace {
+
+FaultPattern two_round_pattern() {
+  // n = 4.
+  // round 1: D(0)={1}, D(1)={}, D(2)={1,3}, D(3)={}
+  // round 2: D(0)={2}, D(1)={2}, D(2)={},   D(3)={2}
+  FaultPattern p(4);
+  p.append({ProcessSet(4, {1}), ProcessSet(4), ProcessSet(4, {1, 3}),
+            ProcessSet(4)});
+  p.append({ProcessSet(4, {2}), ProcessSet(4, {2}), ProcessSet(4),
+            ProcessSet(4, {2})});
+  return p;
+}
+
+TEST(FaultPattern, EmptyPattern) {
+  FaultPattern p(3);
+  EXPECT_EQ(p.rounds(), 0);
+  EXPECT_TRUE(p.cumulative_union().empty());
+}
+
+TEST(FaultPattern, AppendAndAccess) {
+  FaultPattern p = two_round_pattern();
+  EXPECT_EQ(p.rounds(), 2);
+  EXPECT_EQ(p.d(0, 1), ProcessSet(4, {1}));
+  EXPECT_EQ(p.d(2, 1), ProcessSet(4, {1, 3}));
+  EXPECT_EQ(p.d(2, 2), ProcessSet(4));
+}
+
+TEST(FaultPattern, RoundAccessIsOneBased) {
+  FaultPattern p = two_round_pattern();
+  EXPECT_THROW((void)p.d(0, 0), ContractViolation);
+  EXPECT_THROW((void)p.d(0, 3), ContractViolation);
+  EXPECT_THROW((void)p.round(0), ContractViolation);
+}
+
+TEST(FaultPattern, ProcessIndexIsChecked) {
+  FaultPattern p = two_round_pattern();
+  EXPECT_THROW((void)p.d(4, 1), ContractViolation);
+  EXPECT_THROW((void)p.d(-1, 1), ContractViolation);
+}
+
+TEST(FaultPattern, RejectsWrongWidthRound) {
+  FaultPattern p(3);
+  EXPECT_THROW(p.append({ProcessSet(3), ProcessSet(3)}), ContractViolation);
+}
+
+TEST(FaultPattern, RejectsWrongSystemSize) {
+  FaultPattern p(3);
+  EXPECT_THROW(p.append({ProcessSet(4), ProcessSet(4), ProcessSet(4)}),
+               ContractViolation);
+}
+
+TEST(FaultPattern, RejectsFullDSet) {
+  // "Not all processes can be late": D(i,r) == S is structurally invalid.
+  FaultPattern p(3);
+  EXPECT_THROW(
+      p.append({ProcessSet::all(3), ProcessSet(3), ProcessSet(3)}),
+      ContractViolation);
+}
+
+TEST(FaultPattern, RoundUnionAndIntersection) {
+  FaultPattern p = two_round_pattern();
+  EXPECT_EQ(p.round_union(1), ProcessSet(4, {1, 3}));
+  EXPECT_EQ(p.round_intersection(1), ProcessSet(4));
+  EXPECT_EQ(p.round_union(2), ProcessSet(4, {2}));
+  EXPECT_EQ(p.round_intersection(2), ProcessSet(4));
+}
+
+TEST(FaultPattern, IntersectionOfUniformRound) {
+  FaultPattern p(3);
+  p.append(uniform_round(3, ProcessSet(3, {0, 1})));
+  EXPECT_EQ(p.round_intersection(1), ProcessSet(3, {0, 1}));
+  EXPECT_EQ(p.round_union(1), ProcessSet(3, {0, 1}));
+}
+
+TEST(FaultPattern, CumulativeUnion) {
+  FaultPattern p = two_round_pattern();
+  EXPECT_EQ(p.cumulative_union(1), ProcessSet(4, {1, 3}));
+  EXPECT_EQ(p.cumulative_union(2), ProcessSet(4, {1, 2, 3}));
+  EXPECT_EQ(p.cumulative_union(), ProcessSet(4, {1, 2, 3}));
+  EXPECT_TRUE(p.cumulative_union(0).empty());
+}
+
+TEST(FaultPattern, Prefix) {
+  FaultPattern p = two_round_pattern();
+  FaultPattern q = p.prefix(1);
+  EXPECT_EQ(q.rounds(), 1);
+  EXPECT_EQ(q.d(2, 1), ProcessSet(4, {1, 3}));
+  EXPECT_EQ(p.prefix(0).rounds(), 0);
+  EXPECT_THROW((void)p.prefix(3), ContractViolation);
+}
+
+TEST(FaultPattern, UniformRoundHelper) {
+  RoundFaults r = uniform_round(5, ProcessSet(5, {2}));
+  ASSERT_EQ(r.size(), 5u);
+  for (const ProcessSet& d : r) EXPECT_EQ(d, ProcessSet(5, {2}));
+}
+
+TEST(FaultPattern, UnionOverHelpers) {
+  RoundFaults r{ProcessSet(3, {0}), ProcessSet(3, {0, 1}), ProcessSet(3, {0})};
+  EXPECT_EQ(union_over(r), ProcessSet(3, {0, 1}));
+  EXPECT_EQ(intersection_over(r), ProcessSet(3, {0}));
+}
+
+TEST(FaultPattern, ToStringMentionsEveryRound) {
+  FaultPattern p = two_round_pattern();
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find("round 1"), std::string::npos);
+  EXPECT_NE(s.find("round 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rrfd::core

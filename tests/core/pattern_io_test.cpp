@@ -1,0 +1,93 @@
+#include "core/pattern_io.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adversaries.h"
+
+namespace rrfd::core {
+namespace {
+
+TEST(PatternIo, RoundTripsHandBuiltPattern) {
+  FaultPattern p(4);
+  p.append({ProcessSet(4, {1}), ProcessSet(4), ProcessSet(4, {1, 3}),
+            ProcessSet(4)});
+  p.append({ProcessSet(4, {2}), ProcessSet(4, {2}), ProcessSet(4),
+            ProcessSet(4, {2})});
+  FaultPattern q = pattern_from_text(pattern_to_text(p));
+  ASSERT_EQ(q.n(), 4);
+  ASSERT_EQ(q.rounds(), 2);
+  for (Round r = 1; r <= 2; ++r) {
+    for (ProcId i = 0; i < 4; ++i) EXPECT_EQ(q.d(i, r), p.d(i, r));
+  }
+}
+
+TEST(PatternIo, RoundTripsAdversaryPatterns) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    SnapshotAdversary adv(6, 3, seed);
+    FaultPattern p = record_pattern(adv, 4);
+    FaultPattern q = pattern_from_text(pattern_to_text(p));
+    for (Round r = 1; r <= 4; ++r) {
+      for (ProcId i = 0; i < 6; ++i) EXPECT_EQ(q.d(i, r), p.d(i, r));
+    }
+  }
+}
+
+TEST(PatternIo, EmptyPattern) {
+  FaultPattern p(3);
+  FaultPattern q = pattern_from_text(pattern_to_text(p));
+  EXPECT_EQ(q.n(), 3);
+  EXPECT_EQ(q.rounds(), 0);
+}
+
+TEST(PatternIo, ParsesHandWrittenText) {
+  const std::string text =
+      "# the chain counterexample, round one\n"
+      "n=3\n"
+      "\n"
+      "{1} , {} , {0,1}\n";
+  FaultPattern p = pattern_from_text(text);
+  EXPECT_EQ(p.rounds(), 1);
+  EXPECT_EQ(p.d(0, 1), ProcessSet(3, {1}));
+  EXPECT_EQ(p.d(1, 1), ProcessSet(3));
+  EXPECT_EQ(p.d(2, 1), ProcessSet(3, {0, 1}));
+}
+
+TEST(PatternIo, RejectsMissingHeader) {
+  EXPECT_THROW(pattern_from_text("{1},{},{}\n"), ContractViolation);
+  EXPECT_THROW(pattern_from_text(""), ContractViolation);
+}
+
+TEST(PatternIo, RejectsWrongArity) {
+  EXPECT_THROW(pattern_from_text("n=3\n{1},{}\n"), ContractViolation);
+}
+
+TEST(PatternIo, RejectsOutOfRangeMember) {
+  EXPECT_THROW(pattern_from_text("n=3\n{3},{},{}\n"), ContractViolation);
+}
+
+TEST(PatternIo, RejectsFullSet) {
+  EXPECT_THROW(pattern_from_text("n=2\n{0,1},{}\n"), ContractViolation);
+}
+
+TEST(PatternIo, RejectsMalformedSets) {
+  EXPECT_THROW(pattern_from_text("n=3\n{1,{},{}\n"), ContractViolation);
+  EXPECT_THROW(pattern_from_text("n=3\n{x},{},{}\n"), ContractViolation);
+  EXPECT_THROW(pattern_from_text("n=3\n{0},{},{} {1}\n"), ContractViolation);
+}
+
+TEST(PatternIo, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# header comment\n"
+      "n=2\n"
+      "# round comment\n"
+      "{1},{0}\n"
+      "\n"
+      "{},{}\n";
+  FaultPattern p = pattern_from_text(text);
+  EXPECT_EQ(p.rounds(), 2);
+  EXPECT_EQ(p.d(0, 1), ProcessSet(2, {1}));
+  EXPECT_TRUE(p.d(0, 2).empty());
+}
+
+}  // namespace
+}  // namespace rrfd::core

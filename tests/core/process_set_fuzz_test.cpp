@@ -1,0 +1,109 @@
+// Differential fuzzing: ProcessSet against std::set<int> as the reference
+// model, across random operation sequences and system sizes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/process_set.h"
+#include "util/rng.h"
+
+namespace rrfd::core {
+namespace {
+
+std::set<int> to_reference(const ProcessSet& s) {
+  std::set<int> out;
+  for (ProcId p : s.members()) out.insert(p);
+  return out;
+}
+
+class ProcessSetFuzz : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(ProcessSetFuzz, MatchesReferenceModel) {
+  auto [n, seed] = GetParam();
+  Rng rng(seed);
+  ProcessSet a(n), b(n);
+  std::set<int> ra, rb;
+
+  for (int op = 0; op < 2000; ++op) {
+    const int p = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    switch (rng.below(8)) {
+      case 0:
+        a.add(p);
+        ra.insert(p);
+        break;
+      case 1:
+        a.remove(p);
+        ra.erase(p);
+        break;
+      case 2:
+        b.add(p);
+        rb.insert(p);
+        break;
+      case 3: {
+        ProcessSet u = a | b;
+        std::set<int> ru = ra;
+        ru.insert(rb.begin(), rb.end());
+        EXPECT_EQ(to_reference(u), ru);
+        break;
+      }
+      case 4: {
+        ProcessSet x = a & b;
+        std::set<int> rx;
+        for (int q : ra) {
+          if (rb.count(q)) rx.insert(q);
+        }
+        EXPECT_EQ(to_reference(x), rx);
+        break;
+      }
+      case 5: {
+        ProcessSet d = a - b;
+        std::set<int> rd;
+        for (int q : ra) {
+          if (!rb.count(q)) rd.insert(q);
+        }
+        EXPECT_EQ(to_reference(d), rd);
+        break;
+      }
+      case 6: {
+        ProcessSet c = a.complement();
+        std::set<int> rc;
+        for (int q = 0; q < n; ++q) {
+          if (!ra.count(q)) rc.insert(q);
+        }
+        EXPECT_EQ(to_reference(c), rc);
+        break;
+      }
+      default: {
+        // Scalar queries.
+        EXPECT_EQ(a.size(), static_cast<int>(ra.size()));
+        EXPECT_EQ(a.empty(), ra.empty());
+        EXPECT_EQ(a.contains(p), ra.count(p) > 0);
+        if (!ra.empty()) {
+          EXPECT_EQ(a.min(), *ra.begin());
+          EXPECT_EQ(a.max(), *ra.rbegin());
+        }
+        bool subset = true;
+        for (int q : ra) subset = subset && rb.count(q) > 0;
+        EXPECT_EQ(a.subset_of(b), subset);
+        bool inter = false;
+        for (int q : ra) inter = inter || rb.count(q) > 0;
+        EXPECT_EQ(a.intersects(b), inter);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(to_reference(a), ra);
+  EXPECT_EQ(to_reference(b), rb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ProcessSetFuzz,
+    ::testing::Combine(::testing::Values(1, 2, 7, 31, 64),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, std::uint64_t>>& pinfo) {
+      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_s" +
+             std::to_string(std::get<1>(pinfo.param));
+    });
+
+}  // namespace
+}  // namespace rrfd::core

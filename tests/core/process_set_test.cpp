@@ -1,0 +1,177 @@
+#include "core/process_set.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/check.h"
+
+namespace rrfd::core {
+namespace {
+
+TEST(ProcessSet, StartsEmpty) {
+  ProcessSet s(5);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_EQ(s.n(), 5);
+  for (ProcId p = 0; p < 5; ++p) EXPECT_FALSE(s.contains(p));
+}
+
+TEST(ProcessSet, InitializerListConstruction) {
+  ProcessSet s(6, {0, 2, 5});
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(5));
+}
+
+TEST(ProcessSet, AllAndNone) {
+  EXPECT_EQ(ProcessSet::all(4).size(), 4);
+  EXPECT_TRUE(ProcessSet::all(4).full());
+  EXPECT_TRUE(ProcessSet::none(4).empty());
+  EXPECT_EQ(ProcessSet::all(64).size(), 64);  // boundary: full 64-bit word
+  EXPECT_TRUE(ProcessSet::all(64).full());
+}
+
+TEST(ProcessSet, Single) {
+  ProcessSet s = ProcessSet::single(8, 3);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_EQ(s.min(), 3);
+  EXPECT_EQ(s.max(), 3);
+}
+
+TEST(ProcessSet, AddRemove) {
+  ProcessSet s(4);
+  s.add(1);
+  s.add(3);
+  EXPECT_EQ(s.size(), 2);
+  s.remove(1);
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_TRUE(s.contains(3));
+  s.remove(3);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(ProcessSet, AddIsIdempotent) {
+  ProcessSet s(4);
+  s.add(2);
+  s.add(2);
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(ProcessSet, WithWithoutAreNonMutating) {
+  const ProcessSet s(4, {1});
+  const ProcessSet t = s.with(2);
+  const ProcessSet u = s.without(1);
+  EXPECT_EQ(s, ProcessSet(4, {1}));
+  EXPECT_EQ(t, ProcessSet(4, {1, 2}));
+  EXPECT_TRUE(u.empty());
+}
+
+TEST(ProcessSet, SetAlgebra) {
+  const ProcessSet a(6, {0, 1, 2});
+  const ProcessSet b(6, {2, 3, 4});
+  EXPECT_EQ(a | b, ProcessSet(6, {0, 1, 2, 3, 4}));
+  EXPECT_EQ(a & b, ProcessSet(6, {2}));
+  EXPECT_EQ(a - b, ProcessSet(6, {0, 1}));
+  EXPECT_EQ(b - a, ProcessSet(6, {3, 4}));
+}
+
+TEST(ProcessSet, CompoundAssignment) {
+  ProcessSet a(4, {0});
+  a |= ProcessSet(4, {1});
+  EXPECT_EQ(a, ProcessSet(4, {0, 1}));
+  a &= ProcessSet(4, {1, 2});
+  EXPECT_EQ(a, ProcessSet(4, {1}));
+  a -= ProcessSet(4, {1});
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(ProcessSet, Complement) {
+  const ProcessSet a(5, {0, 3});
+  EXPECT_EQ(a.complement(), ProcessSet(5, {1, 2, 4}));
+  EXPECT_EQ(a.complement().complement(), a);
+  EXPECT_TRUE(ProcessSet::all(5).complement().empty());
+}
+
+TEST(ProcessSet, SubsetAndIntersects) {
+  const ProcessSet a(6, {1, 2});
+  const ProcessSet b(6, {1, 2, 4});
+  EXPECT_TRUE(a.subset_of(b));
+  EXPECT_FALSE(b.subset_of(a));
+  EXPECT_TRUE(a.subset_of(a));
+  EXPECT_TRUE(ProcessSet::none(6).subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(ProcessSet(6, {0, 5})));
+}
+
+TEST(ProcessSet, MinMax) {
+  const ProcessSet s(10, {3, 5, 9});
+  EXPECT_EQ(s.min(), 3);
+  EXPECT_EQ(s.max(), 9);
+}
+
+TEST(ProcessSet, MinOfEmptyThrows) {
+  EXPECT_THROW(ProcessSet(4).min(), ContractViolation);
+  EXPECT_THROW(ProcessSet(4).max(), ContractViolation);
+}
+
+TEST(ProcessSet, MembersAreSortedAndComplete) {
+  const ProcessSet s(12, {7, 0, 11, 4});
+  EXPECT_EQ(s.members(), (std::vector<ProcId>{0, 4, 7, 11}));
+  EXPECT_TRUE(ProcessSet(3).members().empty());
+}
+
+TEST(ProcessSet, ToString) {
+  EXPECT_EQ(ProcessSet(5, {0, 2}).to_string(), "{0,2}");
+  EXPECT_EQ(ProcessSet(5).to_string(), "{}");
+}
+
+TEST(ProcessSet, FromBitsRoundTrips) {
+  const ProcessSet s(7, {1, 6});
+  EXPECT_EQ(ProcessSet::from_bits(7, s.bits()), s);
+}
+
+TEST(ProcessSet, FromBitsRejectsOutOfRangeBits) {
+  EXPECT_THROW(ProcessSet::from_bits(3, 0b1000), ContractViolation);
+}
+
+TEST(ProcessSet, MixingSystemSizesThrows) {
+  const ProcessSet a(4, {1});
+  const ProcessSet b(5, {1});
+  EXPECT_THROW((void)(a | b), ContractViolation);
+  EXPECT_THROW((void)(a & b), ContractViolation);
+  EXPECT_THROW((void)(a - b), ContractViolation);
+  EXPECT_THROW((void)a.subset_of(b), ContractViolation);
+}
+
+TEST(ProcessSet, MemberRangeIsChecked) {
+  ProcessSet s(4);
+  EXPECT_THROW(s.add(4), ContractViolation);
+  EXPECT_THROW(s.add(-1), ContractViolation);
+  EXPECT_THROW((void)s.contains(4), ContractViolation);
+}
+
+TEST(ProcessSet, SystemSizeIsChecked) {
+  EXPECT_THROW(ProcessSet(0), ContractViolation);
+  EXPECT_THROW(ProcessSet(65), ContractViolation);
+}
+
+TEST(ProcessSet, OrderingIsUsableAsMapKey) {
+  std::map<ProcessSet, int> m;
+  m[ProcessSet(4, {0})] = 1;
+  m[ProcessSet(4, {1})] = 2;
+  m[ProcessSet(4, {0})] = 3;
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[ProcessSet(4, {0})], 3);
+}
+
+TEST(ProcessSet, EqualityRequiresSameSystemSize) {
+  EXPECT_FALSE(ProcessSet(4, {1}) == ProcessSet(5, {1}));
+  EXPECT_TRUE(ProcessSet(4, {1}) != ProcessSet(5, {1}));
+}
+
+}  // namespace
+}  // namespace rrfd::core

@@ -1,0 +1,138 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace rrfd {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsTheStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a());
+  a.reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(7), 7u);
+    EXPECT_EQ(r.below(1), 0u);
+  }
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng r(1);
+  EXPECT_THROW(r.below(0), ContractViolation);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(9);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[r.below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 10 - kDraws / 50);
+    EXPECT_LT(c, kDraws / 10 + kDraws / 50);
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng r(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.range(-2, 2));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{-2, -1, 0, 1, 2}));
+  EXPECT_EQ(r.range(3, 3), 3);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    EXPECT_FALSE(r.chance(-0.5));
+    EXPECT_TRUE(r.chance(1.5));
+  }
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng r(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng r(17);
+  for (int n : {0, 1, 5, 32}) {
+    std::vector<int> p = r.permutation(n);
+    std::sort(p.begin(), p.end());
+    for (int i = 0; i < n; ++i) EXPECT_EQ(p[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng r(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int> s = r.sample_without_replacement(10, 4);
+    ASSERT_EQ(s.size(), 4u);
+    std::set<int> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 4u);
+    for (int v : s) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 10);
+    }
+  }
+}
+
+TEST(Rng, SampleBoundsChecked) {
+  Rng r(23);
+  EXPECT_THROW(r.sample_without_replacement(3, 4), ContractViolation);
+  EXPECT_THROW(r.sample_without_replacement(3, -1), ContractViolation);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng r(29);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // The child must not replay the parent's continuation.
+  Rng parent2(31);
+  (void)parent2.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (child() == parent());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(37), b(37);
+  Rng ca = a.fork(), cb = b.fork();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(ca(), cb());
+}
+
+}  // namespace
+}  // namespace rrfd

@@ -1,0 +1,172 @@
+// The submodel lattice of Section 2, decided exactly by exhaustive
+// pattern enumeration for small systems.
+#include "core/submodel.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adversaries.h"
+#include "core/predicates.h"
+
+namespace rrfd::core {
+namespace {
+
+TEST(EnumeratePatterns, CountsTheFullSpace) {
+  // (2^n - 1)^(n * rounds) patterns.
+  long count = enumerate_patterns(2, 1, [](const FaultPattern&) { return true; });
+  EXPECT_EQ(count, 9);  // 3^2
+  count = enumerate_patterns(3, 1, [](const FaultPattern&) { return true; });
+  EXPECT_EQ(count, 343);  // 7^3
+  count = enumerate_patterns(2, 2, [](const FaultPattern&) { return true; });
+  EXPECT_EQ(count, 81);  // 3^4
+}
+
+TEST(EnumeratePatterns, StopsEarlyWhenAsked) {
+  long visits = 0;
+  enumerate_patterns(3, 1, [&](const FaultPattern&) {
+    return ++visits < 10;
+  });
+  EXPECT_EQ(visits, 10);
+}
+
+TEST(EnumeratePatterns, RejectsLargeSystems) {
+  EXPECT_THROW(
+      enumerate_patterns(8, 1, [](const FaultPattern&) { return true; }),
+      ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Exact lattice facts (n = 3, 1-2 rounds)
+// ---------------------------------------------------------------------------
+
+TEST(Lattice, CrashImpliesOmissionBudget) {
+  // "It is thus explicit in the model definition that the crash-fault
+  // model is a submodel of the send-omission-fault model." In this
+  // encoding the crash model relaxes no-self-suspicion for announced
+  // (halted) processes, so the exact implication targets the omission
+  // model's substance: the cumulative fault budget, plus no-self for
+  // processes that are not announced.
+  CumulativeFaultBound budget(1);
+  auto r = implies_exhaustive(*sync_crash(1), budget, 3, 2);
+  EXPECT_TRUE(r.holds) << r.counterexample->to_string();
+  EXPECT_EQ(r.patterns_checked, 117649);  // 7^6
+
+  NoSelfSuspicion exempt(/*exempt_announced=*/true);
+  auto r2 = implies_exhaustive(*sync_crash(1), exempt, 3, 2);
+  EXPECT_TRUE(r2.holds);
+
+  // The literal strict-no-self omission predicate is NOT implied -- the
+  // counterexample is exactly a halted process suspecting itself, which
+  // the omission model (where processes never halt) has no reading for.
+  auto strict = implies_exhaustive(*sync_crash(1), *sync_omission(1), 3, 2);
+  EXPECT_FALSE(strict.holds);
+  ASSERT_TRUE(strict.counterexample.has_value());
+  bool self_after_announcement = false;
+  const FaultPattern& cx = *strict.counterexample;
+  for (Round round = 2; round <= cx.rounds(); ++round) {
+    for (ProcId i = 0; i < cx.n(); ++i) {
+      self_after_announcement =
+          self_after_announcement ||
+          (cx.d(i, round).contains(i) &&
+           cx.cumulative_union(round - 1).contains(i));
+    }
+  }
+  EXPECT_TRUE(self_after_announcement) << cx.to_string();
+}
+
+TEST(Lattice, OmissionDoesNotImplyCrash) {
+  auto r = implies_exhaustive(*sync_omission(1), *sync_crash(1), 3, 2);
+  EXPECT_FALSE(r.holds);
+  ASSERT_TRUE(r.counterexample.has_value());
+  // The counterexample is a genuine omission-not-crash pattern.
+  EXPECT_TRUE(sync_omission(1)->holds(*r.counterexample));
+  EXPECT_FALSE(sync_crash(1)->holds(*r.counterexample));
+}
+
+TEST(Lattice, SnapshotImpliesSwmr) {
+  // Item 5 is a submodel of item 4: containment + no-self forces some
+  // process (the largest view's owner) to be heard... in fact the minimal
+  // D in the chain excludes its own owner, so |union D| < n.
+  auto r = implies_exhaustive(*atomic_snapshot(2), *swmr_shared_memory(2), 3, 1);
+  EXPECT_TRUE(r.holds) << r.counterexample->to_string();
+}
+
+TEST(Lattice, SwmrDoesNotImplySnapshot) {
+  auto r = implies_exhaustive(*swmr_shared_memory(2), *atomic_snapshot(2), 3, 1);
+  EXPECT_FALSE(r.holds);
+}
+
+TEST(Lattice, SnapshotWithKMinus1ImpliesKUncertainty) {
+  for (int k = 1; k <= 3; ++k) {
+    auto r = implies_exhaustive(*atomic_snapshot(k - 1), *k_uncertainty(k), 3, 1);
+    EXPECT_TRUE(r.holds) << "k=" << k << "\n"
+                         << r.counterexample->to_string();
+  }
+}
+
+TEST(Lattice, EqualAnnouncementsEquivalentTo1Uncertainty) {
+  auto r = equivalent_exhaustive(*equal_announcements(), *k_uncertainty(1), 3, 2);
+  EXPECT_TRUE(r.equivalent());
+}
+
+TEST(Lattice, ImmortalEquivalentToCumulativeNMinus1) {
+  // Item 6's predicate manipulation, exactly.
+  ImmortalProcess immortal;
+  CumulativeFaultBound bound(2);  // n - 1 for n = 3
+  auto r = equivalent_exhaustive(immortal, bound, 3, 2);
+  EXPECT_TRUE(r.equivalent());
+  EXPECT_TRUE(r.forward.holds);
+  EXPECT_TRUE(r.backward.holds);
+}
+
+TEST(Lattice, AsyncIsSubmodelOfQuorumSkewButNotConversely) {
+  auto fwd = implies_exhaustive(*async_message_passing(1), *quorum_skew(2, 1),
+                                3, 1);
+  EXPECT_TRUE(fwd.holds);
+  // B allows a process to miss t=2 others, violating |D| <= 1.
+  auto bwd = implies_exhaustive(*quorum_skew(2, 1), *async_message_passing(1),
+                                3, 1);
+  EXPECT_FALSE(bwd.holds);
+}
+
+TEST(Lattice, KUncertaintyDoesNotImplySnapshot) {
+  // The converse of Corollary 3.2's step fails: bounded uncertainty says
+  // nothing about containment.
+  auto r = implies_exhaustive(*k_uncertainty(2), *atomic_snapshot(1), 3, 1);
+  EXPECT_FALSE(r.holds);
+}
+
+TEST(Lattice, NoMutualMissAndSomeoneHeardAreIncomparable) {
+  NoMutualMiss nmm;
+  SomeoneHeardByAll sha;
+  EXPECT_FALSE(implies_exhaustive(nmm, sha, 3, 1).holds);
+  EXPECT_FALSE(implies_exhaustive(sha, nmm, 3, 1).holds);
+}
+
+TEST(Lattice, UncertaintyIsMonotoneInK) {
+  for (int k = 1; k <= 2; ++k) {
+    auto r = implies_exhaustive(*k_uncertainty(k), *k_uncertainty(k + 1), 3, 1);
+    EXPECT_TRUE(r.holds);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sampled checks (larger systems)
+// ---------------------------------------------------------------------------
+
+TEST(SampledImplication, PassesForTrueImplications) {
+  SnapshotAdversary adv(16, 1, /*seed=*/5);
+  auto r = implies_on_samples(adv, *k_uncertainty(2), 3, 500);
+  EXPECT_TRUE(r.holds);
+  EXPECT_EQ(r.patterns_checked, 500);
+}
+
+TEST(SampledImplication, RefutesWithACounterexample) {
+  AsyncAdversary adv(8, 3, /*seed=*/5);
+  auto r = implies_on_samples(adv, *atomic_snapshot(3), 3, 500);
+  EXPECT_FALSE(r.holds);
+  ASSERT_TRUE(r.counterexample.has_value());
+  EXPECT_FALSE(atomic_snapshot(3)->holds(*r.counterexample));
+}
+
+}  // namespace
+}  // namespace rrfd::core

@@ -1,0 +1,266 @@
+// Failure detectors meet RRFDs: the Section 7 bridge, executably.
+#include "fdetect/bridge.h"
+
+#include <gtest/gtest.h>
+
+#include "agreement/s_consensus.h"
+#include "agreement/tasks.h"
+#include "core/adversaries.h"
+#include "core/engine.h"
+#include "core/predicates.h"
+#include "xform/pattern_checks.h"
+
+namespace rrfd::fdetect {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CrashSchedule
+// ---------------------------------------------------------------------------
+
+TEST(CrashSchedule, TracksCrashTimes) {
+  CrashSchedule sched(4);
+  sched.crash_at(1, 10);
+  sched.crash_at(3, 5);
+  EXPECT_EQ(sched.crashed_by(4), core::ProcessSet(4));
+  EXPECT_EQ(sched.crashed_by(5), core::ProcessSet(4, {3}));
+  EXPECT_EQ(sched.crashed_by(100), core::ProcessSet(4, {1, 3}));
+  EXPECT_EQ(sched.correct(), core::ProcessSet(4, {0, 2}));
+  EXPECT_TRUE(sched.is_crashed(3, 5));
+  EXPECT_FALSE(sched.is_crashed(3, 4));
+}
+
+// ---------------------------------------------------------------------------
+// Oracles
+// ---------------------------------------------------------------------------
+
+TEST(PerfectOracle, SuspectsExactlyTheCrashed) {
+  CrashSchedule sched(4);
+  sched.crash_at(2, 7);
+  PerfectOracle oracle(sched);
+  EXPECT_TRUE(oracle.suspects(0, 6).empty());
+  EXPECT_EQ(oracle.suspects(0, 7), core::ProcessSet(4, {2}));
+  EXPECT_EQ(oracle.suspects(3, 1000), core::ProcessSet(4, {2}));
+}
+
+TEST(StrongOracle, NeverSuspectsTheDesignatedProcess) {
+  CrashSchedule sched(5);
+  sched.crash_at(4, 3);
+  StrongOracle oracle(sched, /*seed=*/7, /*never_suspected=*/2,
+                      /*false_suspicion=*/0.9);
+  for (long t = 0; t < 50; ++t) {
+    for (core::ProcId i = 0; i < 5; ++i) {
+      const core::ProcessSet s = oracle.suspects(i, t);
+      EXPECT_FALSE(s.contains(2));
+      if (t >= 3) {
+        EXPECT_TRUE(s.contains(4));  // strong completeness
+      }
+    }
+  }
+}
+
+TEST(StrongOracle, FalseSuspicionsDoHappen) {
+  CrashSchedule sched(5);
+  StrongOracle oracle(sched, 7, 0, 0.5);
+  bool false_suspicion = false;
+  for (long t = 0; t < 20 && !false_suspicion; ++t) {
+    false_suspicion = !oracle.suspects(1, t).empty();
+  }
+  EXPECT_TRUE(false_suspicion) << "an S oracle may be capriciously wrong";
+}
+
+TEST(StrongOracle, DesignatedProcessMustBeCorrect) {
+  CrashSchedule sched(3);
+  sched.crash_at(1, 0);
+  EXPECT_THROW(StrongOracle(sched, 1, /*never_suspected=*/1),
+               ContractViolation);
+}
+
+TEST(EventuallyStrongOracle, AccuracyOnlyAfterStabilization) {
+  CrashSchedule sched(4);
+  EventuallyStrongOracle oracle(sched, /*seed=*/3, /*stabilization=*/50,
+                                /*never_suspected=*/1,
+                                /*false_suspicion=*/0.9);
+  bool suspected_early = false;
+  for (long t = 0; t < 50; ++t) {
+    suspected_early = suspected_early || oracle.suspects(0, t).contains(1);
+  }
+  EXPECT_TRUE(suspected_early) << "pre-stabilization accuracy is not owed";
+  for (long t = 50; t < 120; ++t) {
+    EXPECT_FALSE(oracle.suspects(0, t).contains(1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The bridge: detector-driven rounds produce RRFD patterns
+// ---------------------------------------------------------------------------
+
+TEST(Bridge, PerfectOracleFaultFreeRunHasEmptyPattern) {
+  CrashSchedule sched(4);
+  PerfectOracle oracle(sched);
+  DetectorBridge bridge(sched, oracle, /*seed=*/1);
+  BridgeResult result = bridge.run(3);
+  EXPECT_TRUE(core::NeverFaulty().holds(result.pattern))
+      << result.pattern.to_string();
+}
+
+TEST(Bridge, CrashedSendersAppearInEveryLaterRow) {
+  CrashSchedule sched(4);
+  sched.crash_at(3, 0);  // crashed from the start
+  PerfectOracle oracle(sched);
+  DetectorBridge bridge(sched, oracle, 2);
+  BridgeResult result = bridge.run(3);
+  for (core::Round r = 1; r <= 3; ++r) {
+    for (core::ProcId i = 0; i < 3; ++i) {
+      EXPECT_EQ(result.pattern.d(i, r), core::ProcessSet(4, {3}));
+    }
+  }
+}
+
+TEST(Bridge, StrongOraclePatternSatisfiesTheSPredicate) {
+  // Weak accuracy => the designated process is never in any D(i,r):
+  // exactly item 6's RRFD.
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    CrashSchedule sched(5);
+    sched.crash_at(4, 12);
+    StrongOracle oracle(sched, seed, /*never_suspected=*/1, 0.6);
+    DetectorBridge bridge(sched, oracle, seed * 17 + 1);
+    BridgeResult result = bridge.run(5);
+    EXPECT_TRUE(core::detector_s()->holds(result.pattern))
+        << result.pattern.to_string();
+    EXPECT_FALSE(result.pattern.cumulative_union().contains(1));
+  }
+}
+
+TEST(Bridge, WaitIsResolvedOnlyThroughSuspicionOrDelivery) {
+  // Whatever lands in D(i,r) was suspected at completion time; since the
+  // oracle never suspects the observer itself, i never misses itself.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    CrashSchedule sched(4);
+    StrongOracle oracle(sched, seed, 0, 0.8);
+    DetectorBridge bridge(sched, oracle, seed + 5);
+    BridgeResult result = bridge.run(4);
+    EXPECT_TRUE(core::NoSelfSuspicion().holds(result.pattern));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rederiving the classical results (Section 7's program)
+// ---------------------------------------------------------------------------
+
+std::vector<agreement::SConsensus> make_consensus(int n,
+                                                  const std::vector<int>& in) {
+  std::vector<agreement::SConsensus> ps;
+  for (int v : in) ps.emplace_back(n, v);
+  return ps;
+}
+
+TEST(Bridge, ConsensusWithSThroughTheBridge) {
+  // S => consensus, with up to n-1 failures: bridge the oracle into a
+  // pattern, replay it through the engine, run the rotating coordinator.
+  const int n = 5;
+  std::vector<int> inputs{3, 1, 4, 1, 5};
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    CrashSchedule sched(n);
+    sched.crash_at(0, 6);
+    sched.crash_at(4, 20);
+    StrongOracle oracle(sched, seed, /*never_suspected=*/2, 0.5);
+    DetectorBridge bridge(sched, oracle, seed * 31 + 7);
+    BridgeResult bridged = bridge.run(n);
+
+    auto ps = make_consensus(n, inputs);
+    core::ScriptedAdversary adv(bridged.pattern);
+    auto result = core::run_rounds(ps, adv);
+
+    // Decisions count for processes alive through the whole bridged run.
+    const core::ProcessSet alive = sched.crashed_by(1L << 30).complement();
+    auto check = agreement::check_consensus(inputs, result.decisions, alive);
+    EXPECT_TRUE(check.ok) << "seed " << seed << ": " << check.failure << "\n"
+                          << bridged.pattern.to_string();
+  }
+}
+
+TEST(Bridge, DiamondSTooEarlyCanFailAndAfterStabilizationAlwaysWorks) {
+  const int n = 4;
+  std::vector<int> inputs{7, 8, 9, 6};
+  bool early_failure = false;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    CrashSchedule sched(n);
+    EventuallyStrongOracle oracle(sched, seed, /*stabilization=*/1000,
+                                  /*never_suspected=*/0,
+                                  /*false_suspicion=*/0.7);
+    DetectorBridge bridge(sched, oracle, seed * 3 + 2);
+    // Run 2n rounds: the first n happen well before stabilization.
+    BridgeResult bridged = bridge.run(2 * n);
+
+    // (a) the n-round algorithm on the unstabilized prefix can disagree.
+    {
+      auto ps = make_consensus(n, inputs);
+      core::ScriptedAdversary adv(bridged.pattern.prefix(n));
+      auto result = core::run_rounds(ps, adv);
+      auto check = agreement::check_consensus(inputs, result.decisions,
+                                              core::ProcessSet::all(n));
+      early_failure = early_failure || !check.ok;
+    }
+  }
+  EXPECT_TRUE(early_failure)
+      << "diamond-S before stabilization should sometimes break the "
+         "n-round algorithm";
+
+  // (b) any window after stabilization satisfies the S predicate, so the
+  // algorithm always works there.
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    CrashSchedule sched(n);
+    EventuallyStrongOracle oracle(sched, seed, /*stabilization=*/0,
+                                  /*never_suspected=*/0, 0.7);
+    DetectorBridge bridge(sched, oracle, seed * 3 + 2);
+    BridgeResult bridged = bridge.run(n);
+    ASSERT_TRUE(core::detector_s()->holds(bridged.pattern));
+    auto ps = make_consensus(n, inputs);
+    core::ScriptedAdversary adv(bridged.pattern);
+    auto result = core::run_rounds(ps, adv);
+    auto check = agreement::check_consensus(inputs, result.decisions,
+                                            core::ProcessSet::all(n));
+    EXPECT_TRUE(check.ok) << check.failure;
+  }
+}
+
+TEST(Bridge, PerfectOracleGivesTheCrashModel) {
+  // P-driven rounds announce exactly the crashed: among the processes
+  // that stay alive, the resulting pattern is a synchronous crash
+  // pattern (monotone after the crash round, budget = #crashes). Crashed
+  // processes' own rows go vacuous, so the check restricts to survivors.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    CrashSchedule sched(5);
+    sched.crash_at(2, 4);
+    sched.crash_at(0, 15);
+    PerfectOracle oracle(sched);
+    DetectorBridge bridge(sched, oracle, seed);
+    BridgeResult result = bridge.run(5);
+    EXPECT_TRUE(core::CumulativeFaultBound(2).holds(result.pattern));
+    // Once a process is missed by a survivor, P keeps announcing it: its
+    // membership in survivor rows is monotone round over round.
+    const core::ProcessSet survivors = sched.correct();
+    for (core::ProcId victim : core::ProcessSet(5, {0, 2}).members()) {
+      bool seen = false;
+      for (core::Round r = 1; r <= result.pattern.rounds(); ++r) {
+        bool in_all = true;
+        bool in_some = false;
+        for (core::ProcId i : survivors.members()) {
+          const bool present = result.pattern.d(i, r).contains(victim);
+          in_all = in_all && present;
+          in_some = in_some || present;
+        }
+        if (seen) {
+          EXPECT_TRUE(in_all) << "victim " << victim << " forgotten at round "
+                              << r << "\n" << result.pattern.to_string();
+        }
+        // A round after the crash fully announces the victim.
+        seen = seen || in_all;
+        (void)in_some;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rrfd::fdetect

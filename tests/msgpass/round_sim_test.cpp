@@ -1,0 +1,174 @@
+// Item 3 forward direction: the asynchronous message-passing system with
+// enforced rounds implements the async RRFD (predicate 3).
+#include "msgpass/round_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/predicates.h"
+
+namespace rrfd::msgpass {
+namespace {
+
+/// Protocol that records everything (and floods minima, for end-to-end
+/// agreement checks).
+class Recorder : public RoundProtocol {
+ public:
+  Recorder(int n, std::vector<int> inputs)
+      : n_(n), mins_(std::move(inputs)) {}
+
+  std::uint64_t emit(ProcId i, Round r) override {
+    emitted_[{i, r}] = static_cast<std::uint64_t>(
+        mins_[static_cast<std::size_t>(i)]);
+    return emitted_[{i, r}];
+  }
+
+  void deliver(ProcId i, Round r, ProcId src, std::uint64_t payload) override {
+    deliveries_[{i, r}].insert(src);
+    mins_[static_cast<std::size_t>(i)] =
+        std::min(mins_[static_cast<std::size_t>(i)], static_cast<int>(payload));
+  }
+
+  void round_complete(ProcId i, Round r, const ProcessSet& missing) override {
+    completed_.insert_or_assign(std::make_pair(i, r), missing);
+    // Sanity: nothing delivered for this round may be in the missing set.
+    for (ProcId src : deliveries_[{i, r}]) {
+      EXPECT_FALSE(missing.contains(src));
+    }
+  }
+
+  int n_;
+  std::vector<int> mins_;
+  std::map<std::pair<ProcId, Round>, std::uint64_t> emitted_;
+  std::map<std::pair<ProcId, Round>, std::set<ProcId>> deliveries_;
+  std::map<std::pair<ProcId, Round>, ProcessSet> completed_;
+};
+
+TEST(RoundEnforcedSim, FaultFreeRunDeliversEverythingEventually) {
+  const int n = 5;
+  Recorder rec(n, {5, 4, 3, 2, 1});
+  RoundEnforcedSim sim(n, /*f=*/0, /*seed=*/1);
+  FaultPattern p = sim.run(rec, /*rounds=*/3);
+  // f = 0: every round waits for all n messages; D always empty.
+  EXPECT_TRUE(core::NeverFaulty().holds(p));
+  for (int v : rec.mins_) EXPECT_EQ(v, 1);
+}
+
+class RoundEnforcedSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(RoundEnforcedSweep, PatternSatisfiesPredicate3) {
+  auto [n, f, seed] = GetParam();
+  std::vector<int> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(i);
+  Recorder rec(n, inputs);
+  RoundEnforcedSim sim(n, f, seed);
+  FaultPattern p = sim.run(rec, /*rounds=*/4);
+  EXPECT_TRUE(core::async_message_passing(f)->holds(p)) << p.to_string();
+}
+
+TEST_P(RoundEnforcedSweep, PatternSatisfiesPredicate3WithCrashes) {
+  auto [n, f, seed] = GetParam();
+  if (f == 0) GTEST_SKIP() << "no crash budget";
+  std::vector<int> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(i);
+  Recorder rec(n, inputs);
+  RoundEnforcedSim sim(n, f, seed);
+  sim.add_crash({/*who=*/0, /*in_round=*/2, /*reaches=*/n / 2});
+  FaultPattern p = sim.run(rec, /*rounds=*/4);
+  EXPECT_TRUE(core::async_message_passing(f)->holds(p)) << p.to_string();
+  EXPECT_TRUE(sim.crashed().contains(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RoundEnforcedSweep,
+    ::testing::Combine(::testing::Values(4, 6, 10, 20),
+                       ::testing::Values(0, 1, 2),
+                       ::testing::Values(3u, 1009u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, std::uint64_t>>& pinfo) {
+      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_f" +
+             std::to_string(std::get<1>(pinfo.param)) + "_s" +
+             std::to_string(std::get<2>(pinfo.param));
+    });
+
+TEST(RoundEnforcedSim, LateMessagesAreDiscarded) {
+  // With f = 1, a process may close a round while one sender's message is
+  // still in flight; the message must not surface later. The Recorder's
+  // round_complete sanity check (delivered => not missing) plus the
+  // communication-closedness assertion here cover it.
+  const int n = 4;
+  Recorder rec(n, {0, 1, 2, 3});
+  RoundEnforcedSim sim(n, /*f=*/1, /*seed=*/77);
+  FaultPattern p = sim.run(rec, /*rounds=*/5);
+  // Every delivery recorded for round r came from a sender not in D(i,r).
+  for (const auto& [key, missing] : rec.completed_) {
+    for (ProcId src : rec.deliveries_[key]) {
+      EXPECT_FALSE(missing.contains(src));
+    }
+  }
+  (void)p;
+}
+
+TEST(RoundEnforcedSim, SelfMessageMayBeLate) {
+  // The paper explicitly allows p_i in D(i,r): with f >= 1 some seed
+  // should exhibit a process whose own message arrived after it closed
+  // the round.
+  bool saw_self_late = false;
+  for (std::uint64_t seed = 0; seed < 200 && !saw_self_late; ++seed) {
+    const int n = 4;
+    Recorder rec(n, {0, 1, 2, 3});
+    RoundEnforcedSim sim(n, /*f=*/1, seed);
+    FaultPattern p = sim.run(rec, /*rounds=*/3);
+    for (core::Round r = 1; r <= p.rounds(); ++r) {
+      for (ProcId i = 0; i < n; ++i) {
+        saw_self_late = saw_self_late || p.d(i, r).contains(i);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_self_late);
+}
+
+TEST(RoundEnforcedSim, CrashBudgetIsEnforced) {
+  RoundEnforcedSim sim(4, /*f=*/1, /*seed=*/1);
+  sim.add_crash({0, 1, 0});
+  EXPECT_THROW(sim.add_crash({1, 1, 0}), ContractViolation);
+}
+
+TEST(RoundEnforcedSim, DuplicateCrashPlanRejected) {
+  RoundEnforcedSim sim(4, /*f=*/2, /*seed=*/1);
+  sim.add_crash({0, 1, 0});
+  EXPECT_THROW(sim.add_crash({0, 2, 1}), ContractViolation);
+}
+
+TEST(RoundEnforcedSim, FloodMinOverRealAsyncAgrees) {
+  // End-to-end: flood-min over the enforced rounds with f crash budget and
+  // f+1 rounds gives consensus among alive processes when crashes are
+  // full-stop (reach nobody) -- the crash-model guarantee.
+  const int n = 6, f = 2;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    std::vector<int> inputs{9, 8, 7, 6, 5, 4};
+    Recorder rec(n, inputs);
+    RoundEnforcedSim sim(n, f, seed);
+    sim.add_crash({1, 1, 0});  // crashes reaching nobody: clean crashes
+    sim.add_crash({2, 2, 0});
+    sim.run(rec, f + 1);
+    std::set<int> survivors_mins;
+    for (ProcId i = 0; i < n; ++i) {
+      if (!sim.crashed().contains(i)) {
+        survivors_mins.insert(rec.mins_[static_cast<std::size_t>(i)]);
+      }
+    }
+    EXPECT_EQ(survivors_mins.size(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(RoundEnforcedSim, IsSingleUse) {
+  Recorder rec(3, {1, 2, 3});
+  RoundEnforcedSim sim(3, 0, 1);
+  sim.run(rec, 1);
+  EXPECT_THROW(sim.run(rec, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rrfd::msgpass

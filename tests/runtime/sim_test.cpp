@@ -1,0 +1,192 @@
+#include "runtime/sim.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/schedulers.h"
+
+namespace rrfd::runtime {
+namespace {
+
+TEST(Simulation, RunsEveryBodyToCompletion) {
+  std::vector<int> hits(4, 0);
+  Simulation sim(4, [&](Context& ctx) {
+    ctx.step();
+    ++hits[static_cast<std::size_t>(ctx.id())];
+  });
+  RoundRobinScheduler sched;
+  SimOutcome out = sim.run(sched);
+  EXPECT_EQ(out.completed, ProcessSet::all(4));
+  EXPECT_TRUE(out.crashed.empty());
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Simulation, ContextReportsIdAndN) {
+  std::vector<ProcId> ids;
+  Simulation sim(3, [&](Context& ctx) {
+    EXPECT_EQ(ctx.n(), 3);
+    ids.push_back(ctx.id());
+  });
+  RoundRobinScheduler sched;
+  sim.run(sched);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<ProcId>{0, 1, 2}));
+}
+
+TEST(Simulation, StepsAreSerialized) {
+  // A plain int incremented by all processes with read-modify-write across
+  // a step boundary stays consistent only because execution is serialized
+  // and steps are the only interleaving points.
+  int counter = 0;
+  Simulation sim(8, [&](Context& ctx) {
+    for (int i = 0; i < 100; ++i) {
+      ctx.step();
+      counter = counter + 1;  // not atomic on purpose
+    }
+  });
+  RandomScheduler sched(/*seed=*/99);
+  sim.run(sched);
+  EXPECT_EQ(counter, 800);
+}
+
+TEST(Simulation, ScheduleIsDeterministicGivenSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulation sim(4, [](Context& ctx) {
+      for (int i = 0; i < 5; ++i) ctx.step();
+    });
+    RandomScheduler sched(seed);
+    return sim.run(sched).schedule;
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+  EXPECT_NE(run_once(7), run_once(8));
+}
+
+TEST(Simulation, ScriptedScheduleIsFollowed) {
+  std::vector<ProcId> order;
+  Simulation sim(3, [&](Context& ctx) {
+    ctx.step();
+    order.push_back(ctx.id());
+  });
+  // First grants run bodies up to their first step; the next grant for
+  // each runs body-after-step (recording) to completion.
+  ScriptedScheduler sched({{2, false}, {0, false}, {2, false}, {1, false},
+                           {0, false}, {1, false}});
+  sim.run(sched);
+  EXPECT_EQ(order, (std::vector<ProcId>{2, 0, 1}));
+}
+
+TEST(Simulation, CrashStopsAProcessMidProtocol) {
+  std::vector<int> progress(3, 0);
+  Simulation sim(3, [&](Context& ctx) {
+    for (int i = 0; i < 10; ++i) {
+      ctx.step();
+      ++progress[static_cast<std::size_t>(ctx.id())];
+    }
+  });
+  // Crash process 1 immediately; let the others run.
+  ScriptedScheduler sched({{1, true}});
+  SimOutcome out = sim.run(sched);
+  EXPECT_EQ(out.crashed, ProcessSet(3, {1}));
+  EXPECT_EQ(out.completed, ProcessSet(3, {0, 2}));
+  EXPECT_EQ(progress[1], 0);
+  EXPECT_EQ(progress[0], 10);
+  EXPECT_EQ(progress[2], 10);
+}
+
+TEST(Simulation, CrashLeavesPartialEffectsVisible) {
+  // A crash between two writes must leave the first write visible -- the
+  // crash semantics of asynchronous shared memory.
+  int first = 0, second = 0;
+  Simulation sim(2, [&](Context& ctx) {
+    if (ctx.id() == 0) {
+      ctx.step();
+      first = 1;
+      ctx.step();
+      second = 1;
+    } else {
+      ctx.step();
+    }
+  });
+  // p0: initial grant, then one step (performs first=1), then crash.
+  ScriptedScheduler sched({{0, false}, {0, false}, {0, true}, {1, false},
+                           {1, false}});
+  SimOutcome out = sim.run(sched);
+  EXPECT_TRUE(out.crashed.contains(0));
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 0);
+}
+
+TEST(Simulation, RandomCrashInjectionRespectsBudget) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Simulation sim(6, [](Context& ctx) {
+      for (int i = 0; i < 20; ++i) ctx.step();
+    });
+    RandomScheduler sched(seed, /*crash_prob=*/0.1, /*max_crashes=*/2);
+    SimOutcome out = sim.run(sched);
+    EXPECT_LE(out.crashed.size(), 2);
+    EXPECT_EQ(out.completed.size() + out.crashed.size(), 6);
+  }
+}
+
+TEST(Simulation, ExceptionsInBodiesPropagate) {
+  Simulation sim(2, [](Context& ctx) {
+    ctx.step();
+    if (ctx.id() == 1) throw std::runtime_error("protocol bug");
+  });
+  RoundRobinScheduler sched;
+  EXPECT_THROW(sim.run(sched), std::runtime_error);
+}
+
+TEST(Simulation, StepBudgetThrows) {
+  Simulation sim(2, [](Context& ctx) {
+    for (;;) ctx.step();  // never terminates
+  });
+  RoundRobinScheduler sched;
+  EXPECT_THROW(sim.run(sched, /*max_steps=*/100), StepBudgetExhausted);
+}
+
+TEST(Simulation, IsSingleUse) {
+  Simulation sim(1, [](Context& ctx) { ctx.step(); });
+  RoundRobinScheduler sched;
+  sim.run(sched);
+  EXPECT_THROW(sim.run(sched), ContractViolation);
+}
+
+TEST(Simulation, PerProcessBodies) {
+  int a = 0, b = 0;
+  std::vector<Simulation::Body> bodies;
+  bodies.push_back([&](Context& ctx) {
+    ctx.step();
+    a = 1;
+  });
+  bodies.push_back([&](Context& ctx) {
+    ctx.step();
+    b = 2;
+  });
+  Simulation sim(std::move(bodies));
+  RoundRobinScheduler sched;
+  sim.run(sched);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST(Simulation, BodyWithNoStepsStillRuns) {
+  bool ran = false;
+  Simulation sim(1, [&](Context&) { ran = true; });
+  RoundRobinScheduler sched;
+  SimOutcome out = sim.run(sched);
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(out.completed.contains(0));
+}
+
+TEST(Simulation, SchedulerPickMustBeRunnable) {
+  // A scheduler that always picks 0, even after 0 finished.
+  struct AlwaysZero final : Scheduler {
+    Choice pick(const ProcessSet&, int) override { return {0, false}; }
+  };
+  Simulation sim(2, [](Context& ctx) { ctx.step(); });
+  AlwaysZero sched;
+  EXPECT_THROW(sim.run(sched), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rrfd::runtime

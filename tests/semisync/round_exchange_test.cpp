@@ -1,0 +1,108 @@
+// Unit tests for the 2-step round structure, driven directly (no
+// simulator): exact control over what arrives at each step.
+#include "semisync/round_exchange.h"
+
+#include <gtest/gtest.h>
+
+namespace rrfd::semisync {
+namespace {
+
+std::optional<RoundExchange::RoundView> step(RoundExchange& ex,
+                                             std::vector<Envelope> received,
+                                             int payload,
+                                             std::optional<Broadcast>& out) {
+  return ex.on_step(received, payload, out);
+}
+
+TEST(RoundExchange, BroadcastsWhenNothingReceivedFirst) {
+  RoundExchange ex(3, 0);
+  std::optional<Broadcast> out;
+  auto view = step(ex, {}, 42, out);
+  EXPECT_FALSE(view.has_value());  // first step: no round completes
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->round, 1);
+  EXPECT_EQ(out->payload, 42);
+}
+
+TEST(RoundExchange, StaysSilentAfterReceivingARoundMessage) {
+  RoundExchange ex(3, 0);
+  std::optional<Broadcast> out;
+  auto view = step(ex, {Envelope{1, 1, 7}}, 42, out);
+  EXPECT_FALSE(view.has_value());
+  EXPECT_FALSE(out.has_value()) << "the read-modify-write must silence us";
+}
+
+TEST(RoundExchange, SecondStepCompletesTheRound) {
+  RoundExchange ex(3, 0);
+  std::optional<Broadcast> out;
+  step(ex, {Envelope{1, 1, 7}}, 42, out);
+  auto view = step(ex, {Envelope{2, 1, 9}}, 42, out);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->round, 1);
+  EXPECT_EQ(view->heard, core::ProcessSet(3, {1, 2}));
+  EXPECT_EQ(view->fault_set, core::ProcessSet(3, {0}));
+  EXPECT_EQ(view->values.at(1), 7);
+  EXPECT_EQ(view->values.at(2), 9);
+  EXPECT_EQ(ex.current_round(), 2);
+}
+
+TEST(RoundExchange, LateMessagesAreDiscarded) {
+  RoundExchange ex(3, 0);
+  std::optional<Broadcast> out;
+  step(ex, {}, 1, out);
+  step(ex, {Envelope{1, 1, 5}}, 1, out);  // round 1 done
+  // A straggler round-1 message arrives during round 2: ignored.
+  step(ex, {Envelope{2, 1, 6}}, 1, out);
+  auto view = step(ex, {}, 1, out);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->round, 2);
+  EXPECT_FALSE(view->heard.contains(2));
+}
+
+TEST(RoundExchange, EarlyMessagesBufferForTheirRound) {
+  RoundExchange ex(3, 0);
+  std::optional<Broadcast> out;
+  // A round-2 message arrives while we're still in round 1.
+  step(ex, {Envelope{1, 2, 55}}, 1, out);
+  EXPECT_TRUE(out.has_value()) << "no round-1 message seen: we broadcast";
+  step(ex, {}, 1, out);  // round 1 completes (empty)
+  // Round 2, first step: the buffered message silences us.
+  step(ex, {}, 1, out);
+  EXPECT_FALSE(out.has_value());
+  auto view = step(ex, {}, 1, out);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->round, 2);
+  EXPECT_TRUE(view->heard.contains(1));
+  EXPECT_EQ(view->values.at(1), 55);
+}
+
+TEST(RoundExchange, OwnBroadcastCountsWhenDeliveredBack) {
+  RoundExchange ex(2, 0);
+  std::optional<Broadcast> out;
+  step(ex, {}, 3, out);
+  ASSERT_TRUE(out.has_value());
+  // Self-delivery of our own broadcast on the second step.
+  auto view = step(ex, {Envelope{0, 1, 3}}, 3, out);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_TRUE(view->heard.contains(0));
+  EXPECT_EQ(view->fault_set, core::ProcessSet(2, {1}));
+}
+
+TEST(RoundExchange, EmptyRoundYieldsFullFaultSet) {
+  RoundExchange ex(2, 0);
+  std::optional<Broadcast> out;
+  step(ex, {}, 1, out);
+  auto view = step(ex, {}, 1, out);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_TRUE(view->heard.empty());
+  EXPECT_TRUE(view->fault_set.full());  // the degenerate D = S outcome
+}
+
+TEST(RoundExchange, ValidatesConstruction) {
+  EXPECT_THROW(RoundExchange(0, 0), ContractViolation);
+  EXPECT_THROW(RoundExchange(3, 3), ContractViolation);
+  EXPECT_THROW(RoundExchange(3, -1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rrfd::semisync

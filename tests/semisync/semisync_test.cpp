@@ -1,0 +1,274 @@
+// The semi-synchronous (DDS) substrate and Section 5's algorithms.
+#include "semisync/consensus.h"
+
+#include <gtest/gtest.h>
+
+#include "agreement/tasks.h"
+#include "core/predicates.h"
+#include "xform/semisync_pattern.h"
+
+namespace rrfd::semisync {
+namespace {
+
+// ---------------------------------------------------------------------------
+// StepSim basics
+// ---------------------------------------------------------------------------
+
+/// Minimal process: broadcasts once, then counts what it receives.
+class PingCounter final : public StepProcess {
+ public:
+  explicit PingCounter(int decide_after) : decide_after_(decide_after) {}
+
+  std::optional<Broadcast> step(const std::vector<Envelope>& received) override {
+    for (const Envelope& env : received) {
+      ++heard_;
+      senders_.push_back(env.sender);
+    }
+    ++steps_;
+    if (steps_ == 1) return Broadcast{1, 99};
+    return std::nullopt;
+  }
+
+  bool decided() const override { return steps_ >= decide_after_; }
+  int decision() const override { return heard_; }
+
+  int heard_ = 0;
+  int steps_ = 0;
+  std::vector<core::ProcId> senders_;
+
+ private:
+  int decide_after_;
+};
+
+TEST(StepSim, BroadcastReachesEveryoneWithinPhi1) {
+  const int n = 4;
+  std::vector<PingCounter> procs;
+  for (int i = 0; i < n; ++i) procs.emplace_back(/*decide_after=*/6);
+  std::vector<StepProcess*> raw;
+  for (auto& p : procs) raw.push_back(&p);
+
+  StepSimOptions opts;
+  opts.phi = 1;
+  opts.seed = 5;
+  StepSim sim(raw, opts);
+  StepSimResult result = sim.run();
+  EXPECT_TRUE(result.all_alive_decided);
+  // Everyone broadcast once; with phi = 1 everything is delivered by the
+  // end (6 steps per process is plenty).
+  for (const auto& p : procs) EXPECT_EQ(p.heard_, n);
+}
+
+TEST(StepSim, CrashedProcessStopsStepping) {
+  const int n = 3;
+  std::vector<PingCounter> procs;
+  for (int i = 0; i < n; ++i) procs.emplace_back(4);
+  std::vector<StepProcess*> raw;
+  for (auto& p : procs) raw.push_back(&p);
+
+  StepSimOptions opts;
+  opts.seed = 7;
+  StepSim sim(raw, opts);
+  sim.crash_after(0, 1);  // p0 takes exactly one step (its broadcast)
+  StepSimResult result = sim.run();
+  EXPECT_TRUE(result.crashed.contains(0));
+  EXPECT_EQ(procs[0].steps_, 1);
+  // p0's broadcast still reaches the others (reliable broadcast).
+  for (int i = 1; i < n; ++i) {
+    EXPECT_NE(std::find(procs[static_cast<std::size_t>(i)].senders_.begin(),
+                        procs[static_cast<std::size_t>(i)].senders_.end(), 0),
+              procs[static_cast<std::size_t>(i)].senders_.end());
+  }
+}
+
+TEST(StepSim, NeverScheduledProcess) {
+  std::vector<PingCounter> procs;
+  procs.emplace_back(2);
+  procs.emplace_back(2);
+  std::vector<StepProcess*> raw{&procs[0], &procs[1]};
+  StepSimOptions opts;
+  StepSim sim(raw, opts);
+  sim.crash_after(0, 0);  // never runs
+  StepSimResult result = sim.run();
+  EXPECT_TRUE(result.crashed.contains(0));
+  EXPECT_EQ(procs[0].steps_, 0);
+  EXPECT_TRUE(result.all_alive_decided);
+}
+
+TEST(StepSim, StepBudgetStopsRun) {
+  // A process that never decides exhausts the budget.
+  class Forever final : public StepProcess {
+   public:
+    std::optional<Broadcast> step(const std::vector<Envelope>&) override {
+      return std::nullopt;
+    }
+    bool decided() const override { return false; }
+    int decision() const override { return 0; }
+  };
+  Forever p;
+  std::vector<StepProcess*> raw{&p};
+  StepSimOptions opts;
+  opts.max_events = 50;
+  StepSim sim(raw, opts);
+  StepSimResult result = sim.run();
+  EXPECT_FALSE(result.all_alive_decided);
+  EXPECT_EQ(result.events, 50);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 5.1: the 2-step round structure yields equation (5) at phi = 1
+// ---------------------------------------------------------------------------
+
+class Theorem51Sweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(Theorem51Sweep, EqualAnnouncementsAtPhi1) {
+  auto [n, seed] = GetParam();
+  StepSimOptions opts;
+  opts.phi = 1;
+  opts.seed = seed;
+  auto result = xform::semisync_pattern(n, /*rounds=*/4, opts);
+  ASSERT_TRUE(result.completed);
+  ASSERT_FALSE(result.had_full_fault_set);
+  EXPECT_TRUE(core::equal_announcements()->holds(result.pattern))
+      << result.pattern.to_string();
+  // Exactly one broadcaster per round is heard: |D| = n-1 for every row.
+  for (core::Round r = 1; r <= result.pattern.rounds(); ++r) {
+    EXPECT_EQ(result.pattern.d(0, r).size(), n - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem51Sweep,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8, 16),
+                       ::testing::Values(1u, 9u, 123u, 777u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, std::uint64_t>>& pinfo) {
+      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_s" +
+             std::to_string(std::get<1>(pinfo.param));
+    });
+
+TEST(Theorem51, Phi2AdmitsViolations) {
+  // Beyond the model's delivery guarantee the theorem must fail for some
+  // schedule: either unequal D sets or an empty round view.
+  bool violated = false;
+  for (std::uint64_t seed = 0; seed < 300 && !violated; ++seed) {
+    StepSimOptions opts;
+    opts.phi = 2;
+    opts.early_delivery_prob = 0.2;
+    opts.seed = seed;
+    auto result = xform::semisync_pattern(4, /*rounds=*/3, opts);
+    if (!result.completed || result.had_full_fault_set) {
+      violated = true;
+      break;
+    }
+    violated = !core::equal_announcements()->holds(result.pattern);
+  }
+  EXPECT_TRUE(violated);
+}
+
+// ---------------------------------------------------------------------------
+// 2-step consensus (Section 5's headline) and the naive 2n-step baseline
+// ---------------------------------------------------------------------------
+
+template <typename Algo>
+struct ConsensusRun {
+  std::vector<std::optional<int>> decisions;
+  std::vector<int> steps;
+  bool completed = false;
+};
+
+template <typename Algo>
+ConsensusRun<Algo> run_consensus(int n, const std::vector<int>& inputs,
+                                 std::uint64_t seed,
+                                 const std::vector<std::pair<int, int>>& crashes = {}) {
+  std::vector<Algo> procs;
+  for (int i = 0; i < n; ++i) {
+    procs.emplace_back(n, i, inputs[static_cast<std::size_t>(i)]);
+  }
+  std::vector<StepProcess*> raw;
+  for (auto& p : procs) raw.push_back(&p);
+  StepSimOptions opts;
+  opts.phi = 1;
+  opts.seed = seed;
+  StepSim sim(raw, opts);
+  for (auto [who, after] : crashes) sim.crash_after(who, after);
+  StepSimResult result = sim.run();
+
+  ConsensusRun<Algo> out;
+  out.completed = result.all_alive_decided;
+  out.steps = result.steps_taken;
+  out.decisions.assign(static_cast<std::size_t>(n), std::nullopt);
+  for (int i = 0; i < n; ++i) {
+    if (!result.crashed.contains(i) &&
+        procs[static_cast<std::size_t>(i)].decided()) {
+      out.decisions[static_cast<std::size_t>(i)] =
+          procs[static_cast<std::size_t>(i)].decision();
+    }
+  }
+  return out;
+}
+
+class SemiSyncConsensusSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(SemiSyncConsensusSweep, TwoStepConsensusAgreesAndTakes2Steps) {
+  auto [n, seed] = GetParam();
+  std::vector<int> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(50 + i);
+  auto run = run_consensus<TwoStepConsensus>(n, inputs, seed);
+  ASSERT_TRUE(run.completed);
+  auto check = agreement::check_consensus(inputs, run.decisions,
+                                          core::ProcessSet::all(n));
+  EXPECT_TRUE(check.ok) << check.failure;
+  for (int s : run.steps) EXPECT_EQ(s, 2);  // the headline: 2 steps
+}
+
+TEST_P(SemiSyncConsensusSweep, NaiveBaselineAgreesAndTakes2NSteps) {
+  auto [n, seed] = GetParam();
+  std::vector<int> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(i * 2);
+  auto run = run_consensus<NaiveRepeatConsensus>(n, inputs, seed);
+  ASSERT_TRUE(run.completed);
+  auto check = agreement::check_consensus(inputs, run.decisions,
+                                          core::ProcessSet::all(n));
+  EXPECT_TRUE(check.ok) << check.failure;
+  for (int s : run.steps) EXPECT_EQ(s, 2 * n);  // DDS's original complexity
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SemiSyncConsensusSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 6, 12, 32),
+                       ::testing::Values(4u, 44u, 444u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, std::uint64_t>>& pinfo) {
+      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_s" +
+             std::to_string(std::get<1>(pinfo.param));
+    });
+
+TEST(SemiSyncConsensus, ToleratesCrashes) {
+  // Crash a process right after its first step (it may have been the
+  // round's broadcaster); consensus must still hold among the rest --
+  // the broadcast is reliable, so either everyone heard it or it never
+  // broadcast.
+  const int n = 5;
+  std::vector<int> inputs{3, 1, 4, 1, 5};
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    auto run = run_consensus<TwoStepConsensus>(n, inputs, seed, {{0, 1}});
+    ASSERT_TRUE(run.completed);
+    core::ProcessSet alive = core::ProcessSet::all(n).without(0);
+    auto check = agreement::check_consensus(inputs, run.decisions, alive);
+    EXPECT_TRUE(check.ok) << "seed " << seed << ": " << check.failure;
+  }
+}
+
+TEST(SemiSyncConsensus, DecisionMatchesTheRoundsBroadcaster) {
+  const int n = 4;
+  std::vector<int> inputs{10, 11, 12, 13};
+  auto run = run_consensus<TwoStepConsensus>(n, inputs, /*seed=*/6);
+  ASSERT_TRUE(run.completed);
+  // All decisions equal some input (validity) -- and since exactly one
+  // process broadcasts in round 1, they all equal that process's input.
+  const int v = *run.decisions[0];
+  for (const auto& d : run.decisions) EXPECT_EQ(*d, v);
+}
+
+}  // namespace
+}  // namespace rrfd::semisync

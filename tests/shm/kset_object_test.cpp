@@ -1,0 +1,78 @@
+#include "shm/kset_object.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/schedulers.h"
+
+namespace rrfd::shm {
+namespace {
+
+TEST(KSetObject, FirstProposalWins) {
+  KSetObject obj(2, /*seed=*/1);
+  EXPECT_EQ(obj.propose_unsimulated(41), 41);
+  ASSERT_EQ(obj.winners().size(), 1u);
+  EXPECT_EQ(obj.winners()[0], 41);
+}
+
+TEST(KSetObject, ValidityEveryReturnWasProposed) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    KSetObject obj(3, seed);
+    std::set<int> proposed;
+    for (int v = 0; v < 10; ++v) {
+      proposed.insert(v * 7);
+      const int got = obj.propose_unsimulated(v * 7);
+      EXPECT_TRUE(proposed.count(got)) << "returned unproposed " << got;
+    }
+  }
+}
+
+TEST(KSetObject, AtMostKDistinctReturns) {
+  for (int k = 1; k <= 4; ++k) {
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+      KSetObject obj(k, seed);
+      std::set<int> returns;
+      for (int v = 0; v < 30; ++v) returns.insert(obj.propose_unsimulated(v));
+      EXPECT_LE(static_cast<int>(returns.size()), k);
+    }
+  }
+}
+
+TEST(KSetObject, KEqualsOneIsConsensus) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    KSetObject obj(1, seed);
+    const int first = obj.propose_unsimulated(5);
+    EXPECT_EQ(first, 5);
+    for (int v = 6; v < 16; ++v) EXPECT_EQ(obj.propose_unsimulated(v), 5);
+  }
+}
+
+TEST(KSetObject, DeterministicGivenSeed) {
+  KSetObject a(3, 42), b(3, 42);
+  for (int v = 0; v < 20; ++v) {
+    EXPECT_EQ(a.propose_unsimulated(v), b.propose_unsimulated(v));
+  }
+}
+
+TEST(KSetObject, ProposeTakesOneStep) {
+  KSetObject obj(2, 7);
+  runtime::Simulation sim(3, [&](runtime::Context& ctx) {
+    const int got = obj.propose_unsimulated(ctx.id());
+    (void)got;
+    obj.propose(ctx, ctx.id() + 10);
+  });
+  runtime::RandomScheduler sched(3);
+  runtime::SimOutcome out = sim.run(sched);
+  // Each body: 1 start grant + 1 step grant + completion happens within
+  // the step grant; 2 grants per process.
+  EXPECT_EQ(out.steps, 6);
+  EXPECT_LE(static_cast<int>(obj.winners().size()), 2);
+}
+
+TEST(KSetObject, RejectsInvalidK) {
+  EXPECT_THROW(KSetObject(0, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rrfd::shm

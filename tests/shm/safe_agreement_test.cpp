@@ -1,0 +1,192 @@
+// Safe agreement: always agrees, decides unless a crash lands in the
+// doorway -- the complement of adopt-commit on the wait-free frontier.
+#include "shm/safe_agreement.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/explorer.h"
+#include "runtime/schedulers.h"
+
+namespace rrfd::shm {
+namespace {
+
+using runtime::Context;
+using runtime::RandomScheduler;
+using runtime::RoundRobinScheduler;
+using runtime::ScriptedScheduler;
+using runtime::Simulation;
+
+struct RunOutput {
+  std::vector<std::optional<int>> decisions;
+  core::ProcessSet crashed;
+
+  explicit RunOutput(int n) : decisions(static_cast<std::size_t>(n)), crashed(n) {}
+};
+
+/// Everyone proposes its own id*10, then polls resolve a bounded number
+/// of times (so doorway crashes surface as "undecided", not hangs).
+RunOutput run_bounded(int n, runtime::Scheduler& sched, int polls = 50) {
+  SafeAgreement sa(n);
+  RunOutput out(n);
+  Simulation sim(n, [&](Context& ctx) {
+    sa.propose(ctx, ctx.id() * 10);
+    for (int p = 0; p < polls; ++p) {
+      const std::optional<int> d = sa.resolve(ctx);
+      if (d) {
+        out.decisions[static_cast<std::size_t>(ctx.id())] = d;
+        return;
+      }
+    }
+  });
+  out.crashed = sim.run(sched).crashed;
+  return out;
+}
+
+TEST(SafeAgreement, SoloProposerDecidesItsOwnValue) {
+  RoundRobinScheduler sched;
+  auto out = run_bounded(1, sched);
+  EXPECT_EQ(out.decisions[0], std::optional<int>(0));
+}
+
+TEST(SafeAgreement, CrashFreeRunsAlwaysDecideAndAgree) {
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    RandomScheduler sched(seed);
+    auto out = run_bounded(4, sched);
+    std::set<int> values;
+    for (const auto& d : out.decisions) {
+      ASSERT_TRUE(d.has_value()) << "seed " << seed;
+      values.insert(*d);
+      EXPECT_EQ(*d % 10, 0);  // validity: somebody's proposal
+    }
+    EXPECT_EQ(values.size(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(SafeAgreement, ExhaustiveTwoProcessAgreement) {
+  runtime::ScheduleExplorer explorer;
+  long disagreements = 0, both_decided = 0;
+  auto stats = explorer.explore([&](runtime::Scheduler& sched) {
+    auto out = run_bounded(2, sched, /*polls=*/3);
+    if (out.decisions[0] && out.decisions[1]) {
+      ++both_decided;
+      if (*out.decisions[0] != *out.decisions[1]) ++disagreements;
+    }
+  });
+  EXPECT_TRUE(stats.exhausted);
+  EXPECT_EQ(disagreements, 0);
+  // (A proposer may burn all its polls while the other sits mid-doorway,
+  // so not every schedule decides -- but plenty do.)
+  EXPECT_GT(both_decided, 0);
+}
+
+TEST(SafeAgreement, ExhaustiveTwoProcessWithOneCrash) {
+  runtime::ScheduleExplorer::Options opts;
+  opts.max_crashes = 1;
+  runtime::ScheduleExplorer explorer(opts);
+  long disagreements = 0;
+  bool blocked_run_seen = false;
+  auto stats = explorer.explore([&](runtime::Scheduler& sched) {
+    auto out = run_bounded(2, sched, /*polls=*/3);
+    if (out.decisions[0] && out.decisions[1] &&
+        *out.decisions[0] != *out.decisions[1]) {
+      ++disagreements;
+    }
+    // A survivor left undecided = the crash landed in the doorway.
+    for (core::ProcId i = 0; i < 2; ++i) {
+      if (!out.crashed.contains(i) &&
+          !out.decisions[static_cast<std::size_t>(i)]) {
+        blocked_run_seen = true;
+      }
+    }
+  });
+  EXPECT_TRUE(stats.exhausted);
+  EXPECT_EQ(disagreements, 0) << "agreement must survive every crash";
+  EXPECT_TRUE(blocked_run_seen)
+      << "some crash placement must block the object (that is the price "
+         "safe agreement pays; otherwise it would solve consensus "
+         "wait-free)";
+}
+
+TEST(SafeAgreement, DoorwayCrashBlocksResolution) {
+  // Crash p0 exactly between its two level writes; p1 must stay
+  // unresolved forever (bounded polls all return nullopt).
+  SafeAgreement sa(2);
+  std::optional<int> p1_decision;
+  int p1_polls = 0;
+  Simulation sim(2, [&](Context& ctx) {
+    if (ctx.id() == 0) {
+      sa.propose(ctx, 111);
+    } else {
+      sa.propose(ctx, 222);
+      for (int p = 0; p < 30; ++p) {
+        ++p1_polls;
+        if (auto d = sa.resolve(ctx)) {
+          p1_decision = d;
+          return;
+        }
+      }
+    }
+  });
+  // p0 grants: start, write1-of-propose (level 1), scan, then CRASH
+  // before the second write.
+  ScriptedScheduler sched({{0, false}, {0, false}, {0, false}, {0, true}});
+  sim.run(sched);
+  EXPECT_FALSE(p1_decision.has_value());
+  EXPECT_EQ(p1_polls, 30);
+}
+
+TEST(SafeAgreement, CrashAfterDoorwayDoesNotBlock) {
+  // Crash p0 after its second write: the object resolves fine.
+  SafeAgreement sa(2);
+  std::optional<int> p1_decision;
+  Simulation sim(2, [&](Context& ctx) {
+    if (ctx.id() == 0) {
+      sa.propose(ctx, 111);
+      for (;;) ctx.step();  // park until crashed
+    } else {
+      sa.propose(ctx, 222);
+      for (int p = 0; p < 30 && !p1_decision; ++p) {
+        p1_decision = sa.resolve(ctx);
+      }
+    }
+  });
+  // p0: start, write1, scan, write2 (doorway closed), then crash.
+  ScriptedScheduler sched({{0, false}, {0, false}, {0, false}, {0, false},
+                           {0, true}});
+  sim.run(sched);
+  ASSERT_TRUE(p1_decision.has_value());
+  EXPECT_EQ(*p1_decision, 111) << "the first through the doorway wins";
+}
+
+TEST(SafeAgreement, LateProposersAdoptTheEarlyDecision) {
+  // p0 completes everything first; p1 and p2 propose afterwards and must
+  // back off to the established value.
+  SafeAgreement sa(3);
+  std::vector<std::optional<int>> decisions(3);
+  Simulation sim(3, [&](Context& ctx) {
+    decisions[static_cast<std::size_t>(ctx.id())] =
+        sa.propose_and_resolve(ctx, ctx.id() + 100);
+  });
+  ScriptedScheduler sched({});  // lowest-first: p0 runs to completion
+  sim.run(sched);
+  for (const auto& d : decisions) EXPECT_EQ(d, std::optional<int>(100));
+}
+
+TEST(SafeAgreement, RandomSweepsNeverDisagree) {
+  for (int n : {3, 5, 8}) {
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+      RandomScheduler sched(seed, /*crash_prob=*/0.02, /*max_crashes=*/n - 1);
+      auto out = run_bounded(n, sched);
+      std::set<int> values;
+      for (const auto& d : out.decisions) {
+        if (d) values.insert(*d);
+      }
+      EXPECT_LE(values.size(), 1u) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rrfd::shm

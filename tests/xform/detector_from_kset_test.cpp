@@ -1,0 +1,113 @@
+// Theorem 3.3: k-set object + SWMR memory => k-uncertainty detector.
+#include "xform/detector_from_kset.h"
+
+#include <gtest/gtest.h>
+
+#include "core/predicates.h"
+#include "runtime/schedulers.h"
+#include "xform/pattern_checks.h"
+
+namespace rrfd::xform {
+namespace {
+
+using runtime::RandomScheduler;
+using runtime::RoundRobinScheduler;
+
+TEST(DetectorFromKSet, SequentialRunAnnouncesNobody) {
+  // Round-robin, no crashes: everyone sees everyone's output, and with
+  // k-set validity at least the winners' identifiers propagate; under
+  // round-robin all outputs are written before any collect completes...
+  RoundRobinScheduler sched;
+  auto result = run_detector_from_kset(4, 2, /*rounds=*/2, sched, /*seed=*/1);
+  EXPECT_TRUE(result.crashed.empty());
+  EXPECT_TRUE(k_uncertainty_holds_among(result.pattern,
+                                        core::ProcessSet::all(4), 2));
+}
+
+class DetectorSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(DetectorSweep, PatternSatisfiesKUncertainty) {
+  auto [n, k, seed] = GetParam();
+  for (int trial = 0; trial < 15; ++trial) {
+    RandomScheduler sched(seed + static_cast<std::uint64_t>(trial) * 13);
+    auto result =
+        run_detector_from_kset(n, k, /*rounds=*/3, sched,
+                               seed * 7 + static_cast<std::uint64_t>(trial));
+    ASSERT_TRUE(result.crashed.empty());
+    EXPECT_TRUE(k_uncertainty_holds_among(result.pattern,
+                                          core::ProcessSet::all(n), k))
+        << result.pattern.to_string();
+  }
+}
+
+TEST_P(DetectorSweep, PatternSatisfiesKUncertaintyWithCrashes) {
+  auto [n, k, seed] = GetParam();
+  if (k >= n) GTEST_SKIP();
+  for (int trial = 0; trial < 15; ++trial) {
+    RandomScheduler sched(seed + static_cast<std::uint64_t>(trial) * 17,
+                          /*crash_prob=*/0.01, /*max_crashes=*/k - 1 > 0 ? k - 1 : 0);
+    auto result =
+        run_detector_from_kset(n, k, /*rounds=*/2, sched,
+                               seed + static_cast<std::uint64_t>(trial));
+    const core::ProcessSet alive = result.crashed.complement();
+    EXPECT_TRUE(k_uncertainty_holds_among(result.pattern, alive, k))
+        << result.pattern.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DetectorSweep,
+    ::testing::Combine(::testing::Values(3, 5, 8),
+                       ::testing::Values(1, 2, 3),
+                       ::testing::Values(1u, 31u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, std::uint64_t>>& pinfo) {
+      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_k" +
+             std::to_string(std::get<1>(pinfo.param)) + "_s" +
+             std::to_string(std::get<2>(pinfo.param));
+    });
+
+TEST(DetectorFromKSet, EmissionsOfQAreAlwaysVisible) {
+  // The theorem's delivery claim: every identifier in Q has already
+  // emitted its round value when D(i,r) is computed.
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    RandomScheduler sched(seed);
+    auto result = run_detector_from_kset(6, 2, /*rounds=*/3, sched, seed);
+    for (const auto& round : result.emission_visible) {
+      for (bool visible : round) EXPECT_TRUE(visible);
+    }
+  }
+}
+
+TEST(DetectorFromKSet, KEqualsOneGivesEqualAnnouncements) {
+  // With a consensus object (k = 1) all Q's agree up to the committed
+  // winner: uncertainty 0 -- equal announcements among alive processes.
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    RandomScheduler sched(seed);
+    auto result = run_detector_from_kset(5, 1, /*rounds=*/2, sched, seed);
+    EXPECT_TRUE(k_uncertainty_holds_among(result.pattern,
+                                          core::ProcessSet::all(5), 1))
+        << result.pattern.to_string();
+  }
+}
+
+TEST(DetectorFromKSet, UncertaintyActuallyOccursForLargeK) {
+  // Non-degeneracy: with k = 3 and adversarial schedules, some round
+  // should show nonzero disagreement (otherwise the construction is
+  // trivially strong and the test proves nothing).
+  bool disagreement = false;
+  for (std::uint64_t seed = 0; seed < 60 && !disagreement; ++seed) {
+    RandomScheduler sched(seed);
+    auto result = run_detector_from_kset(6, 3, /*rounds=*/3, sched, seed);
+    for (core::Round r = 1; r <= result.pattern.rounds(); ++r) {
+      disagreement =
+          disagreement || !(result.pattern.round_union(r) -
+                            result.pattern.round_intersection(r))
+                               .empty();
+    }
+  }
+  EXPECT_TRUE(disagreement);
+}
+
+}  // namespace
+}  // namespace rrfd::xform

@@ -1,0 +1,125 @@
+// The iterated-snapshot executors: real shared-memory rounds feeding the
+// RRFD algorithms (item 5 / reference [4], end to end).
+#include "xform/iis_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "agreement/one_round_kset.h"
+#include "agreement/tasks.h"
+#include "core/predicates.h"
+#include "runtime/schedulers.h"
+#include "xform/pattern_checks.h"
+
+namespace rrfd::xform {
+namespace {
+
+using agreement::OneRoundKSet;
+using runtime::RandomScheduler;
+using runtime::RoundRobinScheduler;
+
+std::vector<OneRoundKSet> make_kset(const std::vector<int>& inputs) {
+  std::vector<OneRoundKSet> ps;
+  for (int v : inputs) ps.emplace_back(v);
+  return ps;
+}
+
+TEST(IisExecutor, WaitFreePatternSatisfiesItem5) {
+  const int n = 5;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    std::vector<int> inputs{1, 2, 3, 4, 5};
+    auto procs = make_kset(inputs);
+    RandomScheduler sched(seed);
+    auto result = run_over_iis(procs, /*rounds=*/3, sched);
+    ASSERT_TRUE(result.crashed.empty());
+    EXPECT_TRUE(core::atomic_snapshot(n - 1)->holds(result.pattern))
+        << result.pattern.to_string();
+  }
+}
+
+TEST(IisExecutor, ResilientPatternSatisfiesItem5WithBoundF) {
+  const int f = 2;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    std::vector<int> inputs{1, 2, 3, 4, 5};
+    auto procs = make_kset(inputs);
+    RandomScheduler sched(seed);
+    auto result = run_over_iis(procs, /*rounds=*/3, sched, f);
+    ASSERT_TRUE(result.crashed.empty());
+    EXPECT_TRUE(core::atomic_snapshot(f)->holds(result.pattern))
+        << result.pattern.to_string();
+  }
+}
+
+TEST(IisExecutor, Corollary32EndToEnd) {
+  // One-round k-set agreement over a LIVE snapshot memory with k-1 crash
+  // failures -- Corollary 3.2 running on the real substrate.
+  for (int k = 1; k <= 3; ++k) {
+    std::vector<int> inputs{10, 11, 12, 13, 14, 15};
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+      auto procs = make_kset(inputs);
+      RandomScheduler sched(seed, /*crash_prob=*/0.01,
+                            /*max_crashes=*/k - 1);
+      auto result = run_over_iis(procs, /*rounds=*/1, sched, /*f=*/k - 1);
+      const core::ProcessSet alive = result.crashed.complement();
+      auto check = agreement::check_k_set_agreement(inputs, result.decisions,
+                                                    k, alive);
+      EXPECT_TRUE(check.ok) << "k=" << k << " seed=" << seed << ": "
+                            << check.failure << "\n"
+                            << result.pattern.to_string();
+    }
+  }
+}
+
+TEST(IisExecutor, WaitFreeViewsCanBeTiny) {
+  // The wait-free regime really is wait-free: a process that runs solo
+  // (scheduler prioritizes it to completion) sees only itself, i.e.
+  // |D| = n-1 -- this is what separates the IIS model from the
+  // f-resilient one, where such a view is impossible.
+  const int n = 4;
+  std::vector<int> inputs{1, 2, 3, 4};
+  auto procs = make_kset(inputs);
+  // Empty script: the fallback always picks the lowest runnable process,
+  // so p0 runs start to finish before anyone else moves.
+  runtime::ScriptedScheduler sched({});
+  auto result = run_over_iis(procs, /*rounds=*/1, sched);
+  EXPECT_EQ(result.pattern.d(0, 1), core::ProcessSet(n, {1, 2, 3}));
+  EXPECT_EQ(*result.decisions[0], 1);  // decided its own value
+}
+
+TEST(IisExecutor, ResilientViewsAreNeverSmallerThanNMinusF) {
+  const int n = 6, f = 2;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    std::vector<int> inputs{1, 2, 3, 4, 5, 6};
+    auto procs = make_kset(inputs);
+    RandomScheduler sched(seed);
+    auto result = run_over_iis(procs, /*rounds=*/2, sched, f);
+    for (core::Round r = 1; r <= 2; ++r) {
+      for (core::ProcId i = 0; i < n; ++i) {
+        EXPECT_LE(result.pattern.d(i, r).size(), f);
+      }
+    }
+  }
+}
+
+TEST(IisExecutor, CrashedExecutorsSurfaceAsMisses) {
+  // Crash one executor before it writes: with the wait-free regime the
+  // others can finish, and the crashed process appears in D sets.
+  std::vector<int> inputs{1, 2, 3, 4};
+  auto procs = make_kset(inputs);
+  runtime::ScriptedScheduler sched({{3, true}});  // crash p3 immediately
+  auto result = run_over_iis(procs, /*rounds=*/1, sched);
+  ASSERT_TRUE(result.crashed.contains(3));
+  for (core::ProcId i = 0; i < 3; ++i) {
+    EXPECT_TRUE(result.pattern.d(i, 1).contains(3));
+    EXPECT_TRUE(result.decisions[static_cast<std::size_t>(i)].has_value());
+  }
+}
+
+TEST(IisExecutor, RejectsBadResilience) {
+  std::vector<int> inputs{1, 2, 3};
+  auto procs = make_kset(inputs);
+  RoundRobinScheduler sched;
+  EXPECT_THROW(run_over_iis(procs, 1, sched, /*f=*/3), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rrfd::xform

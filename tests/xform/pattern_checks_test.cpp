@@ -1,0 +1,83 @@
+#include "xform/pattern_checks.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adversaries.h"
+#include "core/predicates.h"
+
+namespace rrfd::xform {
+namespace {
+
+using core::FaultPattern;
+using core::ProcessSet;
+
+TEST(CrashPatternAmong, AgreesWithFullPredicateWhenAllAlive) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    core::CrashAdversary adv(6, 2, seed);
+    FaultPattern p = core::record_pattern(adv, 4);
+    EXPECT_EQ(crash_pattern_holds_among(p, ProcessSet::all(6), 2),
+              core::sync_crash(2)->holds(p))
+        << p.to_string();
+  }
+}
+
+TEST(CrashPatternAmong, IgnoresDeadRows) {
+  // Build a pattern where a "dead" row forgets an announcement -- invalid
+  // over all rows, valid when row 2 is excluded.
+  const int n = 3;
+  FaultPattern p(n);
+  p.append({ProcessSet(n, {1}), ProcessSet(n), ProcessSet(n)});
+  p.append({ProcessSet(n, {1}), ProcessSet(n, {1}), ProcessSet(n)});
+  EXPECT_FALSE(crash_pattern_holds_among(p, ProcessSet::all(n), 1));
+  EXPECT_TRUE(crash_pattern_holds_among(p, ProcessSet(n, {0, 1}), 1));
+}
+
+TEST(CrashPatternAmong, BudgetEnforced) {
+  const int n = 4;
+  FaultPattern p(n);
+  p.append({ProcessSet(n, {1, 2}), ProcessSet(n, {1, 2}),
+            ProcessSet(n, {1, 2}), ProcessSet(n, {1, 2})});
+  EXPECT_TRUE(crash_pattern_holds_among(p, ProcessSet::all(n), 2));
+  EXPECT_FALSE(crash_pattern_holds_among(p, ProcessSet::all(n), 1));
+}
+
+TEST(CrashPatternAmong, SelfSuspicionOnlyAfterAnnouncement) {
+  const int n = 3;
+  FaultPattern bad(n);
+  bad.append({ProcessSet(n, {0}), ProcessSet(n), ProcessSet(n)});
+  EXPECT_FALSE(crash_pattern_holds_among(bad, ProcessSet::all(n), 1));
+
+  FaultPattern good(n);
+  good.append({ProcessSet(n), ProcessSet(n, {0}), ProcessSet(n)});
+  good.append({ProcessSet(n, {0}), ProcessSet(n, {0}), ProcessSet(n, {0})});
+  EXPECT_TRUE(crash_pattern_holds_among(good, ProcessSet::all(n), 1));
+}
+
+TEST(KUncertaintyAmong, AgreesWithFullPredicateWhenAllAlive) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    core::KUncertaintyAdversary adv(6, 2, seed);
+    FaultPattern p = core::record_pattern(adv, 4);
+    EXPECT_EQ(k_uncertainty_holds_among(p, ProcessSet::all(6), 2),
+              core::k_uncertainty(2)->holds(p));
+  }
+}
+
+TEST(KUncertaintyAmong, ExcludedRowCannotBreakIt) {
+  const int n = 3;
+  FaultPattern p(n);
+  // Rows 0 and 1 agree; row 2 wildly disagrees.
+  p.append({ProcessSet(n, {1}), ProcessSet(n, {1}), ProcessSet(n, {0, 1})});
+  EXPECT_FALSE(k_uncertainty_holds_among(p, ProcessSet::all(n), 1));
+  EXPECT_TRUE(k_uncertainty_holds_among(p, ProcessSet(n, {0, 1}), 1));
+}
+
+TEST(PatternChecks, EmptyAliveSetRejected) {
+  FaultPattern p(3);
+  EXPECT_THROW(crash_pattern_holds_among(p, ProcessSet(3), 1),
+               ContractViolation);
+  EXPECT_THROW(k_uncertainty_holds_among(p, ProcessSet(3), 1),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace rrfd::xform

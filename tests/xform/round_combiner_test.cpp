@@ -1,0 +1,205 @@
+// Pattern-level simulations: items 3-4 emulations and Theorem 4.1.
+#include "xform/round_combiner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adversaries.h"
+#include "core/predicates.h"
+#include "util/rng.h"
+
+namespace rrfd::xform {
+namespace {
+
+using core::FaultPattern;
+using core::ProcId;
+using core::ProcessSet;
+using core::record_pattern;
+
+// ---------------------------------------------------------------------------
+// Item 4: 2 async rounds (2f < n) => 1 SWMR round
+// ---------------------------------------------------------------------------
+
+class MajorityEmulationSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(MajorityEmulationSweep, DerivedRoundSatisfiesSwmrPredicates) {
+  auto [n, f, seed] = GetParam();
+  if (2 * f >= n) GTEST_SKIP() << "emulation requires a majority (2f < n)";
+  core::AsyncAdversary adv(n, f, seed);
+  for (int trial = 0; trial < 30; ++trial) {
+    FaultPattern async2 = record_pattern(adv, 2);
+    ASSERT_TRUE(core::async_message_passing(f)->holds(async2));
+    FaultPattern derived = swmr_from_async(async2);
+    ASSERT_EQ(derived.rounds(), 1);
+    EXPECT_TRUE(core::swmr_shared_memory(f)->holds(derived))
+        << "constituents:\n"
+        << async2.to_string() << "derived:\n"
+        << derived.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MajorityEmulationSweep,
+    ::testing::Combine(::testing::Values(3, 5, 9, 21, 63),
+                       ::testing::Values(1, 2),
+                       ::testing::Values(2u, 22u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, std::uint64_t>>& pinfo) {
+      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_f" +
+             std::to_string(std::get<1>(pinfo.param)) + "_s" +
+             std::to_string(std::get<2>(pinfo.param));
+    });
+
+TEST(MajorityEmulation, MultiRoundCombination) {
+  core::AsyncAdversary adv(7, 3, /*seed=*/5);
+  FaultPattern async6 = record_pattern(adv, 6);
+  FaultPattern derived = swmr_from_async(async6);
+  EXPECT_EQ(derived.rounds(), 3);
+  EXPECT_TRUE(core::swmr_shared_memory(3)->holds(derived));
+}
+
+TEST(MajorityEmulation, WithoutMajorityPredicate4CanFail) {
+  // 2f >= n: a partition into two halves that never hear each other
+  // defeats the emulation -- the reason shared memory needs a majority.
+  const int n = 4, f = 2;
+  FaultPattern p(n);
+  const ProcessSet left(n, {0, 1});
+  const ProcessSet right(n, {2, 3});
+  for (int r = 0; r < 2; ++r) {
+    core::RoundFaults round;
+    for (ProcId i = 0; i < n; ++i) {
+      round.push_back(left.contains(i) ? right : left);
+    }
+    p.append(round);
+  }
+  ASSERT_TRUE(core::async_message_passing(f)->holds(p));
+  FaultPattern derived = swmr_from_async(p);
+  EXPECT_FALSE(core::SomeoneHeardByAll().holds(derived));
+}
+
+TEST(MajorityEmulation, OddRoundCountRejected) {
+  core::AsyncAdversary adv(5, 1, 1);
+  FaultPattern p = record_pattern(adv, 3);
+  EXPECT_THROW(swmr_from_async(p), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Item 3: 2 rounds of B (quorum-skew) => 1 round of A (async f)
+// ---------------------------------------------------------------------------
+
+/// Random quorum-skew round: a set Q of up to t processes misses up to t,
+/// the rest miss up to f.
+core::RoundFaults random_skew_round(int n, int t, int f, Rng& rng) {
+  std::vector<int> q = rng.sample_without_replacement(
+      n, static_cast<int>(rng.below(static_cast<std::uint64_t>(t) + 1)));
+  ProcessSet in_q(n);
+  for (int p : q) in_q.add(p);
+  core::RoundFaults round;
+  for (ProcId i = 0; i < n; ++i) {
+    const int bound = in_q.contains(i) ? t : f;
+    const int size = static_cast<int>(rng.below(static_cast<std::uint64_t>(bound) + 1));
+    ProcessSet d(n);
+    for (int m : rng.sample_without_replacement(n, size)) d.add(m);
+    round.push_back(d);
+  }
+  return round;
+}
+
+class QuorumSkewSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(QuorumSkewSweep, TwoBRoundsImplementOneARound) {
+  auto [n, t, f] = GetParam();
+  ASSERT_LT(f, t);
+  ASSERT_LT(2 * t, n);
+  Rng rng(static_cast<std::uint64_t>(n * 1000 + t * 10 + f));
+  for (int trial = 0; trial < 40; ++trial) {
+    FaultPattern b(n);
+    b.append(random_skew_round(n, t, f, rng));
+    b.append(random_skew_round(n, t, f, rng));
+    ASSERT_TRUE(core::quorum_skew(t, f)->holds(b)) << b.to_string();
+    FaultPattern a = async_from_quorum_skew(b);
+    EXPECT_TRUE(core::async_message_passing(f)->holds(a))
+        << "B pattern:\n"
+        << b.to_string() << "derived A round:\n"
+        << a.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuorumSkewSweep,
+    ::testing::Values(std::make_tuple(5, 2, 1), std::make_tuple(7, 3, 1),
+                      std::make_tuple(9, 4, 2), std::make_tuple(21, 8, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, int>>& pinfo) {
+      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_t" +
+             std::to_string(std::get<1>(pinfo.param)) + "_f" +
+             std::to_string(std::get<2>(pinfo.param));
+    });
+
+TEST(QuorumSkew, AIsAStrictSubmodelOfB) {
+  // Every A round is a B round (submodel)...
+  core::AsyncAdversary a_adv(7, 1, /*seed=*/1);
+  for (int trial = 0; trial < 30; ++trial) {
+    FaultPattern p = record_pattern(a_adv, 1);
+    EXPECT_TRUE(core::quorum_skew(3, 1)->holds(p));
+  }
+  // ...but not vice versa: a B round where a Q member misses t > f others.
+  const int n = 7;
+  FaultPattern b(n);
+  core::RoundFaults round(static_cast<std::size_t>(n), ProcessSet(n));
+  round[0] = ProcessSet(n, {1, 2, 3});  // |D| = 3 = t > f = 1
+  b.append(round);
+  EXPECT_TRUE(core::quorum_skew(3, 1)->holds(b));
+  EXPECT_FALSE(core::async_message_passing(1)->holds(b));
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4.1: snapshot(k) over floor(f/k) rounds is omission(f)
+// ---------------------------------------------------------------------------
+
+class Theorem41Sweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};  // n,k,f
+
+TEST_P(Theorem41Sweep, SnapshotPatternIsAnOmissionPattern) {
+  auto [n, k, f] = GetParam();
+  const int rounds = f / k;
+  core::SnapshotAdversary adv(n, k,
+                              static_cast<std::uint64_t>(n + k * 31 + f));
+  for (int trial = 0; trial < 30; ++trial) {
+    FaultPattern snap = record_pattern(adv, rounds);
+    FaultPattern omission = omission_from_snapshot(snap, k, f);
+    EXPECT_TRUE(core::sync_omission(f)->holds(omission))
+        << omission.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem41Sweep,
+    ::testing::Values(std::make_tuple(8, 1, 3), std::make_tuple(8, 2, 6),
+                      std::make_tuple(12, 3, 9), std::make_tuple(32, 2, 7)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, int>>& pinfo) {
+      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_k" +
+             std::to_string(std::get<1>(pinfo.param)) + "_f" +
+             std::to_string(std::get<2>(pinfo.param));
+    });
+
+TEST(Theorem41, TooManyRoundsRejected) {
+  core::SnapshotAdversary adv(8, 2, /*seed=*/3);
+  FaultPattern snap = record_pattern(adv, 4);  // floor(6/2) = 3 < 4
+  EXPECT_THROW(omission_from_snapshot(snap, 2, 6), ContractViolation);
+}
+
+TEST(Theorem41, NonSnapshotInputRejected) {
+  core::AsyncAdversary adv(8, 2, /*seed=*/900);
+  // Find an async pattern violating containment (almost any will).
+  for (int trial = 0; trial < 100; ++trial) {
+    FaultPattern p = record_pattern(adv, 2);
+    if (!core::atomic_snapshot(2)->holds(p)) {
+      EXPECT_THROW(omission_from_snapshot(p, 2, 6), ContractViolation);
+      return;
+    }
+  }
+  FAIL() << "never sampled a non-snapshot async pattern";
+}
+
+}  // namespace
+}  // namespace rrfd::xform
