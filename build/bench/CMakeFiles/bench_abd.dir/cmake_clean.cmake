@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abd.dir/bench_abd.cpp.o"
+  "CMakeFiles/bench_abd.dir/bench_abd.cpp.o.d"
+  "bench_abd"
+  "bench_abd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

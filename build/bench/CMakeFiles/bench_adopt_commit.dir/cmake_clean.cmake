@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adopt_commit.dir/bench_adopt_commit.cpp.o"
+  "CMakeFiles/bench_adopt_commit.dir/bench_adopt_commit.cpp.o.d"
+  "bench_adopt_commit"
+  "bench_adopt_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adopt_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

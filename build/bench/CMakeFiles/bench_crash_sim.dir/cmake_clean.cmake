@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crash_sim.dir/bench_crash_sim.cpp.o"
+  "CMakeFiles/bench_crash_sim.dir/bench_crash_sim.cpp.o.d"
+  "bench_crash_sim"
+  "bench_crash_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crash_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

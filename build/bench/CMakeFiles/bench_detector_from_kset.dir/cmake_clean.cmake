@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detector_from_kset.dir/bench_detector_from_kset.cpp.o"
+  "CMakeFiles/bench_detector_from_kset.dir/bench_detector_from_kset.cpp.o.d"
+  "bench_detector_from_kset"
+  "bench_detector_from_kset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detector_from_kset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

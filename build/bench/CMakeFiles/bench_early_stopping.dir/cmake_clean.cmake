@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_early_stopping.dir/bench_early_stopping.cpp.o"
+  "CMakeFiles/bench_early_stopping.dir/bench_early_stopping.cpp.o.d"
+  "bench_early_stopping"
+  "bench_early_stopping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_early_stopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

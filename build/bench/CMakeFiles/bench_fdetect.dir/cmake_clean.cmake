@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fdetect.dir/bench_fdetect.cpp.o"
+  "CMakeFiles/bench_fdetect.dir/bench_fdetect.cpp.o.d"
+  "bench_fdetect"
+  "bench_fdetect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fdetect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

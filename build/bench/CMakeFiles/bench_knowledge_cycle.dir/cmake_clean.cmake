@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_knowledge_cycle.dir/bench_knowledge_cycle.cpp.o"
+  "CMakeFiles/bench_knowledge_cycle.dir/bench_knowledge_cycle.cpp.o.d"
+  "bench_knowledge_cycle"
+  "bench_knowledge_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_knowledge_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

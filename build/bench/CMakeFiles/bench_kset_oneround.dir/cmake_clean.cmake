@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kset_oneround.dir/bench_kset_oneround.cpp.o"
+  "CMakeFiles/bench_kset_oneround.dir/bench_kset_oneround.cpp.o.d"
+  "bench_kset_oneround"
+  "bench_kset_oneround.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kset_oneround.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

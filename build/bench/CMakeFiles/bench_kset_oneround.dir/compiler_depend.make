@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_kset_oneround.
+# This may be replaced when dependencies are built.

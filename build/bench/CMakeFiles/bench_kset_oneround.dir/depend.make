@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_kset_oneround.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kset_snapshot.dir/bench_kset_snapshot.cpp.o"
+  "CMakeFiles/bench_kset_snapshot.dir/bench_kset_snapshot.cpp.o.d"
+  "bench_kset_snapshot"
+  "bench_kset_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kset_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_mp_emulation.cpp" "bench/CMakeFiles/bench_mp_emulation.dir/bench_mp_emulation.cpp.o" "gcc" "bench/CMakeFiles/bench_mp_emulation.dir/bench_mp_emulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xform/CMakeFiles/rrfd_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/msgpass/CMakeFiles/rrfd_msgpass.dir/DependInfo.cmake"
+  "/root/repo/build/src/agreement/CMakeFiles/rrfd_agreement.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rrfd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/semisync/CMakeFiles/rrfd_semisync.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rrfd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rrfd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mp_emulation.dir/bench_mp_emulation.cpp.o"
+  "CMakeFiles/bench_mp_emulation.dir/bench_mp_emulation.cpp.o.d"
+  "bench_mp_emulation"
+  "bench_mp_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mp_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s_consensus.dir/bench_s_consensus.cpp.o"
+  "CMakeFiles/bench_s_consensus.dir/bench_s_consensus.cpp.o.d"
+  "bench_s_consensus"
+  "bench_s_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

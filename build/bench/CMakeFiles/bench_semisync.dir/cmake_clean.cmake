@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_semisync.dir/bench_semisync.cpp.o"
+  "CMakeFiles/bench_semisync.dir/bench_semisync.cpp.o.d"
+  "bench_semisync"
+  "bench_semisync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_semisync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_detectors.dir/failure_detectors.cpp.o"
+  "CMakeFiles/failure_detectors.dir/failure_detectors.cpp.o.d"
+  "failure_detectors"
+  "failure_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

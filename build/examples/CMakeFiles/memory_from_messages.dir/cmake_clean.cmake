@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_from_messages.dir/memory_from_messages.cpp.o"
+  "CMakeFiles/memory_from_messages.dir/memory_from_messages.cpp.o.d"
+  "memory_from_messages"
+  "memory_from_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_from_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_inspector.dir/pattern_inspector.cpp.o"
+  "CMakeFiles/pattern_inspector.dir/pattern_inspector.cpp.o.d"
+  "pattern_inspector"
+  "pattern_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semisync_consensus.dir/semisync_consensus.cpp.o"
+  "CMakeFiles/semisync_consensus.dir/semisync_consensus.cpp.o.d"
+  "semisync_consensus"
+  "semisync_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semisync_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_vs_async.dir/sync_vs_async.cpp.o"
+  "CMakeFiles/sync_vs_async.dir/sync_vs_async.cpp.o.d"
+  "sync_vs_async"
+  "sync_vs_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_vs_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agreement/phase_consensus.cpp" "src/agreement/CMakeFiles/rrfd_agreement.dir/phase_consensus.cpp.o" "gcc" "src/agreement/CMakeFiles/rrfd_agreement.dir/phase_consensus.cpp.o.d"
+  "/root/repo/src/agreement/tasks.cpp" "src/agreement/CMakeFiles/rrfd_agreement.dir/tasks.cpp.o" "gcc" "src/agreement/CMakeFiles/rrfd_agreement.dir/tasks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rrfd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rrfd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rrfd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrfd_agreement.dir/phase_consensus.cpp.o"
+  "CMakeFiles/rrfd_agreement.dir/phase_consensus.cpp.o.d"
+  "CMakeFiles/rrfd_agreement.dir/tasks.cpp.o"
+  "CMakeFiles/rrfd_agreement.dir/tasks.cpp.o.d"
+  "librrfd_agreement.a"
+  "librrfd_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrfd_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

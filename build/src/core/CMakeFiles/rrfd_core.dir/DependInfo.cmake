@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adversaries.cpp" "src/core/CMakeFiles/rrfd_core.dir/adversaries.cpp.o" "gcc" "src/core/CMakeFiles/rrfd_core.dir/adversaries.cpp.o.d"
+  "/root/repo/src/core/adversary.cpp" "src/core/CMakeFiles/rrfd_core.dir/adversary.cpp.o" "gcc" "src/core/CMakeFiles/rrfd_core.dir/adversary.cpp.o.d"
+  "/root/repo/src/core/fault_pattern.cpp" "src/core/CMakeFiles/rrfd_core.dir/fault_pattern.cpp.o" "gcc" "src/core/CMakeFiles/rrfd_core.dir/fault_pattern.cpp.o.d"
+  "/root/repo/src/core/knowledge.cpp" "src/core/CMakeFiles/rrfd_core.dir/knowledge.cpp.o" "gcc" "src/core/CMakeFiles/rrfd_core.dir/knowledge.cpp.o.d"
+  "/root/repo/src/core/pattern_io.cpp" "src/core/CMakeFiles/rrfd_core.dir/pattern_io.cpp.o" "gcc" "src/core/CMakeFiles/rrfd_core.dir/pattern_io.cpp.o.d"
+  "/root/repo/src/core/predicate.cpp" "src/core/CMakeFiles/rrfd_core.dir/predicate.cpp.o" "gcc" "src/core/CMakeFiles/rrfd_core.dir/predicate.cpp.o.d"
+  "/root/repo/src/core/predicates.cpp" "src/core/CMakeFiles/rrfd_core.dir/predicates.cpp.o" "gcc" "src/core/CMakeFiles/rrfd_core.dir/predicates.cpp.o.d"
+  "/root/repo/src/core/process_set.cpp" "src/core/CMakeFiles/rrfd_core.dir/process_set.cpp.o" "gcc" "src/core/CMakeFiles/rrfd_core.dir/process_set.cpp.o.d"
+  "/root/repo/src/core/submodel.cpp" "src/core/CMakeFiles/rrfd_core.dir/submodel.cpp.o" "gcc" "src/core/CMakeFiles/rrfd_core.dir/submodel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rrfd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrfd_core.dir/adversaries.cpp.o"
+  "CMakeFiles/rrfd_core.dir/adversaries.cpp.o.d"
+  "CMakeFiles/rrfd_core.dir/adversary.cpp.o"
+  "CMakeFiles/rrfd_core.dir/adversary.cpp.o.d"
+  "CMakeFiles/rrfd_core.dir/fault_pattern.cpp.o"
+  "CMakeFiles/rrfd_core.dir/fault_pattern.cpp.o.d"
+  "CMakeFiles/rrfd_core.dir/knowledge.cpp.o"
+  "CMakeFiles/rrfd_core.dir/knowledge.cpp.o.d"
+  "CMakeFiles/rrfd_core.dir/pattern_io.cpp.o"
+  "CMakeFiles/rrfd_core.dir/pattern_io.cpp.o.d"
+  "CMakeFiles/rrfd_core.dir/predicate.cpp.o"
+  "CMakeFiles/rrfd_core.dir/predicate.cpp.o.d"
+  "CMakeFiles/rrfd_core.dir/predicates.cpp.o"
+  "CMakeFiles/rrfd_core.dir/predicates.cpp.o.d"
+  "CMakeFiles/rrfd_core.dir/process_set.cpp.o"
+  "CMakeFiles/rrfd_core.dir/process_set.cpp.o.d"
+  "CMakeFiles/rrfd_core.dir/submodel.cpp.o"
+  "CMakeFiles/rrfd_core.dir/submodel.cpp.o.d"
+  "librrfd_core.a"
+  "librrfd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrfd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fdetect/bridge.cpp" "src/fdetect/CMakeFiles/rrfd_fdetect.dir/bridge.cpp.o" "gcc" "src/fdetect/CMakeFiles/rrfd_fdetect.dir/bridge.cpp.o.d"
+  "/root/repo/src/fdetect/oracle.cpp" "src/fdetect/CMakeFiles/rrfd_fdetect.dir/oracle.cpp.o" "gcc" "src/fdetect/CMakeFiles/rrfd_fdetect.dir/oracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rrfd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rrfd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrfd_fdetect.dir/bridge.cpp.o"
+  "CMakeFiles/rrfd_fdetect.dir/bridge.cpp.o.d"
+  "CMakeFiles/rrfd_fdetect.dir/oracle.cpp.o"
+  "CMakeFiles/rrfd_fdetect.dir/oracle.cpp.o.d"
+  "librrfd_fdetect.a"
+  "librrfd_fdetect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrfd_fdetect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

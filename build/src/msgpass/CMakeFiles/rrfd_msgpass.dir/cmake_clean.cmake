@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrfd_msgpass.dir/abd.cpp.o"
+  "CMakeFiles/rrfd_msgpass.dir/abd.cpp.o.d"
+  "CMakeFiles/rrfd_msgpass.dir/round_sim.cpp.o"
+  "CMakeFiles/rrfd_msgpass.dir/round_sim.cpp.o.d"
+  "librrfd_msgpass.a"
+  "librrfd_msgpass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrfd_msgpass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

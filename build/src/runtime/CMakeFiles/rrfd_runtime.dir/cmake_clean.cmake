@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrfd_runtime.dir/explorer.cpp.o"
+  "CMakeFiles/rrfd_runtime.dir/explorer.cpp.o.d"
+  "CMakeFiles/rrfd_runtime.dir/schedulers.cpp.o"
+  "CMakeFiles/rrfd_runtime.dir/schedulers.cpp.o.d"
+  "CMakeFiles/rrfd_runtime.dir/sim.cpp.o"
+  "CMakeFiles/rrfd_runtime.dir/sim.cpp.o.d"
+  "librrfd_runtime.a"
+  "librrfd_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrfd_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

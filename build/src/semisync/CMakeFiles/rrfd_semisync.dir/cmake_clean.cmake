@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrfd_semisync.dir/network.cpp.o"
+  "CMakeFiles/rrfd_semisync.dir/network.cpp.o.d"
+  "librrfd_semisync.a"
+  "librrfd_semisync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrfd_semisync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rrfd_semisync.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for rrfd_semisync.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrfd_util.dir/log.cpp.o"
+  "CMakeFiles/rrfd_util.dir/log.cpp.o.d"
+  "CMakeFiles/rrfd_util.dir/rng.cpp.o"
+  "CMakeFiles/rrfd_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rrfd_util.dir/str.cpp.o"
+  "CMakeFiles/rrfd_util.dir/str.cpp.o.d"
+  "librrfd_util.a"
+  "librrfd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrfd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xform/detector_from_kset.cpp" "src/xform/CMakeFiles/rrfd_xform.dir/detector_from_kset.cpp.o" "gcc" "src/xform/CMakeFiles/rrfd_xform.dir/detector_from_kset.cpp.o.d"
+  "/root/repo/src/xform/full_info.cpp" "src/xform/CMakeFiles/rrfd_xform.dir/full_info.cpp.o" "gcc" "src/xform/CMakeFiles/rrfd_xform.dir/full_info.cpp.o.d"
+  "/root/repo/src/xform/pattern_checks.cpp" "src/xform/CMakeFiles/rrfd_xform.dir/pattern_checks.cpp.o" "gcc" "src/xform/CMakeFiles/rrfd_xform.dir/pattern_checks.cpp.o.d"
+  "/root/repo/src/xform/round_combiner.cpp" "src/xform/CMakeFiles/rrfd_xform.dir/round_combiner.cpp.o" "gcc" "src/xform/CMakeFiles/rrfd_xform.dir/round_combiner.cpp.o.d"
+  "/root/repo/src/xform/semisync_pattern.cpp" "src/xform/CMakeFiles/rrfd_xform.dir/semisync_pattern.cpp.o" "gcc" "src/xform/CMakeFiles/rrfd_xform.dir/semisync_pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rrfd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rrfd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/agreement/CMakeFiles/rrfd_agreement.dir/DependInfo.cmake"
+  "/root/repo/build/src/semisync/CMakeFiles/rrfd_semisync.dir/DependInfo.cmake"
+  "/root/repo/build/src/msgpass/CMakeFiles/rrfd_msgpass.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rrfd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

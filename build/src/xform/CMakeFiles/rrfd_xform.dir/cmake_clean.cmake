@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrfd_xform.dir/detector_from_kset.cpp.o"
+  "CMakeFiles/rrfd_xform.dir/detector_from_kset.cpp.o.d"
+  "CMakeFiles/rrfd_xform.dir/full_info.cpp.o"
+  "CMakeFiles/rrfd_xform.dir/full_info.cpp.o.d"
+  "CMakeFiles/rrfd_xform.dir/pattern_checks.cpp.o"
+  "CMakeFiles/rrfd_xform.dir/pattern_checks.cpp.o.d"
+  "CMakeFiles/rrfd_xform.dir/round_combiner.cpp.o"
+  "CMakeFiles/rrfd_xform.dir/round_combiner.cpp.o.d"
+  "CMakeFiles/rrfd_xform.dir/semisync_pattern.cpp.o"
+  "CMakeFiles/rrfd_xform.dir/semisync_pattern.cpp.o.d"
+  "librrfd_xform.a"
+  "librrfd_xform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrfd_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_consensus_test.dir/phase_consensus_test.cpp.o"
+  "CMakeFiles/phase_consensus_test.dir/phase_consensus_test.cpp.o.d"
+  "phase_consensus_test"
+  "phase_consensus_test.pdb"
+  "phase_consensus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_consensus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s_consensus_test.dir/s_consensus_test.cpp.o"
+  "CMakeFiles/s_consensus_test.dir/s_consensus_test.cpp.o.d"
+  "s_consensus_test"
+  "s_consensus_test.pdb"
+  "s_consensus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s_consensus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

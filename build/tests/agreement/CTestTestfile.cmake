@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/agreement
+# Build directory: /root/repo/build/tests/agreement
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/agreement/tasks_test[1]_include.cmake")
+include("/root/repo/build/tests/agreement/one_round_kset_test[1]_include.cmake")
+include("/root/repo/build/tests/agreement/flood_min_test[1]_include.cmake")
+include("/root/repo/build/tests/agreement/s_consensus_test[1]_include.cmake")
+include("/root/repo/build/tests/agreement/adopt_commit_test[1]_include.cmake")
+include("/root/repo/build/tests/agreement/early_stopping_test[1]_include.cmake")
+include("/root/repo/build/tests/agreement/phase_consensus_test[1]_include.cmake")
+include("/root/repo/build/tests/agreement/ablation_test[1]_include.cmake")

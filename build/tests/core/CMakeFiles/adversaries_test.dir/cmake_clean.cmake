@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversaries_test.dir/adversaries_test.cpp.o"
+  "CMakeFiles/adversaries_test.dir/adversaries_test.cpp.o.d"
+  "adversaries_test"
+  "adversaries_test.pdb"
+  "adversaries_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversaries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

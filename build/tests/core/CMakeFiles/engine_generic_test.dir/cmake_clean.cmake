@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_generic_test.dir/engine_generic_test.cpp.o"
+  "CMakeFiles/engine_generic_test.dir/engine_generic_test.cpp.o.d"
+  "engine_generic_test"
+  "engine_generic_test.pdb"
+  "engine_generic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_generic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_pattern_test.dir/fault_pattern_test.cpp.o"
+  "CMakeFiles/fault_pattern_test.dir/fault_pattern_test.cpp.o.d"
+  "fault_pattern_test"
+  "fault_pattern_test.pdb"
+  "fault_pattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

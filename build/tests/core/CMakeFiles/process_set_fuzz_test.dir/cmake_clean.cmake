@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_set_fuzz_test.dir/process_set_fuzz_test.cpp.o"
+  "CMakeFiles/process_set_fuzz_test.dir/process_set_fuzz_test.cpp.o.d"
+  "process_set_fuzz_test"
+  "process_set_fuzz_test.pdb"
+  "process_set_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_set_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/process_set_test[1]_include.cmake")
+include("/root/repo/build/tests/core/fault_pattern_test[1]_include.cmake")
+include("/root/repo/build/tests/core/predicates_test[1]_include.cmake")
+include("/root/repo/build/tests/core/adversaries_test[1]_include.cmake")
+include("/root/repo/build/tests/core/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/core/knowledge_test[1]_include.cmake")
+include("/root/repo/build/tests/core/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/core/submodel_test[1]_include.cmake")
+include("/root/repo/build/tests/core/pattern_io_test[1]_include.cmake")
+include("/root/repo/build/tests/core/process_set_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/core/engine_generic_test[1]_include.cmake")
+include("/root/repo/build/tests/core/adversary_stats_test[1]_include.cmake")

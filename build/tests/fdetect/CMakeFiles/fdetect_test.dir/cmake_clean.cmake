@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdetect_test.dir/fdetect_test.cpp.o"
+  "CMakeFiles/fdetect_test.dir/fdetect_test.cpp.o.d"
+  "fdetect_test"
+  "fdetect_test.pdb"
+  "fdetect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdetect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abd_test.dir/abd_test.cpp.o"
+  "CMakeFiles/abd_test.dir/abd_test.cpp.o.d"
+  "abd_test"
+  "abd_test.pdb"
+  "abd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

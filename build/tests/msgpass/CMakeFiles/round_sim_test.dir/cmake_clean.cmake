@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/round_sim_test.dir/round_sim_test.cpp.o"
+  "CMakeFiles/round_sim_test.dir/round_sim_test.cpp.o.d"
+  "round_sim_test"
+  "round_sim_test.pdb"
+  "round_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/round_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/msgpass
+# Build directory: /root/repo/build/tests/msgpass
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/msgpass/round_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/msgpass/abd_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/round_exchange_test.dir/round_exchange_test.cpp.o"
+  "CMakeFiles/round_exchange_test.dir/round_exchange_test.cpp.o.d"
+  "round_exchange_test"
+  "round_exchange_test.pdb"
+  "round_exchange_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/round_exchange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

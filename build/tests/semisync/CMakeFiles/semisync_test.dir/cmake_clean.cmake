@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semisync_test.dir/semisync_test.cpp.o"
+  "CMakeFiles/semisync_test.dir/semisync_test.cpp.o.d"
+  "semisync_test"
+  "semisync_test.pdb"
+  "semisync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semisync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

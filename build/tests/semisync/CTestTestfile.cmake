@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/semisync
+# Build directory: /root/repo/build/tests/semisync
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/semisync/semisync_test[1]_include.cmake")
+include("/root/repo/build/tests/semisync/round_exchange_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kset_object_test.dir/kset_object_test.cpp.o"
+  "CMakeFiles/kset_object_test.dir/kset_object_test.cpp.o.d"
+  "kset_object_test"
+  "kset_object_test.pdb"
+  "kset_object_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kset_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

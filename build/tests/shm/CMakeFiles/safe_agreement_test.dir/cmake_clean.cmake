@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_agreement_test.dir/safe_agreement_test.cpp.o"
+  "CMakeFiles/safe_agreement_test.dir/safe_agreement_test.cpp.o.d"
+  "safe_agreement_test"
+  "safe_agreement_test.pdb"
+  "safe_agreement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/shm
+# Build directory: /root/repo/build/tests/shm
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/shm/registers_test[1]_include.cmake")
+include("/root/repo/build/tests/shm/snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/shm/kset_object_test[1]_include.cmake")
+include("/root/repo/build/tests/shm/safe_agreement_test[1]_include.cmake")

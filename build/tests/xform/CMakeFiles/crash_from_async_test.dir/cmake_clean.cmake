@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_from_async_test.dir/crash_from_async_test.cpp.o"
+  "CMakeFiles/crash_from_async_test.dir/crash_from_async_test.cpp.o.d"
+  "crash_from_async_test"
+  "crash_from_async_test.pdb"
+  "crash_from_async_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_from_async_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_from_kset_test.dir/detector_from_kset_test.cpp.o"
+  "CMakeFiles/detector_from_kset_test.dir/detector_from_kset_test.cpp.o.d"
+  "detector_from_kset_test"
+  "detector_from_kset_test.pdb"
+  "detector_from_kset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_from_kset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/round_combiner_test.dir/round_combiner_test.cpp.o"
+  "CMakeFiles/round_combiner_test.dir/round_combiner_test.cpp.o.d"
+  "round_combiner_test"
+  "round_combiner_test.pdb"
+  "round_combiner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/round_combiner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/xform
+# Build directory: /root/repo/build/tests/xform
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/xform/round_combiner_test[1]_include.cmake")
+include("/root/repo/build/tests/xform/crash_from_async_test[1]_include.cmake")
+include("/root/repo/build/tests/xform/detector_from_kset_test[1]_include.cmake")
+include("/root/repo/build/tests/xform/full_info_test[1]_include.cmake")
+include("/root/repo/build/tests/xform/pattern_checks_test[1]_include.cmake")
+include("/root/repo/build/tests/xform/iis_executor_test[1]_include.cmake")
