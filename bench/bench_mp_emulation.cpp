@@ -134,10 +134,11 @@ void summary() {
       p.append(round);
     }
     core::FaultPattern derived = xform::swmr_from_async(p);
-    std::cout << "  n=4, f=2 partition: predicate 4 holds? "
-              << (core::SomeoneHeardByAll().holds(derived) ? "yes (BUG)"
-                                                           : "no (as expected)")
-              << "\n";
+    bench::summary_out()
+        << "  n=4, f=2 partition: predicate 4 holds? "
+        << (core::SomeoneHeardByAll().holds(derived) ? "yes (BUG)"
+                                                     : "no (as expected)")
+        << "\n";
   }
 }
 

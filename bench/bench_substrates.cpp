@@ -1,14 +1,18 @@
 // E11 -- Substrate performance and structural guarantees.
 //
 // Covers the building blocks the other experiments stand on:
+//  * the round engine itself: emit/announce/absorb throughput of the
+//    zero-copy delivery path every other experiment runs on;
 //  * item 5: immediate-snapshot rounds satisfy the containment predicate;
 //  * item 3's system B: two quorum-skew rounds implement one async round
 //    (why A is not a weakest RRFD for message passing);
 //  * snapshot implementations: reference vs Afek construction step costs.
 #include "shm/snapshot.h"
 
+#include "agreement/flood_min.h"
 #include "bench_util.h"
 #include "core/adversaries.h"
+#include "core/engine.h"
 #include "core/predicates.h"
 #include "runtime/schedulers.h"
 #include "xform/round_combiner.h"
@@ -105,6 +109,30 @@ void summary() {
     table.print();
   }
 }
+
+// The round loop every experiment stands on: flood-min over a fault-free
+// adversary, fixed round count, so the timing isolates the engine's
+// emit/announce/deliver cycle rather than any algorithm or adversary cost.
+void bm_engine_round_loop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const core::Round rounds = 64;
+  core::EngineOptions opts;
+  opts.max_rounds = rounds;
+  opts.stop_when_all_decided = false;
+  core::BenignAdversary adv(n);
+  for (auto _ : state) {
+    std::vector<agreement::FloodMin> ps;
+    ps.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) ps.emplace_back(i, rounds);
+    adv.reset();
+    auto result = core::run_rounds(ps, adv, opts);
+    benchmark::DoNotOptimize(result.rounds);
+  }
+  state.counters["rounds_per_sec"] = benchmark::Counter(
+      static_cast<double>(rounds) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(bm_engine_round_loop)->Arg(8)->Arg(32)->Arg(64)->ArgName("n");
 
 void bm_immediate_snapshot(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

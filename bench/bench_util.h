@@ -4,17 +4,43 @@
 // first prints a plain-text summary table (the "paper-shape" result that
 // EXPERIMENTS.md records), then runs google-benchmark timings. The
 // summary is computed from the same library code the tests validate.
+//
+// Two output channels, kept strictly separate:
+//  * the summary goes to stdout for humans, but to stderr whenever a
+//    machine format is requested (--benchmark_format=json|csv), so that
+//    `bench_x --benchmark_format=json | python3 -m json.tool` parses;
+//  * every run additionally appends one machine-readable JSON object to
+//    BENCH_rrfd.json (override the path with RRFD_BENCH_JSON, tag the
+//    entry with RRFD_BENCH_LABEL) -- the perf trajectory the ROADMAP
+//    tracks. See EXPERIMENTS.md for the schema.
 #pragma once
 
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/str.h"
 
 namespace rrfd::bench {
+
+namespace detail {
+inline std::ostream*& summary_stream() {
+  static std::ostream* stream = &std::cout;
+  return stream;
+}
+}  // namespace detail
+
+/// Where experiment summaries go: stdout normally, stderr when the
+/// benchmark output itself must stay machine-parseable.
+inline std::ostream& summary_out() { return *detail::summary_stream(); }
 
 /// Plain fixed-width table printer for experiment summaries.
 class Table {
@@ -35,7 +61,7 @@ class Table {
     rows_.push_back(std::move(cells));
   }
 
-  void print(std::ostream& os = std::cout) const {
+  void print(std::ostream& os) const {
     for (std::size_t r = 0; r < rows_.size(); ++r) {
       os << "  ";
       for (std::size_t c = 0; c < rows_[r].size(); ++c) {
@@ -52,24 +78,204 @@ class Table {
     }
   }
 
+  void print() const { print(summary_out()); }
+
  private:
   std::vector<std::vector<std::string>> rows_;
   std::vector<std::size_t> widths_;
 };
 
 inline void banner(const std::string& experiment, const std::string& claim) {
-  std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
+  summary_out() << "\n=== " << experiment << " ===\n" << claim << "\n\n";
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable result emission (BENCH_rrfd.json).
+// ---------------------------------------------------------------------------
+
+/// One timed benchmark (one google-benchmark run).
+struct ResultRecord {
+  std::string name;            ///< e.g. "bm_engine_round_loop/n:32"
+  std::int64_t iterations = 0;
+  double real_per_op = 0.0;    ///< in `time_unit`
+  double cpu_per_op = 0.0;     ///< in `time_unit`
+  std::string time_unit;       ///< "ns", "us", ...
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+namespace detail {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string json_number(double v) {
+  // JSON has no NaN/Inf; clamp to null-ish zero rather than emit garbage.
+  if (!(v == v) || v > 1e308 || v < -1e308) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Captures every run while delegating display to the format-appropriate
+/// base reporter (so --benchmark_format keeps working verbatim).
+template <typename Base>
+class CapturingReporter : public Base {
+ public:
+  template <typename... Args>
+  explicit CapturingReporter(std::vector<ResultRecord>* sink, Args&&... args)
+      : Base(std::forward<Args>(args)...), sink_(sink) {}
+
+  void ReportRuns(
+      const std::vector<benchmark::BenchmarkReporter::Run>& reports) override {
+    for (const auto& run : reports) {
+      if (run.error_occurred) continue;
+      if (run.run_type ==
+          benchmark::BenchmarkReporter::Run::RT_Aggregate) {
+        continue;  // keep raw iterations only; aggregates are derivable
+      }
+      ResultRecord rec;
+      rec.name = run.benchmark_name();
+      rec.iterations = static_cast<std::int64_t>(run.iterations);
+      rec.real_per_op = run.GetAdjustedRealTime();
+      rec.cpu_per_op = run.GetAdjustedCPUTime();
+      rec.time_unit = benchmark::GetTimeUnitString(run.time_unit);
+      for (const auto& [key, counter] : run.counters) {
+        rec.counters.emplace_back(key, counter.value);
+      }
+      sink_->push_back(std::move(rec));
+    }
+    Base::ReportRuns(reports);
+  }
+
+ private:
+  std::vector<ResultRecord>* sink_;
+};
+
+}  // namespace detail
+
+#ifndef RRFD_GIT_REV
+#define RRFD_GIT_REV "unknown"
+#endif
+
+/// Appends one JSON object (a single line) describing this bench run to
+/// BENCH_rrfd.json / $RRFD_BENCH_JSON. The file is JSON Lines: each line
+/// parses standalone, and the whole file is a perf trajectory over time.
+inline void write_results_json(const std::string& experiment,
+                               const std::vector<ResultRecord>& records) {
+  if (records.empty()) return;
+  const char* path_env = std::getenv("RRFD_BENCH_JSON");
+  const std::string path = path_env ? path_env : "BENCH_rrfd.json";
+  const char* label_env = std::getenv("RRFD_BENCH_LABEL");
+
+  std::ofstream os(path, std::ios::app);
+  if (!os) {
+    std::cerr << "rrfd-bench: cannot open " << path << " for append\n";
+    return;
+  }
+  os << "{\"experiment\":\"" << detail::json_escape(experiment) << "\""
+     << ",\"git_rev\":\"" << detail::json_escape(RRFD_GIT_REV) << "\"";
+  if (label_env && *label_env) {
+    os << ",\"label\":\"" << detail::json_escape(label_env) << "\"";
+  }
+  os << ",\"results\":[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const ResultRecord& r = records[i];
+    if (i > 0) os << ',';
+    os << "{\"name\":\"" << detail::json_escape(r.name) << "\""
+       << ",\"iterations\":" << r.iterations
+       << ",\"real_per_op\":" << detail::json_number(r.real_per_op)
+       << ",\"cpu_per_op\":" << detail::json_number(r.cpu_per_op)
+       << ",\"time_unit\":\"" << detail::json_escape(r.time_unit) << "\"";
+    if (!r.counters.empty()) {
+      os << ",\"counters\":{";
+      for (std::size_t c = 0; c < r.counters.size(); ++c) {
+        if (c > 0) os << ',';
+        os << "\"" << detail::json_escape(r.counters[c].first)
+           << "\":" << detail::json_number(r.counters[c].second);
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "]}\n";
+}
+
+/// The shared main: routes the summary, runs google-benchmark with a
+/// capturing reporter, and appends the machine-readable record.
+inline int bench_main(int argc, char** argv, void (*summary_fn)()) {
+  // Respect --benchmark_format before google-benchmark even parses it:
+  // a machine format owns stdout, so the summary moves to stderr.
+  std::string format = "console";
+  for (int i = 1; i < argc; ++i) {
+    const char* prefix = "--benchmark_format=";
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
+      format = argv[i] + std::strlen(prefix);
+    }
+  }
+  const bool machine = (format != "console");
+  if (machine) detail::summary_stream() = &std::cerr;
+
+  summary_fn();
+
+  ::benchmark::Initialize(&argc, &argv[0]);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  std::vector<ResultRecord> records;
+  std::size_t ran = 0;
+  if (format == "json") {
+    detail::CapturingReporter<benchmark::JSONReporter> reporter(&records);
+    ran = ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  } else if (format == "csv") {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    detail::CapturingReporter<benchmark::CSVReporter> reporter(&records);
+#pragma GCC diagnostic pop
+    ran = ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  } else {
+    // Match the library's default console behaviour: colors only on ttys.
+    const auto opts = isatty(fileno(stdout))
+                          ? benchmark::ConsoleReporter::OO_ColorTabular
+                          : benchmark::ConsoleReporter::OO_Tabular;
+    detail::CapturingReporter<benchmark::ConsoleReporter> reporter(&records,
+                                                                   opts);
+    ran = ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+  (void)ran;
+
+  // argv[0] may carry a path; the experiment name is the binary name.
+  std::string experiment = argv[0] ? argv[0] : "bench";
+  const std::size_t slash = experiment.find_last_of('/');
+  if (slash != std::string::npos) experiment = experiment.substr(slash + 1);
+  write_results_json(experiment, records);
+
+  ::benchmark::Shutdown();
+  return 0;
 }
 
 }  // namespace rrfd::bench
 
-/// Standard main: experiment summary first, then benchmark timings.
-#define RRFD_BENCH_MAIN(summary_fn)                       \
-  int main(int argc, char** argv) {                       \
-    summary_fn();                                         \
-    ::benchmark::Initialize(&argc, argv);                 \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
-    ::benchmark::RunSpecifiedBenchmarks();                \
-    ::benchmark::Shutdown();                              \
-    return 0;                                             \
+/// Standard main: experiment summary first, then benchmark timings, then
+/// the BENCH_rrfd.json trajectory record.
+#define RRFD_BENCH_MAIN(summary_fn)                        \
+  int main(int argc, char** argv) {                        \
+    return ::rrfd::bench::bench_main(argc, argv, summary_fn); \
   }

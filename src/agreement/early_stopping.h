@@ -23,9 +23,8 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <optional>
-#include <vector>
 
+#include "core/delivery.h"
 #include "core/process_set.h"
 #include "core/types.h"
 #include "util/check.h"
@@ -50,12 +49,12 @@ class EarlyStoppingConsensus {
     return {min_, prev_heard_.bits()};
   }
 
-  void absorb(core::Round r, const std::vector<std::optional<Message>>& inbox,
+  void absorb(core::Round r, const core::DeliveryView<Message>& view,
               const core::ProcessSet& d) {
     const core::ProcessSet heard_now = d.complement();
     bool reports_match = true;
-    for (core::ProcId j : heard_now.members()) {
-      const Message& m = *inbox[static_cast<std::size_t>(j)];
+    for (core::ProcId j : view.senders()) {
+      const Message& m = view[j];
       min_ = std::min(min_, m.min);
       reports_match =
           reports_match && (m.heard_prev_bits == prev_heard_.bits());

@@ -9,9 +9,8 @@
 #pragma once
 
 #include <algorithm>
-#include <optional>
-#include <vector>
 
+#include "core/delivery.h"
 #include "core/process_set.h"
 #include "core/types.h"
 #include "util/check.h"
@@ -32,10 +31,10 @@ class FloodMin {
 
   int emit(core::Round) const { return min_; }
 
-  void absorb(core::Round r, const std::vector<std::optional<int>>& inbox,
+  void absorb(core::Round r, const core::DeliveryView<int>& view,
               const core::ProcessSet&) {
-    for (const auto& m : inbox) {
-      if (m) min_ = std::min(min_, *m);
+    for (core::ProcId j : view.senders()) {
+      min_ = std::min(min_, view[j]);
     }
     if (r >= decide_round_) decided_ = true;
   }

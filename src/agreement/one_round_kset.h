@@ -9,8 +9,8 @@
 #pragma once
 
 #include <optional>
-#include <vector>
 
+#include "core/delivery.h"
 #include "core/process_set.h"
 #include "core/types.h"
 #include "util/check.h"
@@ -26,14 +26,12 @@ class OneRoundKSet {
 
   int emit(core::Round) const { return input_; }
 
-  void absorb(core::Round r, const std::vector<std::optional<int>>& inbox,
-              const core::ProcessSet& d) {
+  void absorb(core::Round r, const core::DeliveryView<int>& view,
+              const core::ProcessSet&) {
     if (r != 1) return;  // everything happens in the first round
-    const core::ProcessSet heard = d.complement();
-    const core::ProcId lowest = heard.min();  // heard != empty since D != S
-    RRFD_ENSURE_MSG(inbox[static_cast<std::size_t>(lowest)].has_value(),
-                    "engine must deliver messages of S \\ D");
-    decision_ = *inbox[static_cast<std::size_t>(lowest)];
+    const core::ProcId lowest = view.senders().min();  // != empty since D != S
+    RRFD_ENSURE_MSG(view.has(lowest), "engine must deliver messages of S \\ D");
+    decision_ = view[lowest];
   }
 
   bool decided() const { return decision_.has_value(); }

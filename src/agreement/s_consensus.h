@@ -13,9 +13,7 @@
 // algorithm for the omission RRFD with f = n-1.
 #pragma once
 
-#include <optional>
-#include <vector>
-
+#include "core/delivery.h"
 #include "core/process_set.h"
 #include "core/types.h"
 #include "util/check.h"
@@ -33,11 +31,11 @@ class SConsensus {
 
   int emit(core::Round) const { return estimate_; }
 
-  void absorb(core::Round r, const std::vector<std::optional<int>>& inbox,
+  void absorb(core::Round r, const core::DeliveryView<int>& view,
               const core::ProcessSet&) {
     const core::ProcId coordinator = static_cast<core::ProcId>((r - 1) % n_);
-    if (inbox[static_cast<std::size_t>(coordinator)]) {
-      estimate_ = *inbox[static_cast<std::size_t>(coordinator)];
+    if (const int* m = view.get(coordinator)) {
+      estimate_ = *m;
     }
     if (r >= n_) decided_ = true;
   }

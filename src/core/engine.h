@@ -19,20 +19,24 @@
 #include <vector>
 
 #include "core/adversary.h"
+#include "core/delivery.h"
 #include "core/fault_pattern.h"
 #include "core/predicate.h"
 
 namespace rrfd::core {
 
 /// What a round-based algorithm must provide. One instance per process.
+/// absorb() receives a zero-copy DeliveryView over the round's shared
+/// emitted buffer (valid only for the duration of the call) plus D(i,r)
+/// itself -- announcement sets are first-class algorithm inputs.
 template <typename P>
 concept RoundProcess = requires(P p, const P cp, Round r,
-                                const std::vector<std::optional<typename P::Message>>& inbox,
+                                const DeliveryView<typename P::Message>& view,
                                 const ProcessSet& d) {
   typename P::Message;
   typename P::Decision;
   { p.emit(r) } -> std::convertible_to<typename P::Message>;
-  { p.absorb(r, inbox, d) };
+  { p.absorb(r, view, d) };
   { cp.decided() } -> std::convertible_to<bool>;
   { cp.decision() } -> std::convertible_to<typename P::Decision>;
 };
@@ -97,14 +101,20 @@ RunResult<typename P::Decision> run_rounds(std::vector<P>& processes,
     return true;
   };
 
+  // The emit buffer is allocated once and reused across rounds; absorb()
+  // reads it in place through DeliveryViews, so the round loop performs
+  // no per-recipient copies and no per-round allocations beyond what the
+  // messages themselves need.
+  std::vector<Message> emitted;
+  emitted.reserve(static_cast<std::size_t>(n));
+
   for (Round r = 1; r <= options.max_rounds; ++r) {
     if (options.stop_when_all_decided && all_decided()) break;
 
     // Emit phase: everybody computes its round-r message first (the round
     // is communication-closed, so no message depends on another round-r
     // message).
-    std::vector<Message> emitted;
-    emitted.reserve(static_cast<std::size_t>(n));
+    emitted.clear();
     for (ProcId i = 0; i < n; ++i) {
       emitted.push_back(processes[static_cast<std::size_t>(i)].emit(r));
     }
@@ -113,16 +123,13 @@ RunResult<typename P::Decision> run_rounds(std::vector<P>& processes,
     // m_{j,r} iff p_j not in D(i,r). (S(i,r) = S \ D(i,r); the paper
     // allows overlap of S and D, which delivery-wise is equivalent to the
     // message being dropped, so the engine uses the partition form.)
-    RoundFaults faults = adversary.next_round();
-    result.pattern.append(faults);
+    result.pattern.append(adversary.next_round());
+    const RoundFaults& faults = result.pattern.round(r);
 
     for (ProcId i = 0; i < n; ++i) {
       const ProcessSet& d = faults[static_cast<std::size_t>(i)];
-      std::vector<std::optional<Message>> inbox(static_cast<std::size_t>(n));
-      for (ProcId j = 0; j < n; ++j) {
-        if (!d.contains(j)) inbox[static_cast<std::size_t>(j)] = emitted[static_cast<std::size_t>(j)];
-      }
-      processes[static_cast<std::size_t>(i)].absorb(r, inbox, d);
+      processes[static_cast<std::size_t>(i)].absorb(
+          r, DeliveryView<Message>(emitted.data(), d), d);
     }
     result.rounds = r;
   }

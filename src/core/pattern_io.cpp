@@ -8,36 +8,60 @@
 namespace rrfd::core {
 namespace {
 
+bool is_digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+void skip_ws(const std::string& line, std::size_t& pos) {
+  while (pos < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[pos]))) {
+    ++pos;
+  }
+}
+
+/// Parses a decimal id/count starting at line[pos] (which must be a
+/// digit); advances pos past the digits. `limit` bounds the value so the
+/// accumulation can never overflow int, whatever the input length.
+int parse_number(const std::string& line, std::size_t& pos, int limit,
+                 const char* what) {
+  RRFD_REQUIRE_MSG(pos < line.size() && is_digit(line[pos]),
+                   std::string("expected a number for ") + what +
+                       " in pattern text");
+  int value = 0;
+  while (pos < line.size() && is_digit(line[pos])) {
+    value = value * 10 + (line[pos] - '0');
+    RRFD_REQUIRE_MSG(value <= limit,
+                     std::string(what) + " out of range in pattern text");
+    ++pos;
+  }
+  return value;
+}
+
 /// Parses "{a,b,c}" starting at text[pos]; advances pos past the set.
+/// Strict: members are comma-separated, no trailing or repeated commas.
 ProcessSet parse_set(const std::string& line, std::size_t& pos, int n) {
-  auto skip_ws = [&] {
-    while (pos < line.size() && std::isspace(static_cast<unsigned char>(line[pos]))) ++pos;
-  };
-  skip_ws();
+  skip_ws(line, pos);
   RRFD_REQUIRE_MSG(pos < line.size() && line[pos] == '{',
                    "expected '{' in pattern text");
   ++pos;
   ProcessSet out(n);
-  skip_ws();
+  skip_ws(line, pos);
+  bool expect_member = false;  // true right after a comma
   while (pos < line.size() && line[pos] != '}') {
-    RRFD_REQUIRE_MSG(std::isdigit(static_cast<unsigned char>(line[pos])),
-                     "expected a process id in pattern text");
-    int value = 0;
-    while (pos < line.size() &&
-           std::isdigit(static_cast<unsigned char>(line[pos]))) {
-      value = value * 10 + (line[pos] - '0');
-      ++pos;
-    }
-    RRFD_REQUIRE_MSG(value < n, "process id out of range in pattern text");
+    const int value = parse_number(line, pos, n - 1, "process id");
     out.add(value);
-    skip_ws();
+    expect_member = false;
+    skip_ws(line, pos);
     if (pos < line.size() && line[pos] == ',') {
       ++pos;
-      skip_ws();
+      skip_ws(line, pos);
+      expect_member = true;
     }
   }
   RRFD_REQUIRE_MSG(pos < line.size() && line[pos] == '}',
                    "unterminated set in pattern text");
+  RRFD_REQUIRE_MSG(!expect_member,
+                   "trailing comma in set in pattern text");
   ++pos;
   return out;
 }
@@ -72,11 +96,16 @@ FaultPattern read_pattern(std::istream& is) {
   int n = -1;
   while (std::getline(is, line)) {
     std::size_t pos = 0;
-    while (pos < line.size() && std::isspace(static_cast<unsigned char>(line[pos]))) ++pos;
+    skip_ws(line, pos);
     if (pos >= line.size() || line[pos] == '#') continue;
     RRFD_REQUIRE_MSG(line.compare(pos, 2, "n=") == 0,
                      "pattern text must start with an 'n=<count>' header");
-    n = std::stoi(line.substr(pos + 2));
+    pos += 2;
+    n = parse_number(line, pos, kMaxProcesses, "process count");
+    RRFD_REQUIRE_MSG(n > 0, "process count must be positive in pattern text");
+    skip_ws(line, pos);
+    RRFD_REQUIRE_MSG(pos >= line.size(),
+                     "trailing garbage in pattern header");
     break;
   }
   RRFD_REQUIRE_MSG(n > 0, "missing pattern header");
@@ -84,13 +113,19 @@ FaultPattern read_pattern(std::istream& is) {
 
   while (std::getline(is, line)) {
     std::size_t pos = 0;
-    while (pos < line.size() && std::isspace(static_cast<unsigned char>(line[pos]))) ++pos;
+    skip_ws(line, pos);
     if (pos >= line.size() || line[pos] == '#') continue;
     RoundFaults round;
     for (ProcId i = 0; i < n; ++i) {
+      if (i > 0) {
+        skip_ws(line, pos);
+        RRFD_REQUIRE_MSG(pos < line.size() && line[pos] == ',',
+                         "expected ',' between announcement sets");
+        ++pos;
+      }
       round.push_back(parse_set(line, pos, n));
-      while (pos < line.size() && (std::isspace(static_cast<unsigned char>(line[pos])) || line[pos] == ',')) ++pos;
     }
+    skip_ws(line, pos);
     RRFD_REQUIRE_MSG(pos >= line.size(), "trailing garbage in pattern line");
     pattern.append(std::move(round));
   }

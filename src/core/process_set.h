@@ -135,7 +135,44 @@ class ProcessSet {
     return 63 - std::countl_zero(bits_);
   }
 
-  /// Members in increasing order.
+  /// Allocation-free iteration over members in increasing order; lets
+  /// `for (ProcId p : set)` run on hot paths (one countr_zero + one
+  /// clear-lowest-bit per member, no vector).
+  class const_iterator {
+   public:
+    using value_type = ProcId;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    const_iterator() = default;
+    explicit const_iterator(std::uint64_t bits) : bits_(bits) {}
+
+    ProcId operator*() const { return std::countr_zero(bits_); }
+    const_iterator& operator++() {
+      bits_ &= bits_ - 1;  // clear the lowest set bit
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator old = *this;
+      ++*this;
+      return old;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.bits_ == b.bits_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) {
+      return a.bits_ != b.bits_;
+    }
+
+   private:
+    std::uint64_t bits_ = 0;
+  };
+
+  const_iterator begin() const { return const_iterator(bits_); }
+  const_iterator end() const { return const_iterator(0); }
+
+  /// Members in increasing order (allocates; prefer range-for on the set
+  /// itself where the vector is not needed).
   std::vector<ProcId> members() const;
 
   /// Raw mask, exposed for hashing and compact trace encodings.

@@ -116,8 +116,10 @@ CrashFromAsyncResult<typename P::Decision> run_crash_from_async(
       faulty |= missing;
 
       // Async rounds 2+3: n adopt-commit instances decide, per process j,
-      // whether this simulated round delivers j's value or bottom.
-      std::vector<std::optional<int>> inbox(static_cast<std::size_t>(n));
+      // whether this simulated round delivers j's value or bottom. Every
+      // j either contributes a delivered value or joins `bottom`, so the
+      // delivery mask handed to absorb() is exactly bottom's complement.
+      std::vector<int> delivered(static_cast<std::size_t>(n), 0);
       core::ProcessSet bottom(n);
       for (core::ProcId j = 0; j < n; ++j) {
         const auto js = static_cast<std::size_t>(j);
@@ -127,7 +129,7 @@ CrashFromAsyncResult<typename P::Decision> run_crash_from_async(
             obj.per_process[js].run(ctx, proposal);
 
         if (res.value != kFaultyProposal) {
-          inbox[js] = res.value;  // alive (committed or adopted)
+          delivered[js] = res.value;  // alive (committed or adopted)
           continue;
         }
         faulty.add(j);
@@ -146,12 +148,13 @@ CrashFromAsyncResult<typename P::Decision> run_crash_from_async(
         }
         RRFD_ENSURE_MSG(recovered.has_value(),
                         "adopt-faulty without a written alive proposal");
-        inbox[js] = *recovered;
+        delivered[js] = *recovered;
       }
 
       d_sets[static_cast<std::size_t>(r - 1)][static_cast<std::size_t>(i)] =
           bottom;
-      proc.absorb(r, inbox, bottom);
+      proc.absorb(r, core::DeliveryView<int>(delivered.data(), bottom),
+                  bottom);
     }
   });
 

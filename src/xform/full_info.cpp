@@ -54,15 +54,13 @@ HistoryPtr FullInfoProcess::emit(core::Round r) {
 }
 
 void FullInfoProcess::absorb(core::Round r,
-                             const std::vector<std::optional<HistoryPtr>>& inbox,
+                             const core::DeliveryView<HistoryPtr>& view,
                              const core::ProcessSet& d) {
   RRFD_REQUIRE(static_cast<std::size_t>(r - 1) == accumulating_.rounds.size());
+  RRFD_REQUIRE(view.faults() == d);
   std::map<core::ProcId, HistoryPtr> received;
-  for (std::size_t j = 0; j < inbox.size(); ++j) {
-    if (inbox[j]) {
-      RRFD_REQUIRE(!d.contains(static_cast<core::ProcId>(j)));
-      received.emplace(static_cast<core::ProcId>(j), *inbox[j]);
-    }
+  for (core::ProcId j : view.senders()) {
+    received.emplace(j, view[j]);
   }
   accumulating_.rounds.push_back(std::move(received));
 }

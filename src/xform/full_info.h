@@ -16,9 +16,9 @@
 
 #include <map>
 #include <memory>
-#include <optional>
 #include <vector>
 
+#include "core/delivery.h"
 #include "core/process_set.h"
 #include "core/types.h"
 #include "util/check.h"
@@ -55,7 +55,7 @@ class FullInfoProcess {
 
   HistoryPtr emit(core::Round r);
 
-  void absorb(core::Round r, const std::vector<std::optional<HistoryPtr>>& inbox,
+  void absorb(core::Round r, const core::DeliveryView<HistoryPtr>& view,
               const core::ProcessSet& d);
 
   bool decided() const { return false; }

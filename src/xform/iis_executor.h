@@ -94,11 +94,11 @@ IisRunResult<typename P::Decision> run_over_iis(std::vector<P>& procs,
         }
       }
 
-      std::vector<std::optional<int>> inbox(static_cast<std::size_t>(n));
+      std::vector<int> delivered(static_cast<std::size_t>(n), 0);
       core::ProcessSet missed(n);
       for (core::ProcId j = 0; j < n; ++j) {
         if (view[static_cast<std::size_t>(j)]) {
-          inbox[static_cast<std::size_t>(j)] =
+          delivered[static_cast<std::size_t>(j)] =
               *view[static_cast<std::size_t>(j)];
         } else {
           missed.add(j);
@@ -106,7 +106,8 @@ IisRunResult<typename P::Decision> run_over_iis(std::vector<P>& procs,
       }
       d_sets[static_cast<std::size_t>(r - 1)][static_cast<std::size_t>(i)] =
           missed;
-      proc.absorb(r, inbox, missed);
+      proc.absorb(r, core::DeliveryView<int>(delivered.data(), missed),
+                  missed);
     }
   });
 

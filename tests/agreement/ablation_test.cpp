@@ -89,10 +89,10 @@ struct HighestRuleKSet {
 
   explicit HighestRuleKSet(int input) : input_(input) {}
   int emit(core::Round) const { return input_; }
-  void absorb(core::Round r, const std::vector<std::optional<int>>& inbox,
-              const core::ProcessSet& d) {
+  void absorb(core::Round r, const core::DeliveryView<int>& view,
+              const core::ProcessSet&) {
     if (r != 1) return;
-    decision_ = *inbox[static_cast<std::size_t>(d.complement().max())];
+    decision_ = view[view.senders().max()];
   }
   bool decided() const { return decision_.has_value(); }
   int decision() const { return *decision_; }

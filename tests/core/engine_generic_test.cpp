@@ -27,10 +27,10 @@ struct Gossip {
 
   std::string emit(Round) const { return name; }
 
-  void absorb(Round r, const std::vector<std::optional<std::string>>& inbox,
+  void absorb(Round r, const DeliveryView<std::string>& view,
               const ProcessSet&) {
-    for (const auto& m : inbox) {
-      if (m && *m < name) name = *m;
+    for (ProcId j : view.senders()) {
+      if (view[j] < name) name = view[j];
     }
     done = r >= decide_round;
   }
@@ -96,14 +96,13 @@ struct Relay {
     return out;
   }
 
-  void absorb(Round r, const std::vector<std::optional<Tagged>>& inbox,
-              const ProcessSet&) {
-    for (const auto& m : inbox) {
-      if (!m) continue;
-      EXPECT_EQ(m->round, r) << "engine must not mix rounds";
-      if (m->hops + 1 > best.hops) {
-        best = *m;
-        best.hops = m->hops + 1;
+  void absorb(Round r, const DeliveryView<Tagged>& view, const ProcessSet&) {
+    for (ProcId j : view.senders()) {
+      const Tagged& m = view[j];
+      EXPECT_EQ(m.round, r) << "engine must not mix rounds";
+      if (m.hops + 1 > best.hops) {
+        best = m;
+        best.hops = m.hops + 1;
       }
     }
   }
@@ -141,15 +140,12 @@ struct SetCollector {
 
   std::uint64_t emit(Round) const { return heard_ever.bits(); }
 
-  void absorb(Round r, const std::vector<std::optional<std::uint64_t>>& inbox,
-              const ProcessSet& d) {
-    for (std::size_t j = 0; j < inbox.size(); ++j) {
-      if (inbox[j]) {
-        heard_ever.add(static_cast<ProcId>(j));
-        heard_ever |= ProcessSet::from_bits(n, *inbox[j]);
-      }
+  void absorb(Round r, const DeliveryView<std::uint64_t>& view,
+              const ProcessSet&) {
+    for (ProcId j : view.senders()) {
+      heard_ever.add(j);
+      heard_ever |= ProcessSet::from_bits(n, view[j]);
     }
-    (void)d;
     done = r >= 2;
   }
 

@@ -22,17 +22,24 @@ struct Recorder {
 
   int emit(Round) { return id; }
 
-  void absorb(Round r, const std::vector<std::optional<int>>& inbox,
-              const ProcessSet& d) {
+  void absorb(Round r, const DeliveryView<int>& view, const ProcessSet& d) {
     EXPECT_EQ(r, rounds_seen + 1);
+    EXPECT_EQ(view.faults(), d);
     rounds_seen = r;
-    inboxes.push_back(inbox);
+    // Materialize the view so the assertions below can inspect it after
+    // the round (the view itself is only valid during absorb).
+    std::vector<std::optional<int>> inbox(static_cast<std::size_t>(view.n()));
+    for (ProcId j : view.senders()) {
+      inbox[static_cast<std::size_t>(j)] = view[j];
+    }
+    inboxes.push_back(std::move(inbox));
     fault_sets.push_back(d);
   }
 
   bool decided() const { return rounds_seen >= decide_after; }
 
   std::uint64_t decision() const {
+    if (fault_sets.empty()) return 0;  // decided before any round ran
     ProcessSet heard(fault_sets.back().n());
     for (std::size_t j = 0; j < inboxes.back().size(); ++j) {
       if (inboxes.back()[j]) heard.add(static_cast<ProcId>(j));
@@ -132,6 +139,48 @@ TEST(Engine, ReportsUndecidedAtMaxRounds) {
   for (const auto& d : result.decisions) EXPECT_FALSE(d.has_value());
 }
 
+TEST(Engine, MaxRoundsZeroRunsNothing) {
+  BenignAdversary adv(3);
+  auto ps = make_processes(3, 1);
+  EngineOptions opts;
+  opts.max_rounds = 0;
+  auto result = run_rounds(ps, adv, opts);
+  EXPECT_EQ(result.rounds, 0);
+  EXPECT_EQ(result.pattern.rounds(), 0);
+  EXPECT_FALSE(result.all_decided);
+  for (const auto& d : result.decisions) EXPECT_FALSE(d.has_value());
+  EXPECT_EQ(ps[0].rounds_seen, 0);
+}
+
+TEST(Engine, MaxRoundsZeroStillReportsPreDecidedProcesses) {
+  // decide_after = 0: decided() holds before any round; zero rounds must
+  // still collect the decisions.
+  BenignAdversary adv(2);
+  auto ps = make_processes(2, 0);
+  EngineOptions opts;
+  opts.max_rounds = 0;
+  auto result = run_rounds(ps, adv, opts);
+  EXPECT_EQ(result.rounds, 0);
+  EXPECT_TRUE(result.all_decided);
+  for (const auto& d : result.decisions) EXPECT_TRUE(d.has_value());
+}
+
+TEST(Engine, TruncationKeepsRunningPastDecisions) {
+  // stop_when_all_decided = false: everyone decided by round 2, yet the
+  // engine must drive (and record) all 5 rounds -- the truncated-
+  // algorithm experiments depend on this.
+  BenignAdversary adv(4);
+  auto ps = make_processes(4, 2);
+  EngineOptions opts;
+  opts.max_rounds = 5;
+  opts.stop_when_all_decided = false;
+  auto result = run_rounds(ps, adv, opts);
+  EXPECT_EQ(result.rounds, 5);
+  EXPECT_EQ(result.pattern.rounds(), 5);
+  EXPECT_TRUE(result.all_decided);
+  for (const auto& p : ps) EXPECT_EQ(p.rounds_seen, 5);
+}
+
 TEST(Engine, RejectsMismatchedProcessCount) {
   BenignAdversary adv(4);
   auto ps = make_processes(3, 1);
@@ -154,6 +203,28 @@ TEST(Engine, DistinctDecisionsFiltersAndDeduplicates) {
   auto among = result.distinct_decisions(ProcessSet(n, {2, 3}));
   ASSERT_EQ(among.size(), 1u);
   EXPECT_EQ(among[0], ProcessSet(n, {1, 2, 3}).bits());
+
+  // The empty filter selects nobody; a singleton selects one decision;
+  // a filter over undecided processes yields nothing.
+  EXPECT_TRUE(result.distinct_decisions(ProcessSet(n)).empty());
+  EXPECT_EQ(result.distinct_decisions(ProcessSet::single(n, 0)).size(), 1u);
+}
+
+TEST(Engine, DistinctDecisionsIgnoresUndecidedInsideFilter) {
+  BenignAdversary adv(3);
+  std::vector<Recorder> ps;
+  ps.push_back(Recorder{.id = 0, .decide_after = 1, .rounds_seen = 0, .inboxes = {}, .fault_sets = {}});
+  ps.push_back(Recorder{.id = 1, .decide_after = 100, .rounds_seen = 0, .inboxes = {}, .fault_sets = {}});
+  ps.push_back(Recorder{.id = 2, .decide_after = 100, .rounds_seen = 0, .inboxes = {}, .fault_sets = {}});
+  EngineOptions opts;
+  opts.max_rounds = 2;
+  auto result = run_rounds(ps, adv, opts);
+  EXPECT_FALSE(result.all_decided);
+  // The filter includes p1 (undecided): only p0's decision shows up.
+  auto among = result.distinct_decisions(ProcessSet(3, {0, 1}));
+  ASSERT_EQ(among.size(), 1u);
+  // And a filter of only-undecided processes is empty.
+  EXPECT_TRUE(result.distinct_decisions(ProcessSet(3, {1, 2})).empty());
 }
 
 TEST(Engine, ProcessesKeepParticipatingAfterDeciding) {

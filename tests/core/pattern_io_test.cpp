@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/adversaries.h"
+#include "util/rng.h"
 
 namespace rrfd::core {
 namespace {
@@ -73,6 +74,71 @@ TEST(PatternIo, RejectsMalformedSets) {
   EXPECT_THROW(pattern_from_text("n=3\n{1,{},{}\n"), ContractViolation);
   EXPECT_THROW(pattern_from_text("n=3\n{x},{},{}\n"), ContractViolation);
   EXPECT_THROW(pattern_from_text("n=3\n{0},{},{} {1}\n"), ContractViolation);
+  // Trailing / repeated commas inside a set.
+  EXPECT_THROW(pattern_from_text("n=3\n{0,},{},{}\n"), ContractViolation);
+  EXPECT_THROW(pattern_from_text("n=3\n{0,,1},{},{}\n"), ContractViolation);
+  EXPECT_THROW(pattern_from_text("n=3\n{,},{},{}\n"), ContractViolation);
+  EXPECT_THROW(pattern_from_text("n=3\n{,0},{},{}\n"), ContractViolation);
+}
+
+TEST(PatternIo, RejectsMissingSetSeparators) {
+  // Sets concatenated without a comma used to be silently accepted.
+  EXPECT_THROW(pattern_from_text("n=3\n{0}{1},{2}\n"), ContractViolation);
+  EXPECT_THROW(pattern_from_text("n=3\n{0} {1},{2}\n"), ContractViolation);
+  EXPECT_THROW(pattern_from_text("n=3\n{0},,{1},{2}\n"), ContractViolation);
+}
+
+TEST(PatternIo, RejectsMalformedHeaderWithDiagnostic) {
+  // A non-numeric count must raise the library's ContractViolation, not a
+  // raw std::invalid_argument from std::stoi.
+  EXPECT_THROW(pattern_from_text("n=abc\n"), ContractViolation);
+  EXPECT_THROW(pattern_from_text("n=\n"), ContractViolation);
+  EXPECT_THROW(pattern_from_text("n=0\n"), ContractViolation);
+  EXPECT_THROW(pattern_from_text("n=3x\n"), ContractViolation);
+  EXPECT_THROW(pattern_from_text("n=-2\n"), ContractViolation);
+  // Counts beyond kMaxProcesses (and far beyond INT_MAX) must not wrap:
+  // the accumulator is bounds-checked per digit, not parsed then checked.
+  EXPECT_THROW(pattern_from_text("n=65\n"), ContractViolation);
+  EXPECT_THROW(pattern_from_text("n=99999999999999999999\n"),
+               ContractViolation);
+}
+
+TEST(PatternIo, RejectsOverflowingProcessIds) {
+  EXPECT_THROW(pattern_from_text("n=3\n{99999999999999999999},{},{}\n"),
+               ContractViolation);
+}
+
+TEST(PatternIo, WriteReadRoundTripProperty) {
+  // Property: write_pattern and read_pattern are inverses over random
+  // fault patterns (arbitrary n, round counts, and D sets with D != S).
+  Rng rng(20260807);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = static_cast<int>(rng.range(1, 16));
+    const int rounds = static_cast<int>(rng.range(0, 6));
+    FaultPattern p(n);
+    for (int r = 0; r < rounds; ++r) {
+      RoundFaults round;
+      for (ProcId i = 0; i < n; ++i) {
+        ProcessSet d(n);
+        for (ProcId j = 0; j < n; ++j) {
+          if (rng.chance(0.3)) d.add(j);
+        }
+        if (d.full()) d.remove(static_cast<ProcId>(rng.below(
+            static_cast<std::uint64_t>(n))));  // the universal D != S rule
+        round.push_back(d);
+      }
+      p.append(std::move(round));
+    }
+    FaultPattern q = pattern_from_text(pattern_to_text(p));
+    ASSERT_EQ(q.n(), p.n());
+    ASSERT_EQ(q.rounds(), p.rounds());
+    for (Round r = 1; r <= p.rounds(); ++r) {
+      for (ProcId i = 0; i < n; ++i) {
+        ASSERT_EQ(q.d(i, r), p.d(i, r))
+            << "trial " << trial << " round " << r << " proc " << i;
+      }
+    }
+  }
 }
 
 TEST(PatternIo, CommentsAndBlankLinesIgnored) {
