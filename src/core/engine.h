@@ -14,14 +14,19 @@
 // validated against a model predicate afterwards.
 #pragma once
 
+#include <algorithm>
 #include <concepts>
+#include <cstdint>
 #include <optional>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/adversary.h"
 #include "core/delivery.h"
 #include "core/fault_pattern.h"
 #include "core/predicate.h"
+#include "trace/trace.h"
 
 namespace rrfd::core {
 
@@ -60,18 +65,54 @@ struct RunResult {
 
   explicit RunResult(int n) : pattern(n) {}
 
-  /// Distinct decided values among processes in `among` (all when empty).
+  /// Distinct decided values among processes in `among` (all when empty),
+  /// in first-seen (lowest deciding ProcId) order. Sorted-dedup, O(k log k)
+  /// over the decided values when Decision is ordered; falls back to the
+  /// quadratic scan for ==-only Decision types.
   std::vector<Decision> distinct_decisions(
       const std::optional<ProcessSet>& among = std::nullopt) const {
-    std::vector<Decision> out;
+    std::vector<Decision> candidates;
     for (std::size_t i = 0; i < decisions.size(); ++i) {
       if (among && !among->contains(static_cast<ProcId>(i))) continue;
       if (!decisions[i]) continue;
-      bool seen = false;
-      for (const Decision& d : out) seen = seen || d == *decisions[i];
-      if (!seen) out.push_back(*decisions[i]);
+      candidates.push_back(*decisions[i]);
     }
-    return out;
+    if constexpr (requires(const Decision& x, const Decision& y) {
+                    { x < y } -> std::convertible_to<bool>;
+                  }) {
+      // Tag with first-seen rank, cluster equal values (stable, so the
+      // earliest occurrence leads its cluster), dedup, restore rank order.
+      std::vector<std::pair<Decision, std::size_t>> tagged;
+      tagged.reserve(candidates.size());
+      for (std::size_t k = 0; k < candidates.size(); ++k) {
+        tagged.emplace_back(candidates[k], k);
+      }
+      std::stable_sort(tagged.begin(), tagged.end(),
+                       [](const auto& x, const auto& y) {
+                         return x.first < y.first;
+                       });
+      tagged.erase(std::unique(tagged.begin(), tagged.end(),
+                               [](const auto& x, const auto& y) {
+                                 return x.first == y.first;
+                               }),
+                   tagged.end());
+      std::sort(tagged.begin(), tagged.end(),
+                [](const auto& x, const auto& y) {
+                  return x.second < y.second;
+                });
+      std::vector<Decision> out;
+      out.reserve(tagged.size());
+      for (auto& entry : tagged) out.push_back(std::move(entry.first));
+      return out;
+    } else {
+      std::vector<Decision> out;
+      for (const Decision& candidate : candidates) {
+        bool seen = false;
+        for (const Decision& d : out) seen = seen || d == candidate;
+        if (!seen) out.push_back(candidate);
+      }
+      return out;
+    }
   }
 };
 
@@ -91,7 +132,8 @@ RunResult<typename P::Decision> run_rounds(std::vector<P>& processes,
   RRFD_REQUIRE(options.max_rounds >= 0);
 
   using Message = typename P::Message;
-  RunResult<typename P::Decision> result(n);
+  using Decision = typename P::Decision;
+  RunResult<Decision> result(n);
   result.decisions.assign(static_cast<std::size_t>(n), std::nullopt);
 
   auto all_decided = [&] {
@@ -100,6 +142,41 @@ RunResult<typename P::Decision> run_rounds(std::vector<P>& processes,
     }
     return true;
   };
+
+  // Flight recorder: sampled once per run; the untraced hot path costs one
+  // bool test per event site. Payload/decision values are recorded only
+  // when their types are integral (the trace event is a fixed-size word).
+  const bool tracing = trace::Tracer::on();
+  constexpr auto kSub = trace::Substrate::kEngine;
+  auto encode = [](const auto& value) -> std::pair<std::uint64_t, bool> {
+    using V = std::decay_t<decltype(value)>;
+    if constexpr (std::is_integral_v<V>) {
+      return {static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(value)), true};
+    } else {
+      return {0, false};
+    }
+  };
+  std::vector<bool> decided_before;
+  auto trace_new_decisions = [&](Round r) {
+    for (ProcId i = 0; i < n; ++i) {
+      const P& p = processes[static_cast<std::size_t>(i)];
+      if (decided_before[static_cast<std::size_t>(i)] || !p.decided()) {
+        continue;
+      }
+      decided_before[static_cast<std::size_t>(i)] = true;
+      const auto [value, valid] = encode(p.decision());
+      trace::record(trace::EventKind::kDecide, kSub, i, r, value,
+                    valid ? 1 : 0);
+    }
+  };
+  if (tracing) {
+    trace::record(trace::EventKind::kRunBegin, kSub, n, 0,
+                  static_cast<std::uint64_t>(options.max_rounds),
+                  options.stop_when_all_decided ? 1 : 0);
+    decided_before.assign(static_cast<std::size_t>(n), false);
+    trace_new_decisions(0);  // decisions committed before round 1
+  }
 
   // The emit buffer is allocated once and reused across rounds; absorb()
   // reads it in place through DeliveryViews, so the round loop performs
@@ -111,12 +188,24 @@ RunResult<typename P::Decision> run_rounds(std::vector<P>& processes,
   for (Round r = 1; r <= options.max_rounds; ++r) {
     if (options.stop_when_all_decided && all_decided()) break;
 
+    if (tracing) trace::record(trace::EventKind::kRoundStart, kSub, -1, r);
+
     // Emit phase: everybody computes its round-r message first (the round
     // is communication-closed, so no message depends on another round-r
     // message).
     emitted.clear();
     for (ProcId i = 0; i < n; ++i) {
       emitted.push_back(processes[static_cast<std::size_t>(i)].emit(r));
+    }
+    // Trace sites live in their own loops so the untraced hot path keeps
+    // its per-process loops branch-free (one `tracing` test per round).
+    if (tracing) {
+      for (ProcId i = 0; i < n; ++i) {
+        const auto [value, valid] =
+            encode(emitted[static_cast<std::size_t>(i)]);
+        trace::record(trace::EventKind::kEmit, kSub, i, r, value,
+                      valid ? 1 : 0);
+      }
     }
 
     // The RRFD announces; announcements determine delivery: p_i receives
@@ -126,19 +215,41 @@ RunResult<typename P::Decision> run_rounds(std::vector<P>& processes,
     result.pattern.append(adversary.next_round());
     const RoundFaults& faults = result.pattern.round(r);
 
+    if (tracing) {
+      for (ProcId i = 0; i < n; ++i) {
+        const ProcessSet& d = faults[static_cast<std::size_t>(i)];
+        trace::record(trace::EventKind::kAnnounce, kSub, i, r, d.bits());
+        // Engine deliveries are one view per recipient, not n point-to-
+        // point copies: a = the delivered-senders mask S \ D(i,r).
+        trace::record(trace::EventKind::kDeliver, kSub, i, r,
+                      d.complement().bits());
+      }
+    }
     for (ProcId i = 0; i < n; ++i) {
       const ProcessSet& d = faults[static_cast<std::size_t>(i)];
-      processes[static_cast<std::size_t>(i)].absorb(
-          r, DeliveryView<Message>(emitted.data(), d), d);
+      const DeliveryView<Message> view(emitted.data(), d);
+      processes[static_cast<std::size_t>(i)].absorb(r, view, d);
+    }
+    if (tracing) {
+      trace_new_decisions(r);
+      trace::record(trace::EventKind::kRoundEnd, kSub, -1, r);
     }
     result.rounds = r;
   }
 
+  std::uint64_t decided_mask = 0;
   for (ProcId i = 0; i < n; ++i) {
     const P& p = processes[static_cast<std::size_t>(i)];
-    if (p.decided()) result.decisions[static_cast<std::size_t>(i)] = p.decision();
+    if (p.decided()) {
+      result.decisions[static_cast<std::size_t>(i)] = p.decision();
+      decided_mask |= std::uint64_t{1} << i;
+    }
   }
   result.all_decided = all_decided();
+  if (tracing) {
+    trace::record(trace::EventKind::kRunEnd, kSub, -1, result.rounds,
+                  result.all_decided ? 1 : 0, decided_mask);
+  }
   return result;
 }
 

@@ -78,6 +78,15 @@ class FaultPattern {
   /// Multi-line rendering for diagnostics.
   std::string to_string() const;
 
+  /// Patterns are equal iff they describe the same {D(i,r)} family over
+  /// the same system (used by replay verification).
+  friend bool operator==(const FaultPattern& a, const FaultPattern& b) {
+    return a.n_ == b.n_ && a.rounds_ == b.rounds_;
+  }
+  friend bool operator!=(const FaultPattern& a, const FaultPattern& b) {
+    return !(a == b);
+  }
+
  private:
   int n_;
   std::vector<RoundFaults> rounds_;

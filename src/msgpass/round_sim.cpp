@@ -1,8 +1,17 @@
 #include "msgpass/round_sim.h"
 
+#include <algorithm>
+#include <sstream>
+
+#include "trace/trace.h"
 #include "util/check.h"
+#include "util/str.h"
 
 namespace rrfd::msgpass {
+
+namespace {
+constexpr auto kSub = trace::Substrate::kMsgpass;
+}  // namespace
 
 RoundEnforcedSim::RoundEnforcedSim(int n, int f, std::uint64_t seed)
     : n_(n), f_(f), rng_(seed), crashed_(n) {
@@ -25,7 +34,23 @@ void RoundEnforcedSim::add_crash(const CrashPlan& plan) {
   crash_plans_.push_back(plan);
 }
 
+void RoundEnforcedSim::replay_links(std::vector<std::uint32_t> links) {
+  RRFD_REQUIRE_MSG(target_rounds_ == 0, "replay_links must precede run()");
+  replaying_ = true;
+  replay_links_ = std::move(links);
+  replay_next_ = 0;
+}
+
+void RoundEnforcedSim::replay_crash_dests(
+    std::vector<std::pair<ProcId, std::uint64_t>> dests) {
+  RRFD_REQUIRE_MSG(target_rounds_ == 0,
+                   "replay_crash_dests must precede run()");
+  replay_crash_dests_ = std::move(dests);
+}
+
 void RoundEnforcedSim::broadcast(ProcId src, Round r, std::uint64_t payload) {
+  trace::record(trace::EventKind::kEmit, kSub, src, r, payload, 1);
+
   // Determine destinations: everyone, unless this is the sender's crash
   // round, in which case a random subset of size `reaches` (the essence of
   // a crash mid-broadcast).
@@ -35,10 +60,32 @@ void RoundEnforcedSim::broadcast(ProcId src, Round r, std::uint64_t payload) {
 
   for (const CrashPlan& plan : crash_plans_) {
     if (plan.who == src && plan.in_round == r) {
-      rng_.shuffle(dests);
-      dests.resize(static_cast<std::size_t>(plan.reaches));
+      if (replaying_) {
+        // The subset the crash reached is an RNG draw in recording mode;
+        // replay substitutes the recorded destination mask instead.
+        const auto scripted = std::find_if(
+            replay_crash_dests_.begin(), replay_crash_dests_.end(),
+            [src](const auto& entry) { return entry.first == src; });
+        RRFD_REQUIRE_MSG(scripted != replay_crash_dests_.end(),
+                         cat("replay has no crash destinations for p", src,
+                             " (see replay_crash_dests)"));
+        dests.clear();
+        for (ProcId d = 0; d < n_; ++d) {
+          if ((scripted->second >> d) & 1) dests.push_back(d);
+        }
+        RRFD_ENSURE_MSG(static_cast<int>(dests.size()) == plan.reaches,
+                        "replayed crash destination mask disagrees with the "
+                        "crash plan's reach count");
+      } else {
+        rng_.shuffle(dests);
+        dests.resize(static_cast<std::size_t>(plan.reaches));
+      }
       crashed_.add(src);
       procs_[static_cast<std::size_t>(src)].finished = true;
+      std::uint64_t dest_mask = 0;
+      for (ProcId d : dests) dest_mask |= std::uint64_t{1} << d;
+      trace::record(trace::EventKind::kCrash, kSub, src, r, dest_mask,
+                    static_cast<std::uint64_t>(plan.reaches));
       break;
     }
   }
@@ -54,6 +101,7 @@ void RoundEnforcedSim::enter_round(ProcId i, Round r, RoundProtocol& protocol) {
   ProcState& st = procs_[static_cast<std::size_t>(i)];
   st.current = r;
   st.received_from = ProcessSet::none(n_);
+  trace::record(trace::EventKind::kRoundStart, kSub, i, r);
 
   broadcast(i, r, protocol.emit(i, r));
   if (st.finished) return;  // crashed during this broadcast
@@ -62,6 +110,8 @@ void RoundEnforcedSim::enter_round(ProcId i, Round r, RoundProtocol& protocol) {
   auto it = st.pending.find(r);
   if (it != st.pending.end()) {
     for (const auto& [src, payload] : it->second) {
+      trace::record(trace::EventKind::kDeliver, kSub, i, r,
+                    static_cast<std::uint64_t>(src), payload);
       protocol.deliver(i, r, src, payload);
       st.received_from.add(src);
     }
@@ -77,6 +127,8 @@ void RoundEnforcedSim::try_finalize(ProcId i, RoundProtocol& protocol) {
     const ProcessSet missing = st.received_from.complement();
     fault_sets_[static_cast<std::size_t>(r - 1)][static_cast<std::size_t>(i)] =
         missing;
+    trace::record(trace::EventKind::kAnnounce, kSub, i, r, missing.bits());
+    trace::record(trace::EventKind::kRoundEnd, kSub, i, r);
     protocol.round_complete(i, r, missing);
     if (r >= target_rounds_) {
       st.finished = true;
@@ -99,19 +151,65 @@ void RoundEnforcedSim::accept(ProcId i, Round r, ProcId src,
     return;
   }
   if (st.received_from.contains(src)) return;  // per-link FIFO dedup guard
+  trace::record(trace::EventKind::kDeliver, kSub, i, r,
+                static_cast<std::uint64_t>(src), payload);
   protocol.deliver(i, r, src, payload);
   st.received_from.add(src);
   try_finalize(i, protocol);
 }
 
+std::string RoundEnforcedSim::state_report() const {
+  std::ostringstream os;
+  os << "n=" << n_ << " f=" << f_ << " target_rounds=" << target_rounds_
+     << " crashed=" << crashed_.to_string();
+  for (ProcId i = 0; i < n_; ++i) {
+    const ProcState& st = procs_[static_cast<std::size_t>(i)];
+    os << "\n  p" << i << ": round=" << st.current
+       << " received_from=" << st.received_from.size() << " ("
+       << st.received_from.to_string() << ")"
+       << " buffered_rounds=" << st.pending.size()
+       << (st.finished ? " finished" : " waiting");
+  }
+  std::size_t pending_links = 0;
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    if (links_[l].empty()) continue;
+    ++pending_links;
+    const auto src = static_cast<ProcId>(l / static_cast<std::size_t>(n_));
+    const auto dst = static_cast<ProcId>(l % static_cast<std::size_t>(n_));
+    os << "\n  link p" << src << "->p" << dst << ": " << links_[l].size()
+       << " pending";
+  }
+  os << "\n  non-empty links: " << pending_links << " of " << links_.size();
+  return os.str();
+}
+
+void RoundEnforcedSim::raise_deadlock() const {
+  RRFD_ENSURE_MSG(false, "round enforcement deadlocked (no deliverable "
+                         "message but a process is still waiting)\n" +
+                             state_report());
+}
+
 FaultPattern RoundEnforcedSim::run(RoundProtocol& protocol, Round rounds) {
   RRFD_REQUIRE(rounds >= 1);
   RRFD_REQUIRE_MSG(target_rounds_ == 0, "RoundEnforcedSim is single-use");
+  // A plan beyond the horizon can never trigger; accepting it would
+  // consume the crash budget while silently producing a fault-free run.
+  for (const CrashPlan& plan : crash_plans_) {
+    RRFD_REQUIRE_MSG(
+        plan.in_round <= rounds,
+        cat("crash plan for p", plan.who, " targets round ", plan.in_round,
+            " but the run stops after round ", rounds,
+            " (past-horizon plans are rejected; see add_crash)"));
+  }
   target_rounds_ = rounds;
   fault_sets_.assign(
       static_cast<std::size_t>(rounds),
       std::vector<ProcessSet>(static_cast<std::size_t>(n_),
                               ProcessSet::none(n_)));
+
+  trace::record(trace::EventKind::kRunBegin, kSub, n_, 0,
+                static_cast<std::uint64_t>(f_),
+                static_cast<std::uint64_t>(rounds));
 
   for (ProcId i = 0; i < n_; ++i) enter_round(i, 1, protocol);
 
@@ -139,18 +237,32 @@ FaultPattern RoundEnforcedSim::run(RoundProtocol& protocol, Round rounds) {
     if (ready.empty()) {
       // No deliverable messages but some process is still waiting: can only
       // happen if more than f processes crashed, which add_crash prevents.
-      RRFD_ENSURE_MSG(false, "round enforcement deadlocked");
+      raise_deadlock();
     }
 
-    const std::size_t link =
-        ready[static_cast<std::size_t>(rng_.below(ready.size()))];
+    std::size_t link;
+    if (replaying_) {
+      RRFD_REQUIRE_MSG(replay_next_ < replay_links_.size(),
+                       "replay script exhausted while deliveries remain");
+      link = replay_links_[replay_next_++];
+      RRFD_ENSURE_MSG(
+          std::find(ready.begin(), ready.end(), link) != ready.end(),
+          cat("replayed link choice ", link,
+              " is not deliverable at this point\n", state_report()));
+    } else {
+      link = ready[static_cast<std::size_t>(rng_.below(ready.size()))];
+    }
     Event ev = links_[link].front();
     links_[link].pop_front();
+    trace::record(trace::EventKind::kSchedChoice, kSub, ev.dst, ev.round,
+                  static_cast<std::uint64_t>(link));
     accept(ev.dst, ev.round, ev.src, ev.payload, protocol);
   }
 
   FaultPattern pattern(n_);
   for (const auto& round : fault_sets_) pattern.append(round);
+  trace::record(trace::EventKind::kRunEnd, kSub, -1, rounds,
+                crashed_.bits());
   return pattern;
 }
 

@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/fault_pattern.h"
@@ -63,8 +65,27 @@ class RoundEnforcedSim {
   /// by `seed`.
   RoundEnforcedSim(int n, int f, std::uint64_t seed);
 
-  /// Registers a crash (before run()). At most f crashes total.
+  /// Registers a crash (before run()). At most f crashes total. The
+  /// plan's round is validated against the horizon at run() time: a plan
+  /// whose `in_round` exceeds the `rounds` passed to run() is rejected
+  /// with a ContractViolation (it could never trigger, and silently
+  /// consuming the crash budget on it produced fault-free executions that
+  /// looked like crash experiments).
   void add_crash(const CrashPlan& plan);
+
+  /// Replay mode: consume delivery-order choices (absolute link indices,
+  /// src * n + dst, as recorded by the flight recorder's sched events)
+  /// instead of the seeded RNG. Each scripted link must be deliverable at
+  /// its turn and the script must cover the whole run; violations raise
+  /// ContractViolation. See trace/replay.h.
+  void replay_links(std::vector<std::uint32_t> links);
+
+  /// Replay mode companion: the exact destination set each crashing
+  /// process reached (ProcessSet bitmask, as recorded by the crash
+  /// events). Without this a replayed crash would re-draw its random
+  /// destination subset and diverge. See trace/replay.h.
+  void replay_crash_dests(
+      std::vector<std::pair<ProcId, std::uint64_t>> dests);
 
   /// Runs every alive process through `rounds` rounds. Returns the fault
   /// pattern observed by the alive processes (crashed processes contribute
@@ -73,7 +94,21 @@ class RoundEnforcedSim {
 
   const ProcessSet& crashed() const { return crashed_; }
 
+  /// Diagnostic snapshot used when round enforcement deadlocks: per-process
+  /// current round / received_from sizes / buffered-round counts, plus the
+  /// pending queue length of every non-empty link. (The flight recorder's
+  /// ring buffer, when attached, appends the event tail to the same
+  /// ContractViolation.)
+  std::string state_report() const;
+
  private:
+  /// White-box access for tests/msgpass/round_sim_test.cpp: the deadlock
+  /// invariant is unreachable under a valid crash budget, so its
+  /// diagnostic path is exercised by a test peer instead.
+  friend struct RoundEnforcedSimTestPeer;
+
+  [[noreturn]] void raise_deadlock() const;
+
   struct Event {
     ProcId src = -1;
     ProcId dst = -1;
@@ -100,6 +135,10 @@ class RoundEnforcedSim {
   int f_;
   Rng rng_;
   Round target_rounds_ = 0;
+  bool replaying_ = false;
+  std::vector<std::uint32_t> replay_links_;
+  std::size_t replay_next_ = 0;
+  std::vector<std::pair<ProcId, std::uint64_t>> replay_crash_dests_;
   std::vector<ProcState> procs_;
   std::vector<std::deque<Event>> links_;  // index src * n + dst, FIFO
   std::vector<CrashPlan> crash_plans_;

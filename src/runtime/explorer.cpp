@@ -1,5 +1,6 @@
 #include "runtime/explorer.h"
 
+#include "trace/trace.h"
 #include "util/check.h"
 
 namespace rrfd::runtime {
@@ -33,10 +34,26 @@ ScheduleExplorer::Stats ScheduleExplorer::explore(
   std::vector<Node> path;
   Stats stats;
 
+  // Flight recorder: one round_start/round_end pair per explored schedule
+  // ("round" = schedule ordinal), bracketing the runtime events the inner
+  // Simulation emits. The trace of a failing exploration therefore ends
+  // with the exact schedule (and its choices) that blew up.
+  const bool tracing = trace::Tracer::on();
+  constexpr auto kSub = trace::Substrate::kExplorer;
+
   while (stats.schedules < options_.max_schedules) {
     TreeScheduler scheduler(path, options_.max_crashes);
+    if (tracing) {
+      trace::record(trace::EventKind::kRoundStart, kSub, -1,
+                    static_cast<std::int32_t>(stats.schedules),
+                    static_cast<std::uint64_t>(path.size()));
+    }
     run_one(scheduler);
     ++stats.schedules;
+    if (tracing) {
+      trace::record(trace::EventKind::kRoundEnd, kSub, -1,
+                    static_cast<std::int32_t>(stats.schedules - 1));
+    }
 
     // Backtrack: advance the deepest node with an unexplored alternative.
     while (!path.empty() &&

@@ -1,5 +1,6 @@
 #include "runtime/sim.h"
 
+#include "trace/trace.h"
 #include "util/check.h"
 
 namespace rrfd::runtime {
@@ -95,6 +96,16 @@ SimOutcome Simulation::run(Scheduler& scheduler, int max_steps) {
   const int count = n();
   SimOutcome outcome(count);
 
+  // Flight recorder: every scheduler choice and crash injection becomes a
+  // trace event, so a recorded schedule can be replayed verbatim through a
+  // ScriptedScheduler (see trace/replay.h). Sampled once per run.
+  const bool tracing = trace::Tracer::on();
+  constexpr auto kSub = trace::Substrate::kRuntime;
+  if (tracing) {
+    trace::record(trace::EventKind::kRunBegin, kSub, count, 0,
+                  static_cast<std::uint64_t>(max_steps));
+  }
+
   threads_.reserve(static_cast<std::size_t>(count));
   for (ProcId i = 0; i < count; ++i) {
     threads_.emplace_back([this, i] { process_main(i); });
@@ -103,6 +114,8 @@ SimOutcome Simulation::run(Scheduler& scheduler, int max_steps) {
   ProcessSet runnable = ProcessSet::all(count);
   while (!runnable.empty()) {
     if (outcome.steps >= max_steps) {
+      // Budget-forced crashes are wind-down, not scheduler choices; they
+      // are deliberately not traced so a replayed schedule stays faithful.
       crash_all_remaining(runnable, outcome);
       for (std::thread& t : threads_) t.join();
       threads_.clear();
@@ -114,6 +127,10 @@ SimOutcome Simulation::run(Scheduler& scheduler, int max_steps) {
                      "scheduler picked a process that is not runnable");
 
     if (choice.crash) {
+      if (tracing) {
+        trace::record(trace::EventKind::kCrash, kSub, choice.next,
+                      outcome.steps);
+      }
       {
         std::lock_guard<std::mutex> lk(mu_);
         crash_flags_[static_cast<std::size_t>(choice.next)] = true;
@@ -124,6 +141,10 @@ SimOutcome Simulation::run(Scheduler& scheduler, int max_steps) {
       continue;
     }
 
+    if (tracing) {
+      trace::record(trace::EventKind::kSchedChoice, kSub, choice.next,
+                    outcome.steps);
+    }
     grant(choice.next);
     outcome.schedule.push_back(choice.next);
     ++outcome.steps;
@@ -145,6 +166,10 @@ SimOutcome Simulation::run(Scheduler& scheduler, int max_steps) {
   threads_.clear();
 
   if (first_error_) std::rethrow_exception(first_error_);
+  if (tracing) {
+    trace::record(trace::EventKind::kRunEnd, kSub, -1, outcome.steps,
+                  outcome.completed.bits(), outcome.crashed.bits());
+  }
   return outcome;
 }
 

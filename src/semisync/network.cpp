@@ -1,15 +1,21 @@
 #include "semisync/network.h"
 
+#include "trace/trace.h"
 #include "util/check.h"
 
 namespace rrfd::semisync {
+
+namespace {
+constexpr auto kSub = trace::Substrate::kSemisync;
+}  // namespace
 
 StepSim::StepSim(std::vector<StepProcess*> processes, StepSimOptions options)
     : processes_(std::move(processes)),
       options_(options),
       rng_(options.seed),
       inboxes_(processes_.size()),
-      crash_after_(processes_.size(), -1) {
+      crash_after_(processes_.size(), -1),
+      crashed_(static_cast<int>(processes_.size())) {
   RRFD_REQUIRE(!processes_.empty() &&
                static_cast<int>(processes_.size()) <= core::kMaxProcesses);
   for (StepProcess* p : processes_) RRFD_REQUIRE(p != nullptr);
@@ -22,37 +28,90 @@ void StepSim::crash_after(ProcId p, int after_steps) {
   crash_after_[static_cast<std::size_t>(p)] = after_steps;
 }
 
+void StepSim::replay_steps(std::vector<std::pair<ProcId, int>> steps) {
+  replaying_ = true;
+  replay_steps_ = std::move(steps);
+  replay_next_ = 0;
+}
+
+std::size_t StepSim::inbox_size(ProcId p) const {
+  RRFD_REQUIRE(0 <= p && p < static_cast<int>(processes_.size()));
+  return inboxes_[static_cast<std::size_t>(p)].size();
+}
+
+void StepSim::crash_now(ProcId p, StepSimResult& result) {
+  const auto pi = static_cast<std::size_t>(p);
+  result.crashed.add(p);
+  crashed_.add(p);
+  // A crashed process never steps again, so nothing will ever drain its
+  // inbox: drop it now, and broadcast() skips it from here on. (It used to
+  // keep accumulating one copy of every broadcast for the rest of the run.)
+  inboxes_[pi].clear();
+  trace::record(trace::EventKind::kCrash, kSub, p, result.steps_taken[pi]);
+}
+
 void StepSim::deliver_and_step(ProcId p, StepSimResult& result) {
   const auto pi = static_cast<std::size_t>(p);
 
   // Deliver: everything due (age >= phi-1) must arrive now; younger
   // messages may arrive early at the adversary's whim. Buffers are FIFO,
   // and a delivered message unblocks everything sent before it (otherwise
-  // delivery order could invert sends).
+  // delivery order could invert sends). Under replay the count is scripted
+  // (it subsumes the early-delivery coin flips).
   std::deque<Pending>& inbox = inboxes_[pi];
   std::size_t take = 0;
-  for (std::size_t idx = 0; idx < inbox.size(); ++idx) {
-    const bool due = inbox[idx].age >= options_.phi - 1;
-    if (due || rng_.chance(options_.early_delivery_prob)) take = idx + 1;
+  if (replaying_) {
+    const int scripted = replay_steps_[replay_next_ - 1].second;
+    RRFD_ENSURE_MSG(0 <= scripted &&
+                        static_cast<std::size_t>(scripted) <= inbox.size(),
+                    "replayed delivery count exceeds the pending inbox");
+    take = static_cast<std::size_t>(scripted);
+  } else {
+    for (std::size_t idx = 0; idx < inbox.size(); ++idx) {
+      const bool due = inbox[idx].age >= options_.phi - 1;
+      if (due || rng_.chance(options_.early_delivery_prob)) take = idx + 1;
+    }
   }
+  trace::record(trace::EventKind::kSchedChoice, kSub, p,
+                static_cast<std::int32_t>(result.events),
+                static_cast<std::uint64_t>(take));
   std::vector<Envelope> received;
   received.reserve(take);
   for (std::size_t idx = 0; idx < take; ++idx) {
-    received.push_back(inbox.front().env);
+    const Envelope& env = inbox.front().env;
+    trace::record(trace::EventKind::kDeliver, kSub, p, env.round,
+                  static_cast<std::uint64_t>(env.sender),
+                  static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(env.payload)));
+    received.push_back(env);
     inbox.pop_front();
   }
   // Remaining pending messages age by one recipient step.
   for (Pending& m : inbox) ++m.age;
 
+  const bool was_decided = processes_[pi]->decided();
   std::optional<Broadcast> out = processes_[pi]->step(received);
   ++result.steps_taken[pi];
   ++result.events;
 
   if (out) {
+    trace::record(trace::EventKind::kEmit, kSub, p, out->round,
+                  static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(out->payload)),
+                  1);
     const Envelope env{p, out->round, out->payload};
     for (std::size_t q = 0; q < processes_.size(); ++q) {
+      // Crashed processes take no further steps; buffering for them only
+      // grows memory without ever being read.
+      if (crashed_.contains(static_cast<ProcId>(q))) continue;
       inboxes_[q].push_back(Pending{env, 0});
     }
+  }
+  if (!was_decided && processes_[pi]->decided()) {
+    trace::record(trace::EventKind::kDecide, kSub, p, result.steps_taken[pi],
+                  static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(processes_[pi]->decision())),
+                  1);
   }
 }
 
@@ -60,8 +119,12 @@ StepSimResult StepSim::run() {
   const int n = static_cast<int>(processes_.size());
   StepSimResult result(n);
 
+  trace::record(trace::EventKind::kRunBegin, kSub, n, 0,
+                static_cast<std::uint64_t>(options_.phi),
+                static_cast<std::uint64_t>(options_.max_events));
+
   for (ProcId p = 0; p < n; ++p) {
-    if (crash_after_[static_cast<std::size_t>(p)] == 0) result.crashed.add(p);
+    if (crash_after_[static_cast<std::size_t>(p)] == 0) crash_now(p, result);
   }
 
   while (result.events < options_.max_events) {
@@ -75,20 +138,32 @@ StepSimResult StepSim::run() {
     }
     if (eligible.empty()) {
       result.all_alive_decided = true;
-      return result;
+      break;
     }
 
-    const std::vector<ProcId> members = eligible.members();
-    const ProcId p =
-        members[static_cast<std::size_t>(rng_.below(members.size()))];
+    ProcId p;
+    if (replaying_) {
+      if (replay_next_ >= replay_steps_.size()) break;  // script consumed
+      p = replay_steps_[replay_next_++].first;
+      RRFD_ENSURE_MSG(eligible.contains(p),
+                      "replayed step choice is not eligible at this point");
+    } else {
+      const std::vector<ProcId> members = eligible.members();
+      p = members[static_cast<std::size_t>(rng_.below(members.size()))];
+    }
     deliver_and_step(p, result);
 
     const auto pi = static_cast<std::size_t>(p);
-    if (crash_after_[pi] >= 0 && result.steps_taken[pi] >= crash_after_[pi]) {
-      result.crashed.add(p);
+    if (crash_after_[pi] >= 0 && result.steps_taken[pi] >= crash_after_[pi] &&
+        !result.crashed.contains(p)) {
+      crash_now(p, result);
     }
   }
-  return result;  // budget exhausted; all_alive_decided stays false
+
+  trace::record(trace::EventKind::kRunEnd, kSub, -1,
+                static_cast<std::int32_t>(result.events),
+                result.all_alive_decided ? 1 : 0, result.crashed.bits());
+  return result;  // budget exhausted unless the loop broke with all decided
 }
 
 }  // namespace rrfd::semisync

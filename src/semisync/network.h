@@ -3,7 +3,9 @@
 // Properties, as the paper lists them:
 //   * no bounds on relative process speeds (the scheduler orders steps
 //     arbitrarily);
-//   * crash failures (a crashed process simply stops taking steps);
+//   * crash failures (a crashed process simply stops taking steps; the
+//     simulator also stops buffering messages for it and discards its
+//     inbox, since nothing will ever drain it);
 //   * each step atomically receives all buffered messages and then
 //     broadcasts at most one message;
 //   * broadcast is reliable: a sent message is eventually delivered to
@@ -17,9 +19,11 @@
 //     phi = 1 and is violated by schedules at phi >= 2).
 #pragma once
 
+#include <cstddef>
 #include <deque>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/process_set.h"
@@ -89,8 +93,19 @@ class StepSim {
   /// (0 = never runs). Call before run().
   void crash_after(ProcId p, int after_steps);
 
+  /// Replay mode: consume (process, delivered-count) pairs, as recorded by
+  /// the flight recorder's sched events, instead of the seeded scheduler
+  /// and early-delivery coin flips. Each scripted process must be eligible
+  /// at its turn; violations raise ContractViolation. See trace/replay.h.
+  void replay_steps(std::vector<std::pair<ProcId, int>> steps);
+
   /// Runs until every alive process has decided (or budget exhausted).
   StepSimResult run();
+
+  /// Buffered (undelivered) messages currently pending for process p.
+  /// Crashed processes receive no further messages and their inbox is
+  /// discarded at the crash, so this stays bounded for them.
+  std::size_t inbox_size(ProcId p) const;
 
  private:
   struct Pending {
@@ -99,12 +114,17 @@ class StepSim {
   };
 
   void deliver_and_step(ProcId p, StepSimResult& result);
+  void crash_now(ProcId p, StepSimResult& result);
 
   std::vector<StepProcess*> processes_;
   StepSimOptions options_;
   Rng rng_;
   std::vector<std::deque<Pending>> inboxes_;   // per recipient
   std::vector<int> crash_after_;               // -1 = never
+  ProcessSet crashed_;                         // stops enqueue/step at once
+  bool replaying_ = false;
+  std::vector<std::pair<ProcId, int>> replay_steps_;
+  std::size_t replay_next_ = 0;
 };
 
 }  // namespace rrfd::semisync

@@ -9,6 +9,7 @@
 // corrupted state.
 #pragma once
 
+#include <atomic>
 #include <stdexcept>
 #include <string>
 
@@ -26,11 +27,33 @@ class ContractViolation : public std::logic_error {
 };
 
 namespace detail {
+
+/// Optional execution-context hook: when set, its output is appended to
+/// every ContractViolation message. The flight recorder (src/trace)
+/// installs a provider that renders the last events of its ring buffer,
+/// so a mid-run blow-up carries the deliveries / scheduler choices that
+/// led up to it.
+using ContractContextProvider = std::string (*)();
+
+inline std::atomic<ContractContextProvider>& contract_context_provider() {
+  static std::atomic<ContractContextProvider> provider{nullptr};
+  return provider;
+}
+
 [[noreturn]] inline void contract_fail(const char* kind, const char* expr,
                                        const char* file, int line,
                                        const std::string& msg = {}) {
-  throw ContractViolation(kind, expr, file, line, msg);
+  std::string full = msg;
+  if (ContractContextProvider provider =
+          contract_context_provider().load(std::memory_order_relaxed)) {
+    const std::string context = provider();
+    if (!context.empty()) {
+      full += full.empty() ? context : "\n" + context;
+    }
+  }
+  throw ContractViolation(kind, expr, file, line, full);
 }
+
 }  // namespace detail
 
 }  // namespace rrfd

@@ -2,16 +2,32 @@
 
 namespace rrfd {
 
-LogLevel Log::level_ = LogLevel::kOff;
+std::atomic<LogLevel> Log::level_{LogLevel::kOff};
+std::atomic<Log::Sink> Log::sink_{nullptr};
 
-LogLevel Log::level() { return level_; }
+LogLevel Log::level() { return level_.load(std::memory_order_relaxed); }
 
-void Log::set_level(LogLevel level) { level_ = level; }
+void Log::set_level(LogLevel level) {
+  level_.store(level, std::memory_order_relaxed);
+}
+
+Log::Sink Log::set_sink(Sink sink) {
+  return sink_.exchange(sink, std::memory_order_acq_rel);
+}
+
+void Log::default_write(LogLevel level, const std::string& msg) {
+  (void)level;
+  std::cerr << "[rrfd] " << msg << '\n';
+}
 
 void Log::write(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) <= static_cast<int>(level_) &&
+  if (static_cast<int>(level) <= static_cast<int>(Log::level()) &&
       level != LogLevel::kOff) {
-    std::cerr << "[rrfd] " << msg << '\n';
+    if (Sink sink = sink_.load(std::memory_order_relaxed)) {
+      sink(level, msg);
+    } else {
+      default_write(level, msg);
+    }
   }
 }
 

@@ -1,10 +1,16 @@
 // Minimal leveled logger for simulation tracing.
 //
 // Off by default; tests and examples can raise the level to watch a run
-// round by round. Not thread-safe by design: the cooperative runtime
-// serializes all process steps, so only one logical thread logs at a time.
+// round by round. The level lives in a std::atomic with relaxed ordering:
+// the cooperative runtime serializes all process steps today, but log and
+// trace toggling must stay safe if a future substrate goes multi-threaded
+// (a plain static read would be a data race the moment two OS threads log
+// concurrently). Output is routed through an injectable sink so the flight
+// recorder (src/trace) can capture log lines alongside trace events; the
+// default sink writes to stderr.
 #pragma once
 
+#include <atomic>
 #include <iostream>
 #include <string>
 
@@ -15,14 +21,27 @@ enum class LogLevel { kOff = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
 /// Global log configuration (process-wide).
 class Log {
  public:
+  /// Where log lines go once they pass the level check. Captureless
+  /// function pointer (not std::function) so the slot fits in an atomic
+  /// and swapping sinks is race-free.
+  using Sink = void (*)(LogLevel level, const std::string& msg);
+
   static LogLevel level();
   static void set_level(LogLevel level);
 
   /// Emits `msg` if `level` is at or below the configured verbosity.
   static void write(LogLevel level, const std::string& msg);
 
+  /// Installs a sink (nullptr restores the default stderr writer).
+  /// Returns the previously installed sink (nullptr = default).
+  static Sink set_sink(Sink sink);
+
+  /// The stock stderr writer; custom sinks may delegate to it.
+  static void default_write(LogLevel level, const std::string& msg);
+
  private:
-  static LogLevel level_;
+  static std::atomic<LogLevel> level_;
+  static std::atomic<Sink> sink_;
 };
 
 inline void log_info(const std::string& msg) {

@@ -227,6 +227,50 @@ TEST(Engine, DistinctDecisionsIgnoresUndecidedInsideFilter) {
   EXPECT_TRUE(result.distinct_decisions(ProcessSet(3, {1, 2})).empty());
 }
 
+TEST(RunResult, DistinctDecisionsPreserveFirstSeenOrder) {
+  // Regression for the sorted-dedup rewrite of distinct_decisions: the
+  // result must stay in first-seen (lowest deciding ProcId) order, exactly
+  // as the old quadratic scan produced it.
+  RunResult<int> result(6);
+  result.decisions = {7, 3, std::nullopt, 7, 1, 3};
+  EXPECT_EQ(result.distinct_decisions(), (std::vector<int>{7, 3, 1}));
+}
+
+TEST(RunResult, DistinctDecisionsRespectAmongFilter) {
+  RunResult<int> result(6);
+  result.decisions = {7, 3, std::nullopt, 7, 1, 3};
+  // Among {1, 3, 4}: first-seen order is 3 (p1), 7 (p3), 1 (p4).
+  EXPECT_EQ(result.distinct_decisions(ProcessSet(6, {1, 3, 4})),
+            (std::vector<int>{3, 7, 1}));
+  EXPECT_TRUE(result.distinct_decisions(ProcessSet(6, {2})).empty());
+}
+
+TEST(RunResult, DistinctDecisionsFallBackForEqualityOnlyTypes) {
+  // Decisions without operator< take the quadratic path; behavior must be
+  // identical.
+  struct EqOnly {
+    int v = 0;
+    bool operator==(const EqOnly&) const = default;
+  };
+  RunResult<EqOnly> result(5);
+  result.decisions = {EqOnly{2}, EqOnly{9}, EqOnly{2}, std::nullopt, EqOnly{4}};
+  const std::vector<EqOnly> distinct = result.distinct_decisions();
+  ASSERT_EQ(distinct.size(), 3u);
+  EXPECT_EQ(distinct[0].v, 2);
+  EXPECT_EQ(distinct[1].v, 9);
+  EXPECT_EQ(distinct[2].v, 4);
+}
+
+TEST(RunResult, DistinctDecisionsManyProcessesStressOrder) {
+  // A larger instance (the case the O(k^2) scan was slow for): 64
+  // processes, 8 distinct values, first occurrence at i = value.
+  RunResult<int> result(64);
+  result.decisions.assign(64, std::nullopt);
+  for (int i = 0; i < 64; ++i) result.decisions[static_cast<std::size_t>(i)] = i % 8;
+  const std::vector<int> distinct = result.distinct_decisions();
+  EXPECT_EQ(distinct, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
 TEST(Engine, ProcessesKeepParticipatingAfterDeciding) {
   // Decision is commitment, not halting: a process that decided in round 1
   // still emits and absorbs in round 2 (the "forever do" loop).

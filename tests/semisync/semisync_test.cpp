@@ -259,6 +259,49 @@ TEST(SemiSyncConsensus, ToleratesCrashes) {
   }
 }
 
+TEST(StepSim, CrashedProcessInboxStaysBounded) {
+  // Regression: broadcasts used to be enqueued into crashed processes'
+  // inboxes forever. Nothing ever drained those buffers (a crashed process
+  // takes no further steps), so a long run with an early crash grew one
+  // queued copy of every subsequent broadcast -- tens of thousands of
+  // Pending entries here. The fix drops the inbox at the crash and stops
+  // enqueuing afterwards.
+
+  /// Broadcasts at every step and never decides: the worst-case chatter.
+  class Chatterbox final : public StepProcess {
+   public:
+    std::optional<Broadcast> step(const std::vector<Envelope>&) override {
+      ++steps_;
+      return Broadcast{steps_, steps_};
+    }
+    bool decided() const override { return false; }
+    int decision() const override { return 0; }
+
+   private:
+    int steps_ = 0;
+  };
+
+  const int n = 3;
+  std::vector<Chatterbox> procs(static_cast<std::size_t>(n));
+  std::vector<StepProcess*> raw;
+  for (auto& p : procs) raw.push_back(&p);
+
+  StepSimOptions opts;
+  opts.seed = 11;
+  opts.max_events = 10000;
+  StepSim sim(raw, opts);
+  sim.crash_after(0, 1);  // p0 crashes after its very first step
+  StepSimResult result = sim.run();
+
+  ASSERT_TRUE(result.crashed.contains(0));
+  EXPECT_EQ(result.events, opts.max_events);
+  // ~10k broadcasts happened after the crash; none may be buffered for p0.
+  EXPECT_EQ(sim.inbox_size(0), 0u);
+  // Sanity: alive processes still receive messages (the fix must not
+  // starve anyone who can actually step).
+  EXPECT_GT(result.steps_taken[1] + result.steps_taken[2], 0);
+}
+
 TEST(SemiSyncConsensus, DecisionMatchesTheRoundsBroadcaster) {
   const int n = 4;
   std::vector<int> inputs{10, 11, 12, 13};

@@ -1,0 +1,239 @@
+// The flight recorder itself: sinks, the JSONL wire format, and the
+// ContractViolation context hook.
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace rrfd::trace {
+namespace {
+
+TraceEvent make_event(EventKind kind, std::int32_t proc, std::int32_t round,
+                      std::uint64_t a = 0, std::uint64_t b = 0,
+                      Substrate sub = Substrate::kEngine) {
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.substrate = sub;
+  ev.proc = proc;
+  ev.round = round;
+  ev.a = a;
+  ev.b = b;
+  return ev;
+}
+
+// ---------------------------------------------------------------------------
+// Tracer + sinks
+// ---------------------------------------------------------------------------
+
+TEST(Tracer, OffByDefaultAndRecordIsANoOp) {
+  ASSERT_EQ(Tracer::sink(), nullptr);
+  EXPECT_FALSE(Tracer::on());
+  record(EventKind::kEmit, Substrate::kEngine, 0, 1, 42);  // must not crash
+}
+
+TEST(Tracer, ScopedTraceAttachesAndRestores) {
+  CaptureRecorder outer;
+  CaptureRecorder inner;
+  {
+    ScopedTrace attach_outer(&outer);
+    EXPECT_TRUE(Tracer::on());
+    record(EventKind::kEmit, Substrate::kEngine, 0, 1, 1);
+    {
+      ScopedTrace attach_inner(&inner);
+      record(EventKind::kEmit, Substrate::kEngine, 0, 1, 2);
+    }
+    record(EventKind::kEmit, Substrate::kEngine, 0, 1, 3);
+  }
+  EXPECT_FALSE(Tracer::on());
+  ASSERT_EQ(outer.events().size(), 2u);
+  EXPECT_EQ(outer.events()[0].a, 1u);
+  EXPECT_EQ(outer.events()[1].a, 3u);
+  ASSERT_EQ(inner.events().size(), 1u);
+  EXPECT_EQ(inner.events()[0].a, 2u);
+}
+
+TEST(RingRecorder, KeepsOnlyTheTailAndCountsDrops) {
+  RingRecorder ring(4);
+  ScopedTrace attach(&ring);
+  for (std::int32_t k = 0; k < 10; ++k) {
+    record(EventKind::kDeliver, Substrate::kMsgpass, k, 1);
+  }
+  EXPECT_EQ(ring.total(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  const std::vector<TraceEvent> recent = ring.recent();
+  ASSERT_EQ(recent.size(), 4u);
+  for (std::size_t k = 0; k < recent.size(); ++k) {
+    EXPECT_EQ(recent[k].proc, static_cast<std::int32_t>(6 + k));
+  }
+}
+
+TEST(TeeSink, FansOutToBothSinks) {
+  RingRecorder ring(8);
+  CaptureRecorder capture;
+  TeeSink tee(&ring, &capture);
+  ScopedTrace attach(&tee);
+  record(EventKind::kCrash, Substrate::kRuntime, 2, 7);
+  EXPECT_EQ(ring.total(), 1u);
+  ASSERT_EQ(capture.events().size(), 1u);
+  EXPECT_EQ(capture.events()[0].proc, 2);
+}
+
+TEST(TraceEvent, ToStringNamesKindSubstrateAndFields) {
+  const std::string s =
+      to_string(make_event(EventKind::kAnnounce, 1, 2, 5, 0));
+  EXPECT_NE(s.find("engine"), std::string::npos);
+  EXPECT_NE(s.find("announce"), std::string::npos);
+  EXPECT_NE(s.find("p=1"), std::string::npos);
+  EXPECT_NE(s.find("r=2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ContractViolation context (the flight-recorder payoff)
+// ---------------------------------------------------------------------------
+
+TEST(RingRecorder, ContractViolationCarriesTheEventTail) {
+  RingRecorder ring(8);
+  ScopedTrace attach(&ring);
+  record(EventKind::kRoundStart, Substrate::kMsgpass, 3, 9);
+  record(EventKind::kDeliver, Substrate::kMsgpass, 3, 9, 1, 77);
+  try {
+    RRFD_ENSURE_MSG(false, "synthetic failure");
+    FAIL() << "must throw";
+  } catch (const ContractViolation& violation) {
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("synthetic failure"), std::string::npos);
+    EXPECT_NE(what.find("trace tail"), std::string::npos);
+    EXPECT_NE(what.find("deliver"), std::string::npos);
+    EXPECT_NE(what.find("r=9"), std::string::npos);
+  }
+}
+
+TEST(RingRecorder, NoContextWhenDetached) {
+  {
+    RingRecorder ring(8);
+    ScopedTrace attach(&ring);
+    record(EventKind::kRoundStart, Substrate::kMsgpass, 3, 9);
+  }
+  try {
+    RRFD_ENSURE_MSG(false, "synthetic failure");
+    FAIL() << "must throw";
+  } catch (const ContractViolation& violation) {
+    EXPECT_EQ(std::string(violation.what()).find("trace tail"),
+              std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSONL round-trip
+// ---------------------------------------------------------------------------
+
+TEST(Jsonl, WriterThenReaderRoundTripsExactly) {
+  std::ostringstream os;
+  {
+    JsonlWriter writer(os);
+    ScopedTrace attach(&writer);
+    record(EventKind::kRunBegin, Substrate::kSemisync, 4, 0, 1, 1024);
+    record(EventKind::kSchedChoice, Substrate::kSemisync, 2, 0, 3);
+    record(EventKind::kDeliver, Substrate::kSemisync, 2, 1, 0,
+           static_cast<std::uint64_t>(-7));  // negative payloads survive
+    writer.on_log(1, "line with \"quotes\" and\nnewline");
+    record(EventKind::kRunEnd, Substrate::kSemisync, -1, 17, 1, 0b1010);
+  }
+
+  std::istringstream is(os.str());
+  const Trace trace = read_trace(is);
+  EXPECT_EQ(trace.schema, kTraceSchema);
+  EXPECT_FALSE(trace.git_rev.empty());
+  ASSERT_EQ(trace.events.size(), 4u);
+  EXPECT_EQ(trace.events[0],
+            make_event(EventKind::kRunBegin, 4, 0, 1, 1024,
+                       Substrate::kSemisync));
+  EXPECT_EQ(trace.events[2].b, static_cast<std::uint64_t>(-7));
+  EXPECT_EQ(trace.events[3].proc, -1);
+  ASSERT_EQ(trace.logs.size(), 1u);
+  EXPECT_EQ(trace.logs[0].first, 1);
+  EXPECT_EQ(trace.logs[0].second, "line with \"quotes\" and\nnewline");
+
+  // write_trace(read_trace(x)) is byte-stable.
+  std::ostringstream os2;
+  write_trace(os2, trace);
+  std::istringstream is2(os2.str());
+  const Trace again = read_trace(is2);
+  EXPECT_EQ(again.events, trace.events);
+  EXPECT_EQ(again.logs, trace.logs);
+  EXPECT_EQ(again.git_rev, trace.git_rev);
+}
+
+TEST(Jsonl, ParserRejectsMissingMetaLine) {
+  std::istringstream is(
+      "{\"kind\":\"emit\",\"sub\":\"engine\",\"p\":0,\"r\":1,\"a\":0,\"b\":0}\n");
+  EXPECT_THROW(read_trace(is), ContractViolation);
+}
+
+TEST(Jsonl, ParserRejectsWrongSchema) {
+  std::istringstream is("{\"schema\":\"rrfd-trace-v999\",\"git_rev\":\"x\"}\n");
+  EXPECT_THROW(read_trace(is), ContractViolation);
+}
+
+TEST(Jsonl, ParserRejectsUnknownKind) {
+  std::istringstream is(
+      "{\"schema\":\"rrfd-trace-v1\",\"git_rev\":\"x\"}\n"
+      "{\"kind\":\"teleport\",\"sub\":\"engine\",\"p\":0,\"r\":1,\"a\":0,\"b\":0}\n");
+  EXPECT_THROW(read_trace(is), ContractViolation);
+}
+
+TEST(Jsonl, ParserRejectsTrailingGarbage) {
+  std::istringstream is(
+      "{\"schema\":\"rrfd-trace-v1\",\"git_rev\":\"x\"}\n"
+      "{\"kind\":\"emit\",\"sub\":\"engine\",\"p\":0,\"r\":1,\"a\":0,\"b\":0}junk\n");
+  EXPECT_THROW(read_trace(is), ContractViolation);
+}
+
+TEST(Jsonl, ParserErrorsNameTheLine) {
+  std::istringstream is(
+      "{\"schema\":\"rrfd-trace-v1\",\"git_rev\":\"x\"}\n"
+      "{\"kind\":\"emit\",\"sub\":\"engine\",\"p\":zero,\"r\":1,\"a\":0,\"b\":0}\n");
+  try {
+    read_trace(is);
+    FAIL() << "must throw";
+  } catch (const ContractViolation& violation) {
+    EXPECT_NE(std::string(violation.what()).find("line 2"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Log routing through the trace sink (satellite: injectable log sink)
+// ---------------------------------------------------------------------------
+
+TEST(LogForwarding, LogLinesLandInTheTraceWhenForwarded) {
+  struct LogCapture final : TraceSink {
+    void on_event(const TraceEvent&) override {}
+    void on_log(int level, const std::string& msg) override {
+      lines.emplace_back(level, msg);
+    }
+    std::vector<std::pair<int, std::string>> lines;
+  };
+
+  const LogLevel saved_level = Log::level();
+  Log::set_level(LogLevel::kInfo);
+  forward_logs_to_trace();
+
+  LogCapture capture;
+  {
+    ScopedTrace attach(&capture);
+    log_info("routed 42");
+    log_debug("suppressed by level");
+  }
+  Log::set_sink(nullptr);
+  Log::set_level(saved_level);
+
+  ASSERT_EQ(capture.lines.size(), 1u);
+  EXPECT_EQ(capture.lines[0].second, "routed 42");
+}
+
+}  // namespace
+}  // namespace rrfd::trace

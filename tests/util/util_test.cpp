@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "util/check.h"
 #include "util/log.h"
@@ -134,6 +138,67 @@ TEST(Logging, OffSuppressesAll) {
   log_info("x");
   log_trace("y");
   EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+namespace {
+std::vector<std::pair<LogLevel, std::string>>* g_captured_lines = nullptr;
+}  // namespace
+
+TEST(Logging, InjectedSinkReceivesLinesInsteadOfStderr) {
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::kInfo);
+
+  std::vector<std::pair<LogLevel, std::string>> lines;
+  g_captured_lines = &lines;
+  Log::Sink previous = Log::set_sink(+[](LogLevel level, const std::string& msg) {
+    g_captured_lines->emplace_back(level, msg);
+  });
+  EXPECT_EQ(previous, nullptr);  // default sink is represented as nullptr
+
+  testing::internal::CaptureStderr();
+  log_info("captured");
+  log_debug("filtered before the sink");
+  const std::string stderr_out = testing::internal::GetCapturedStderr();
+
+  Log::set_sink(nullptr);
+  g_captured_lines = nullptr;
+
+  EXPECT_TRUE(stderr_out.empty());  // nothing leaked to the default writer
+  ASSERT_EQ(lines.size(), 1u);      // level filtering happens before sinks
+  EXPECT_EQ(lines[0].first, LogLevel::kInfo);
+  EXPECT_EQ(lines[0].second, "captured");
+
+  // Detaching restores the stderr writer.
+  testing::internal::CaptureStderr();
+  log_info("back to stderr");
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("back to stderr"),
+            std::string::npos);
+}
+
+TEST(Logging, LevelAndSinkAreSafeUnderConcurrentToggling) {
+  // The level and sink live in atomics precisely so concurrent writers and
+  // a toggling thread do not race. This is a smoke test (a real data race
+  // would need TSan to surface deterministically), but it pins the API
+  // contract: logging while another thread flips the level must not crash
+  // or tear.
+  LogLevelGuard guard;
+  testing::internal::CaptureStderr();
+  std::atomic<bool> stop{false};
+  std::thread toggler([&] {
+    for (int k = 0; k < 1000; ++k) {
+      Log::set_level(k % 2 == 0 ? LogLevel::kOff : LogLevel::kInfo);
+    }
+    stop.store(true);
+  });
+  int writes = 0;
+  while (!stop.load()) {
+    log_info("ping");
+    ++writes;
+  }
+  toggler.join();
+  Log::set_level(LogLevel::kOff);
+  testing::internal::GetCapturedStderr();
+  EXPECT_GE(writes, 0);
 }
 
 }  // namespace
