@@ -10,6 +10,7 @@
 #include "bench_util.h"
 #include "runtime/explorer.h"
 #include "runtime/schedulers.h"
+#include "sweep/sharded_explorer.h"
 
 namespace {
 
@@ -89,29 +90,43 @@ void summary() {
       runtime::ScheduleExplorer::Options opts;
       opts.max_schedules = 5000000;
       opts.max_crashes = crashes;
-      runtime::ScheduleExplorer explorer(opts);
-      long violations = 0;
-      auto stats = explorer.explore([&](runtime::Scheduler& sched) {
-        agreement::AdoptCommit ac(2);
-        std::vector<std::optional<agreement::AdoptCommitResult>> results(2);
-        runtime::Simulation sim(2, [&](runtime::Context& ctx) {
-          results[static_cast<std::size_t>(ctx.id())] =
-              ac.run(ctx, ctx.id());  // distinct proposals 0, 1
-        });
-        sim.run(sched);
-        std::optional<int> committed;
-        for (const auto& r : results) {
-          if (r && r->commit) {
-            if (committed && *committed != r->value) ++violations;
-            committed = r->value;
-          }
-        }
-        if (committed) {
+      // One schedule check; `violations` is nullptr for the probe run.
+      auto check_one = [](long* violations) {
+        return [violations](runtime::Scheduler& sched) {
+          agreement::AdoptCommit ac(2);
+          std::vector<std::optional<agreement::AdoptCommitResult>> results(2);
+          runtime::Simulation sim(2, [&](runtime::Context& ctx) {
+            results[static_cast<std::size_t>(ctx.id())] =
+                ac.run(ctx, ctx.id());  // distinct proposals 0, 1
+          });
+          sim.run(sched);
+          if (violations == nullptr) return;
+          std::optional<int> committed;
           for (const auto& r : results) {
-            if (r && r->value != *committed) ++violations;
+            if (r && r->commit) {
+              if (committed && *committed != r->value) ++*violations;
+              committed = r->value;
+            }
           }
-        }
-      });
+          if (committed) {
+            for (const auto& r : results) {
+              if (r && r->value != *committed) ++*violations;
+            }
+          }
+        };
+      };
+      // Sharded by root decision; parallel under RRFD_SWEEP_THREADS. Each
+      // shard counts into its own slot -- summed in shard order below, so
+      // the total matches the serial explorer's exactly.
+      std::vector<long> per_shard(16, 0);
+      auto stats = sweep::explore_sharded(
+          opts, [&](int shard) {
+            return check_one(
+                shard < 0 ? nullptr
+                          : &per_shard[static_cast<std::size_t>(shard)]);
+          });
+      long violations = 0;
+      for (long v : per_shard) violations += v;
       table.add_row({"n=2, crashes<=" + std::to_string(crashes),
                      std::to_string(stats.schedules),
                      stats.exhausted ? "yes" : "no",

@@ -22,26 +22,40 @@ struct Outcome {
   bool all_valid = true;
 };
 
+struct TrialResult {
+  int rounds = 0;
+  int distinct = 0;
+  bool valid = false;
+};
+
+// Trials fan out over RRFD_SWEEP_THREADS workers (serial by default);
+// each draws its adversary seed from a counter-derived Rng stream, so the
+// summary is byte-identical at any thread count.
 Outcome run_sweep(int n, int k, int trials) {
-  Outcome out;
   std::vector<int> inputs;
   for (int i = 0; i < n; ++i) inputs.push_back(i + 1);
-  for (int trial = 0; trial < trials; ++trial) {
-    std::vector<agreement::OneRoundKSet> ps;
-    for (int v : inputs) ps.emplace_back(v);
-    core::KUncertaintyAdversary adv(
-        n, k, 1000u * static_cast<unsigned>(trial) + 17u);
-    auto result = core::run_rounds(ps, adv);
-    out.rounds = std::max(out.rounds, result.rounds);
-    const int distinct = agreement::distinct_decision_count(
-        result.decisions, core::ProcessSet::all(n));
-    out.max_distinct = std::max(out.max_distinct, distinct);
-    out.trials_at_bound += (distinct == k);
-    out.all_valid =
-        out.all_valid && agreement::check_k_set_agreement(
-                             inputs, result.decisions, k,
-                             core::ProcessSet::all(n))
-                             .ok;
+  const auto results = bench::sweep_trials(
+      trials, 1000u * static_cast<std::uint64_t>(n) + static_cast<std::uint64_t>(k),
+      [&](int /*trial*/, Rng& rng) {
+        std::vector<agreement::OneRoundKSet> ps;
+        for (int v : inputs) ps.emplace_back(v);
+        core::KUncertaintyAdversary adv(n, k, rng());
+        auto result = core::run_rounds(ps, adv);
+        TrialResult t;
+        t.rounds = result.rounds;
+        t.distinct = agreement::distinct_decision_count(
+            result.decisions, core::ProcessSet::all(n));
+        t.valid = agreement::check_k_set_agreement(inputs, result.decisions, k,
+                                                   core::ProcessSet::all(n))
+                      .ok;
+        return t;
+      });
+  Outcome out;
+  for (const TrialResult& t : results) {
+    out.rounds = std::max(out.rounds, t.rounds);
+    out.max_distinct = std::max(out.max_distinct, t.distinct);
+    out.trials_at_bound += (t.distinct == k);
+    out.all_valid = out.all_valid && t.valid;
   }
   return out;
 }

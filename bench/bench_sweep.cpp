@@ -1,0 +1,104 @@
+// E16 -- the parallel deterministic sweep executor (src/sweep).
+//
+// Workload: an E1-shaped sweep (one-round k-set agreement under seeded
+// k-uncertainty adversaries, n = 32, k = 4), the shape of every
+// randomized experiment in EXPERIMENTS.md. The summary runs the same
+// sweep serially and at several worker counts, requires the per-trial
+// result vectors to be byte-identical (the sweep determinism contract),
+// and reports wall-clock speedup. The timing loop then measures sweep
+// throughput per thread count; speedup tracks the machine's core count
+// (a single-core container shows ~1x by construction).
+#include "sweep/sweep.h"
+
+#include <chrono>
+
+#include "agreement/one_round_kset.h"
+#include "agreement/tasks.h"
+#include "bench_util.h"
+#include "core/adversaries.h"
+#include "core/engine.h"
+
+namespace {
+
+using namespace rrfd;
+
+constexpr int kN = 32;
+constexpr int kK = 4;
+constexpr std::uint64_t kSeed = 0xE16E16u;
+
+/// One seeded trial; returns a digest folding every decision, so any
+/// divergence between serial and parallel runs is visible byte-for-byte.
+std::uint64_t one_trial(int /*trial*/, Rng& rng) {
+  std::vector<agreement::OneRoundKSet> ps;
+  for (int i = 0; i < kN; ++i) ps.emplace_back(i + 1);
+  core::KUncertaintyAdversary adv(kN, kK, rng());
+  auto result = core::run_rounds(ps, adv);
+  std::uint64_t digest = 0xcbf29ce484222325ULL;
+  for (const auto& d : result.decisions) {
+    digest ^= static_cast<std::uint64_t>(d.value_or(-1));
+    digest *= 0x100000001b3ULL;
+  }
+  digest ^= static_cast<std::uint64_t>(result.rounds);
+  return digest;
+}
+
+void summary() {
+  bench::banner(
+      "E16 / sweep executor: parallel trials, serial results",
+      "Contract: sweep::run at any thread count returns the same per-trial\n"
+      "results, in trial order, as the serial loop (counter-derived RNG\n"
+      "streams + trial-indexed reduction). Opt in with RRFD_SWEEP_THREADS.");
+
+  const int trials = 600;
+  const auto serial = sweep::run(trials, kSeed, one_trial, /*threads=*/1);
+
+  bench::Table table({"threads", "trials", "wall ms", "speedup",
+                      "identical to serial"});
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)sweep::run(trials, kSeed, one_trial, /*threads=*/1);
+  const double serial_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  for (int threads : {1, 2, 4, 8}) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto parallel = sweep::run(trials, kSeed, one_trial, threads);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", serial_ms / ms);
+    table.add_row({std::to_string(threads), std::to_string(trials),
+                   std::to_string(static_cast<long>(ms)), speedup,
+                   parallel == serial ? "yes" : "NO"});
+  }
+  table.print();
+}
+
+void bm_sweep(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int trials = 256;
+  for (auto _ : state) {
+    auto results = sweep::run(trials, kSeed, one_trial, threads);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["trials_per_sec"] = benchmark::Counter(
+      static_cast<double>(trials), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(bm_sweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->ArgName("threads")
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void bm_rng_stream_derivation(benchmark::State& state) {
+  // Cost of deriving one counter-based trial stream (contract item 1);
+  // it is paid once per trial, so it must stay negligible next to a run.
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    Rng rng = Rng::stream(kSeed, i++);
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(bm_rng_stream_derivation);
+
+}  // namespace
+
+RRFD_BENCH_MAIN(summary)

@@ -12,21 +12,31 @@
 //  * every run additionally appends one machine-readable JSON object to
 //    BENCH_rrfd.json (override the path with RRFD_BENCH_JSON, tag the
 //    entry with RRFD_BENCH_LABEL) -- the perf trajectory the ROADMAP
-//    tracks. See EXPERIMENTS.md for the schema.
+//    tracks. See EXPERIMENTS.md for the schema. The record is written
+//    with a single O_APPEND write so concurrent bench processes never
+//    interleave partial lines.
+//
+// Summary sweeps can opt into the parallel sweep executor with
+// RRFD_SWEEP_THREADS (see sweep/sweep.h and bench::sweep_trials below);
+// the google-benchmark timing loops themselves always stay serial, since
+// they measure per-op latency.
 #pragma once
 
 #include <benchmark/benchmark.h>
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "sweep/sweep.h"
 #include "util/str.h"
 
 namespace rrfd::bench {
@@ -176,9 +186,37 @@ class CapturingReporter : public Base {
 #define RRFD_GIT_REV "unknown"
 #endif
 
+namespace detail {
+
+/// Appends `line` to `path` with one O_APPEND write(2). POSIX makes the
+/// seek-to-end + write atomic under O_APPEND, so records from concurrent
+/// bench processes land whole -- an ofstream in append mode may flush a
+/// record across several writes, and two racing processes can then
+/// interleave partial lines (torn lines the strict parsers now call out).
+inline void append_atomically(const std::string& path,
+                              const std::string& line) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    std::cerr << "rrfd-bench: cannot open " << path << " for append\n";
+    return;
+  }
+  ssize_t wrote;
+  do {
+    wrote = ::write(fd, line.data(), line.size());
+  } while (wrote < 0 && errno == EINTR);
+  if (wrote != static_cast<ssize_t>(line.size())) {
+    std::cerr << "rrfd-bench: short/failed append to " << path << '\n';
+  }
+  ::close(fd);
+}
+
+}  // namespace detail
+
 /// Appends one JSON object (a single line) describing this bench run to
 /// BENCH_rrfd.json / $RRFD_BENCH_JSON. The file is JSON Lines: each line
 /// parses standalone, and the whole file is a perf trajectory over time.
+/// The record is emitted with a single O_APPEND write, so concurrent
+/// bench runs appending to the same file cannot tear each other's lines.
 inline void write_results_json(const std::string& experiment,
                                const std::vector<ResultRecord>& records) {
   if (records.empty()) return;
@@ -186,11 +224,7 @@ inline void write_results_json(const std::string& experiment,
   const std::string path = path_env ? path_env : "BENCH_rrfd.json";
   const char* label_env = std::getenv("RRFD_BENCH_LABEL");
 
-  std::ofstream os(path, std::ios::app);
-  if (!os) {
-    std::cerr << "rrfd-bench: cannot open " << path << " for append\n";
-    return;
-  }
+  std::ostringstream os;
   os << "{\"experiment\":\"" << detail::json_escape(experiment) << "\""
      << ",\"git_rev\":\"" << detail::json_escape(RRFD_GIT_REV) << "\"";
   if (label_env && *label_env) {
@@ -217,6 +251,16 @@ inline void write_results_json(const std::string& experiment,
     os << '}';
   }
   os << "]}\n";
+  detail::append_atomically(path, os.str());
+}
+
+/// Opt-in parallel summary sweeps: fn(trial, rng) per trial, fanned over
+/// RRFD_SWEEP_THREADS workers (serial by default), results in trial
+/// order and byte-identical to a serial run -- see sweep/sweep.h for the
+/// determinism contract. Benches that call this must link rrfd_sweep.
+template <typename Fn>
+auto sweep_trials(int n_trials, std::uint64_t seed, Fn&& fn) {
+  return ::rrfd::sweep::run(n_trials, seed, std::forward<Fn>(fn));
 }
 
 /// The shared main: routes the summary, runs google-benchmark with a

@@ -31,7 +31,42 @@ Scheduler::Choice ScheduleExplorer::TreeScheduler::pick(
 
 ScheduleExplorer::Stats ScheduleExplorer::explore(
     const std::function<void(Scheduler&)>& run_one) {
+  return explore_impl({}, /*frozen=*/0, /*first_ordinal=*/0, run_one);
+}
+
+std::vector<Scheduler::Choice> ScheduleExplorer::root_alternatives(
+    const std::function<void(Scheduler&)>& run_one) const {
   std::vector<Node> path;
+  TreeScheduler scheduler(path, options_.max_crashes);
+  run_one(scheduler);
+  if (path.empty()) return {};
+  return path.front().alternatives;
+}
+
+ScheduleExplorer::Stats ScheduleExplorer::explore_shard(
+    const std::vector<Scheduler::Choice>& root, std::size_t shard,
+    const std::function<void(Scheduler&)>& run_one, long first_ordinal) {
+  RRFD_REQUIRE(shard < root.size());
+  // Reconstruct the root node exactly as the serial DFS holds it while
+  // visiting this subtree: all alternatives present, `shard` chosen.
+  // Shard 0 instead starts with an empty path, as serial DFS does on its
+  // very first run: the run rediscovers the root with chosen = 0 (shard
+  // 0's pin), and frozen = 1 still stops backtracking at the root -- this
+  // keeps the traced schedule brackets (whose payload is the replayed
+  // prefix depth) byte-identical to the serial stream.
+  std::vector<Node> path;
+  if (shard > 0) {
+    Node node;
+    node.alternatives = root;
+    node.chosen = shard;
+    path.push_back(std::move(node));
+  }
+  return explore_impl(std::move(path), /*frozen=*/1, first_ordinal, run_one);
+}
+
+ScheduleExplorer::Stats ScheduleExplorer::explore_impl(
+    std::vector<Node> path, std::size_t frozen, long first_ordinal,
+    const std::function<void(Scheduler&)>& run_one) {
   Stats stats;
 
   // Flight recorder: one round_start/round_end pair per explored schedule
@@ -45,22 +80,33 @@ ScheduleExplorer::Stats ScheduleExplorer::explore(
     TreeScheduler scheduler(path, options_.max_crashes);
     if (tracing) {
       trace::record(trace::EventKind::kRoundStart, kSub, -1,
-                    static_cast<std::int32_t>(stats.schedules),
+                    static_cast<std::int32_t>(first_ordinal + stats.schedules),
                     static_cast<std::uint64_t>(path.size()));
     }
     run_one(scheduler);
     ++stats.schedules;
     if (tracing) {
-      trace::record(trace::EventKind::kRoundEnd, kSub, -1,
-                    static_cast<std::int32_t>(stats.schedules - 1));
+      trace::record(
+          trace::EventKind::kRoundEnd, kSub, -1,
+          static_cast<std::int32_t>(first_ordinal + stats.schedules - 1));
     }
 
-    // Backtrack: advance the deepest node with an unexplored alternative.
-    while (!path.empty() &&
+    // Discard decision points the replayed run did not consume. A run can
+    // terminate shallower than the stored path (e.g. a run_one whose
+    // program length varies across calls); stale deeper nodes would then
+    // be backtracked as if the run had reached them, yielding duplicate /
+    // phantom schedules and a wrong `exhausted`.
+    RRFD_ENSURE_MSG(scheduler.depth() >= frozen,
+                    "schedule ended inside the pinned shard prefix");
+    path.resize(scheduler.depth());
+
+    // Backtrack: advance the deepest unpinned node with an unexplored
+    // alternative.
+    while (path.size() > frozen &&
            path.back().chosen + 1 >= path.back().alternatives.size()) {
       path.pop_back();
     }
-    if (path.empty()) {
+    if (path.size() <= frozen) {
       stats.exhausted = true;
       return stats;
     }

@@ -9,6 +9,15 @@
 // choices, so safety properties are checked against every interleaving
 // *and* every crash placement (up to the budget).
 //
+// The DFS tree can also be partitioned by its first decision: discover
+// the root alternatives with root_alternatives(), then explore each
+// root-fixed subtree independently with explore_shard(). The shards are
+// disjoint and cover the tree, and shard k enumerates exactly the
+// schedules the serial explore() visits between advancing the root to its
+// k-th alternative and the next root advance -- so running the shards in
+// index order reproduces the serial visit sequence exactly. sweep::
+// explore_sharded (src/sweep) fans the shards across a thread pool.
+//
 // Exhaustive exploration is exponential; it is meant for small instances
 // (n <= 3, short protocols) as in tests/shm/adopt_commit_test.cpp, which
 // model-checks the paper's Section 4.2 protocol.
@@ -23,13 +32,13 @@ namespace rrfd::runtime {
 class ScheduleExplorer {
  public:
   struct Options {
-    long max_schedules = 100000;  ///< stop after this many runs
+    long max_schedules = 100000;  ///< stop after this many runs (per shard)
     int max_crashes = 0;          ///< crash-choice budget per schedule
   };
 
   struct Stats {
     long schedules = 0;   ///< runs executed
-    bool exhausted = false;  ///< true iff the whole tree was covered
+    bool exhausted = false;  ///< true iff the whole (sub)tree was covered
   };
 
   ScheduleExplorer() = default;
@@ -40,6 +49,25 @@ class ScheduleExplorer {
   /// assertions; any exception it throws aborts the exploration and
   /// propagates to the caller (carrying the failing schedule's context).
   Stats explore(const std::function<void(Scheduler&)>& run_one);
+
+  /// Discovers the alternatives of the tree's first decision point by
+  /// replaying one schedule. Executes `run_one` exactly once (a probe run
+  /// whose side effects the caller must expect); the result is empty iff
+  /// the program has no decision point at all, in which case that probe
+  /// run was the tree's only schedule.
+  std::vector<Scheduler::Choice> root_alternatives(
+      const std::function<void(Scheduler&)>& run_one) const;
+
+  /// Explores the subtree in which the first decision is pinned to
+  /// `root[shard]`, where `root` is the list returned by
+  /// root_alternatives(). Stats cover this shard only (max_schedules is a
+  /// per-shard budget); `first_ordinal` offsets the schedule ordinals in
+  /// flight-recorder events so a shard-sequential traced run is
+  /// byte-identical to the serial one.
+  Stats explore_shard(const std::vector<Scheduler::Choice>& root,
+                      std::size_t shard,
+                      const std::function<void(Scheduler&)>& run_one,
+                      long first_ordinal = 0);
 
  private:
   struct Node {
@@ -55,12 +83,22 @@ class ScheduleExplorer {
 
     Choice pick(const ProcessSet& runnable, int step) override;
 
+    /// Decision points this run actually consumed.
+    std::size_t depth() const { return depth_; }
+
    private:
     std::vector<Node>& path_;
     int max_crashes_;
     int crashes_ = 0;
     std::size_t depth_ = 0;
   };
+
+  /// The DFS loop. `path` is the starting replay prefix; the first
+  /// `frozen` nodes are pinned -- backtracking never advances them, and
+  /// reaching them means the (sub)tree is exhausted.
+  Stats explore_impl(std::vector<Node> path, std::size_t frozen,
+                     long first_ordinal,
+                     const std::function<void(Scheduler&)>& run_one);
 
   Options options_{};
 };

@@ -1,0 +1,57 @@
+#include "sweep/sharded_explorer.h"
+
+#include "trace/trace.h"
+
+namespace rrfd::sweep {
+
+using runtime::ScheduleExplorer;
+using runtime::Scheduler;
+
+ScheduleExplorer::Stats explore_sharded(const ScheduleExplorer::Options& options,
+                                        const RunOneFactory& make_run_one,
+                                        int threads) {
+  std::vector<Scheduler::Choice> root;
+  {
+    // Silence the probe: it replays a schedule that shard 0 will visit
+    // again, and a traced sharded run must match the serial trace exactly.
+    trace::ScopedTrace silence(nullptr);
+    ScheduleExplorer probe(options);
+    root = probe.root_alternatives(make_run_one(-1));
+  }
+  if (root.empty()) {
+    // No decision point at all: the tree is a single schedule. Run it
+    // through shard 0's collector (the probe's outcome was discarded).
+    ScheduleExplorer only(options);
+    return only.explore(make_run_one(0));
+  }
+
+  std::vector<ScheduleExplorer::Stats> per_shard(root.size());
+  if (threads > 1 && !trace::Tracer::on()) {
+    detail::run_indexed(
+        static_cast<int>(root.size()), threads, [&](int shard) {
+          ScheduleExplorer explorer(options);
+          per_shard[static_cast<std::size_t>(shard)] = explorer.explore_shard(
+              root, static_cast<std::size_t>(shard), make_run_one(shard));
+        });
+  } else {
+    // Serial (or traced): shard order with accumulated ordinals keeps the
+    // event stream byte-identical to the serial explorer's.
+    long ordinal = 0;
+    for (std::size_t shard = 0; shard < root.size(); ++shard) {
+      ScheduleExplorer explorer(options);
+      per_shard[shard] = explorer.explore_shard(
+          root, shard, make_run_one(static_cast<int>(shard)), ordinal);
+      ordinal += per_shard[shard].schedules;
+    }
+  }
+
+  ScheduleExplorer::Stats merged;
+  merged.exhausted = true;
+  for (const auto& stats : per_shard) {
+    merged.schedules += stats.schedules;
+    merged.exhausted = merged.exhausted && stats.exhausted;
+  }
+  return merged;
+}
+
+}  // namespace rrfd::sweep

@@ -1,0 +1,42 @@
+// Parallel exhaustive schedule exploration.
+//
+// The DFS tree of runtime::ScheduleExplorer is partitioned by its first
+// decision point: shard k owns the subtree in which the root choice is
+// pinned to the k-th root alternative. Shards are disjoint, cover the
+// tree, and shard k visits exactly the schedules the serial explore()
+// visits while the root sits on alternative k -- so per-shard results
+// concatenated in shard order reproduce the serial visit sequence, and
+// the whole model check parallelizes without giving up determinism
+// (sweep_test pins serial-vs-sharded equality on the n = 2 adopt-commit
+// exhaustive check from EXPERIMENTS.md E10).
+//
+// Trace interaction: with a trace sink attached the shards execute
+// sequentially in shard order with accumulated schedule ordinals, and the
+// root-probe run is silenced, so the recorded trace is byte-identical to
+// the serial explorer's (see "Sweep determinism" in DESIGN.md).
+#pragma once
+
+#include <functional>
+
+#include "runtime/explorer.h"
+#include "sweep/sweep.h"
+
+namespace rrfd::sweep {
+
+/// Builds the schedule-checking callback for one shard. Called once with
+/// shard = -1 for the root-discovery probe (one full run whose outcome
+/// must NOT be collected -- it replays shard 0's first schedule), then
+/// once per shard k >= 0. Collect per-shard results and splice them in
+/// shard order to match the serial explorer's visit order.
+using RunOneFactory =
+    std::function<std::function<void(runtime::Scheduler&)>(int shard)>;
+
+/// Explores the whole schedule tree across `threads` workers, one shard
+/// per root alternative. Merged stats: `schedules` sums the shards (the
+/// probe run is not counted), `exhausted` requires every shard to finish
+/// under its own `options.max_schedules` budget.
+runtime::ScheduleExplorer::Stats explore_sharded(
+    const runtime::ScheduleExplorer::Options& options,
+    const RunOneFactory& make_run_one, int threads = threads_from_env());
+
+}  // namespace rrfd::sweep

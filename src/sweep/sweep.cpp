@@ -1,0 +1,76 @@
+#include "sweep/sweep.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "trace/trace.h"
+
+namespace rrfd::sweep {
+
+int threads_from_env() {
+  const char* env = std::getenv("RRFD_SWEEP_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  RRFD_REQUIRE_MSG(end != env && *end == '\0' && v >= 0 && v <= 4096,
+                   "RRFD_SWEEP_THREADS must be an integer in [0, 4096], got '" +
+                       std::string(env) + "'");
+  return static_cast<int>(v);
+}
+
+namespace detail {
+
+void run_indexed(int n_jobs, int threads,
+                 const std::function<void(int)>& job) {
+  RRFD_REQUIRE(n_jobs >= 0);
+  if (n_jobs == 0) return;
+  if (threads > n_jobs) threads = n_jobs;
+  // Tracing forces serial (contract item 4): the Tracer is one
+  // process-wide sink; concurrent workers would interleave its event
+  // stream nondeterministically.
+  if (trace::Tracer::on()) threads = 1;
+
+  if (threads <= 1) {
+    for (int i = 0; i < n_jobs; ++i) job(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::mutex mu;
+  int first_error_job = n_jobs;
+  std::exception_ptr first_error;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n_jobs) return;
+        try {
+          job(i);
+        } catch (...) {
+          // Keep running every job: jobs are claimed in index order, so
+          // by the time any job fails, all lower-indexed jobs have been
+          // claimed and will record their own (lower) failures -- the
+          // rethrown exception is deterministically the lowest-index one,
+          // matching what the serial loop surfaces first.
+          std::lock_guard<std::mutex> lock(mu);
+          if (i < first_error_job) {
+            first_error_job = i;
+            first_error = std::current_exception();
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
+
+}  // namespace rrfd::sweep

@@ -350,61 +350,78 @@ Trace read_trace(std::istream& is) {
   while (std::getline(is, line)) {
     ++lineno;
     if (line.empty() || line[0] == '#') continue;
-    LineParser p(line, lineno);
-    p.expect('{');
+    try {
+      LineParser p(line, lineno);
+      p.expect('{');
 
-    if (lineno == 1) {
-      // Meta line: {"schema":"...","git_rev":"..."}.
-      RRFD_REQUIRE_MSG(p.key() == "schema",
-                       p.where() + ": first line must carry the schema");
-      trace.schema = p.string_value();
-      RRFD_REQUIRE_MSG(trace.schema == kTraceSchema,
-                       p.where() + ": unsupported trace schema '" +
-                           trace.schema + "'");
+      if (lineno == 1) {
+        // Meta line: {"schema":"...","git_rev":"..."}.
+        RRFD_REQUIRE_MSG(p.key() == "schema",
+                         p.where() + ": first line must carry the schema");
+        trace.schema = p.string_value();
+        RRFD_REQUIRE_MSG(trace.schema == kTraceSchema,
+                         p.where() + ": unsupported trace schema '" +
+                             trace.schema + "'");
+        p.expect(',');
+        RRFD_REQUIRE_MSG(p.key() == "git_rev",
+                         p.where() + ": expected git_rev");
+        trace.git_rev = p.string_value();
+        p.expect('}');
+        p.done();
+        continue;
+      }
+      RRFD_REQUIRE_MSG(!trace.schema.empty(),
+                       p.where() + ": events before the schema line");
+
+      RRFD_REQUIRE_MSG(p.key() == "kind", p.where() + ": expected kind");
+      const std::string kind = p.string_value();
+      if (kind == "log") {
+        p.expect(',');
+        RRFD_REQUIRE_MSG(p.key() == "level", p.where() + ": expected level");
+        const auto level = static_cast<int>(p.int_value());
+        p.expect(',');
+        RRFD_REQUIRE_MSG(p.key() == "msg", p.where() + ": expected msg");
+        trace.logs.emplace_back(level, p.string_value());
+        p.expect('}');
+        p.done();
+        continue;
+      }
+
+      TraceEvent ev;
+      ev.kind = kind_from_name(kind, p.where());
       p.expect(',');
-      RRFD_REQUIRE_MSG(p.key() == "git_rev", p.where() + ": expected git_rev");
-      trace.git_rev = p.string_value();
+      RRFD_REQUIRE_MSG(p.key() == "sub", p.where() + ": expected sub");
+      ev.substrate = substrate_from_name(p.string_value(), p.where());
+      p.expect(',');
+      RRFD_REQUIRE_MSG(p.key() == "p", p.where() + ": expected p");
+      ev.proc = static_cast<std::int32_t>(p.int_value());
+      p.expect(',');
+      RRFD_REQUIRE_MSG(p.key() == "r", p.where() + ": expected r");
+      ev.round = static_cast<std::int32_t>(p.int_value());
+      p.expect(',');
+      RRFD_REQUIRE_MSG(p.key() == "a", p.where() + ": expected a");
+      ev.a = p.uint_value();
+      p.expect(',');
+      RRFD_REQUIRE_MSG(p.key() == "b", p.where() + ": expected b");
+      ev.b = p.uint_value();
       p.expect('}');
       p.done();
-      continue;
+      trace.events.push_back(ev);
+    } catch (const ContractViolation& e) {
+      // Torn-line guard: a line that does not close its object is the
+      // signature of interleaved partial appends from concurrent writers
+      // (the reason the emitters write whole lines with one O_APPEND
+      // write). Say so instead of leaving only a bare parse error.
+      if (line.back() != '}') {
+        RRFD_REQUIRE_MSG(
+            false,
+            std::string(e.what()) +
+                "\n  (trace line " + std::to_string(lineno) +
+                " does not end in '}': likely a torn line from a "
+                "concurrent/interrupted append)");
+      }
+      throw;
     }
-    RRFD_REQUIRE_MSG(!trace.schema.empty(),
-                     p.where() + ": events before the schema line");
-
-    RRFD_REQUIRE_MSG(p.key() == "kind", p.where() + ": expected kind");
-    const std::string kind = p.string_value();
-    if (kind == "log") {
-      p.expect(',');
-      RRFD_REQUIRE_MSG(p.key() == "level", p.where() + ": expected level");
-      const auto level = static_cast<int>(p.int_value());
-      p.expect(',');
-      RRFD_REQUIRE_MSG(p.key() == "msg", p.where() + ": expected msg");
-      trace.logs.emplace_back(level, p.string_value());
-      p.expect('}');
-      p.done();
-      continue;
-    }
-
-    TraceEvent ev;
-    ev.kind = kind_from_name(kind, p.where());
-    p.expect(',');
-    RRFD_REQUIRE_MSG(p.key() == "sub", p.where() + ": expected sub");
-    ev.substrate = substrate_from_name(p.string_value(), p.where());
-    p.expect(',');
-    RRFD_REQUIRE_MSG(p.key() == "p", p.where() + ": expected p");
-    ev.proc = static_cast<std::int32_t>(p.int_value());
-    p.expect(',');
-    RRFD_REQUIRE_MSG(p.key() == "r", p.where() + ": expected r");
-    ev.round = static_cast<std::int32_t>(p.int_value());
-    p.expect(',');
-    RRFD_REQUIRE_MSG(p.key() == "a", p.where() + ": expected a");
-    ev.a = p.uint_value();
-    p.expect(',');
-    RRFD_REQUIRE_MSG(p.key() == "b", p.where() + ": expected b");
-    ev.b = p.uint_value();
-    p.expect('}');
-    p.done();
-    trace.events.push_back(ev);
   }
   RRFD_REQUIRE_MSG(!trace.schema.empty(), "trace is empty (no schema line)");
   return trace;

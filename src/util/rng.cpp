@@ -50,6 +50,10 @@ std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
   RRFD_REQUIRE(lo <= hi);
   const std::uint64_t span =
       static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span wraps to 0 exactly when [lo, hi] covers the full int64 domain;
+  // every raw draw is then a valid sample (below(0) would be a contract
+  // violation).
+  if (span == 0) return static_cast<std::int64_t>(next());
   return lo + static_cast<std::int64_t>(below(span));
 }
 
@@ -85,6 +89,20 @@ Rng Rng::fork() {
   // child streams are decorrelated and the fork itself advances the parent.
   child.reseed(next() ^ rotl(next(), 23));
   return child;
+}
+
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_index) {
+  Rng out(0);
+  // Two independent splitmix64 chains -- one walked from the seed, one
+  // from the stream counter -- xor-combined per state word. Mixing the
+  // *chains* (rather than reseeding from seed ^ stream_index) keeps pairs
+  // like (s ^ d, i ^ d) from aliasing (s, i), and splitmix64's avalanche
+  // decorrelates adjacent counters; rng_test pins the cross-correlation.
+  std::uint64_t a = seed;
+  std::uint64_t b = stream_index ^ 0xd1b54a32d192ed03ULL;
+  for (auto& word : out.s_) word = splitmix64(a) ^ rotl(splitmix64(b), 23);
+  if ((out.s_[0] | out.s_[1] | out.s_[2] | out.s_[3]) == 0) out.s_[0] = 1;
+  return out;
 }
 
 }  // namespace rrfd

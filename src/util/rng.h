@@ -66,6 +66,15 @@ class Rng {
   /// simulated process its own stream.
   Rng fork();
 
+  /// Counter-based stream derivation: an independent generator that is a
+  /// pure function of (seed, stream_index). Unlike a fork() chain -- where
+  /// trial i's generator depends on having forked trials 0..i-1 first --
+  /// stream(seed, i) is order-independent, so a parallel sweep can derive
+  /// trial i's generator on any worker thread and still reproduce the
+  /// serial run exactly. This is the RNG contract of sweep::run (see
+  /// DESIGN.md "Sweep determinism").
+  static Rng stream(std::uint64_t seed, std::uint64_t stream_index);
+
  private:
   std::uint64_t next();
 

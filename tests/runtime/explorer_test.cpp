@@ -103,6 +103,138 @@ TEST(ScheduleExplorer, PropagatesAssertionFailures) {
                std::runtime_error);
 }
 
+/// Records the full choice sequence (steps *and* crashes) of one run;
+/// distinct explored schedules have distinct sequences by construction,
+/// so duplicates indicate stale backtracking state.
+class RecordingScheduler final : public Scheduler {
+ public:
+  RecordingScheduler(Scheduler& inner,
+                     std::vector<std::pair<ProcId, bool>>& out)
+      : inner_(inner), out_(out) {}
+
+  Choice pick(const ProcessSet& runnable, int step) override {
+    Choice c = inner_.pick(runnable, step);
+    out_.emplace_back(c.next, c.crash);
+    return c;
+  }
+
+ private:
+  Scheduler& inner_;
+  std::vector<std::pair<ProcId, bool>>& out_;
+};
+
+/// Independent reference: counts the decision tree of a system in which
+/// process i needs grants[i] scheduler grants (body steps + 1) and up to
+/// `crashes_left` runnable processes may be crashed instead of stepped.
+long reference_count(std::vector<int>& grants, std::uint64_t crashed,
+                     int crashes_left) {
+  const int n = static_cast<int>(grants.size());
+  long total = 0;
+  bool any_runnable = false;
+  for (int p = 0; p < n; ++p) {
+    if ((crashed >> p) & 1 || grants[static_cast<std::size_t>(p)] == 0) {
+      continue;
+    }
+    any_runnable = true;
+    --grants[static_cast<std::size_t>(p)];
+    total += reference_count(grants, crashed, crashes_left);
+    ++grants[static_cast<std::size_t>(p)];
+  }
+  if (crashes_left > 0) {
+    for (int p = 0; p < n; ++p) {
+      if ((crashed >> p) & 1 || grants[static_cast<std::size_t>(p)] == 0) {
+        continue;
+      }
+      total += reference_count(grants, crashed | (1ULL << p), crashes_left - 1);
+    }
+  }
+  return any_runnable ? total : 1;
+}
+
+TEST(ScheduleExplorer, VariableDepthCrashTreesCountExactly) {
+  // Asymmetric step counts + crash budgets make schedule depth vary:
+  // a schedule that crashes a process early terminates with fewer
+  // decision points than its neighbors. The explorer must still visit
+  // every schedule exactly once (count pinned by an independent
+  // enumerator, uniqueness by the recorded choice sequences) -- the
+  // regression for the stale-deeper-node truncation bug.
+  struct Case {
+    std::vector<int> steps;
+    int crashes;
+  };
+  for (const Case& c : {Case{{1, 3}, 0}, Case{{1, 3}, 1}, Case{{1, 3}, 2},
+                        Case{{2, 1}, 1}, Case{{1, 1, 2}, 1}}) {
+    ScheduleExplorer::Options opts;
+    opts.max_schedules = 1000000;
+    opts.max_crashes = c.crashes;
+    ScheduleExplorer explorer(opts);
+
+    std::set<std::vector<std::pair<ProcId, bool>>> seen;
+    long runs = 0;
+    auto stats = explorer.explore([&](Scheduler& sched) {
+      std::vector<std::pair<ProcId, bool>> choices;
+      RecordingScheduler recorder(sched, choices);
+      std::vector<Simulation::Body> bodies;
+      for (int steps : c.steps) {
+        bodies.push_back([steps](Context& ctx) {
+          for (int i = 0; i < steps; ++i) ctx.step();
+        });
+      }
+      Simulation sim(std::move(bodies));
+      sim.run(recorder);
+      ++runs;
+      EXPECT_TRUE(seen.insert(choices).second)
+          << "duplicate schedule at run " << runs;
+    });
+
+    std::vector<int> grants;
+    for (int steps : c.steps) grants.push_back(steps + 1);
+    const long expected = reference_count(grants, 0, c.crashes);
+    EXPECT_TRUE(stats.exhausted);
+    EXPECT_EQ(stats.schedules, expected);
+    EXPECT_EQ(static_cast<long>(seen.size()), expected);
+  }
+}
+
+TEST(ScheduleExplorer, ShardsPartitionTheTree) {
+  // root_alternatives + explore_shard over every shard, spliced in shard
+  // order, must reproduce the serial explore() visit sequence exactly.
+  ScheduleExplorer::Options opts;
+  opts.max_crashes = 1;
+  auto run_one_collecting = [](std::vector<std::vector<ProcId>>* sink) {
+    return [sink](Scheduler& sched) {
+      Simulation sim(2, [](Context& ctx) {
+        ctx.step();
+        ctx.step();
+      });
+      SimOutcome out = sim.run(sched);
+      if (sink) sink->push_back(out.schedule);
+    };
+  };
+
+  std::vector<std::vector<ProcId>> serial;
+  ScheduleExplorer explorer(opts);
+  auto serial_stats = explorer.explore(run_one_collecting(&serial));
+  ASSERT_TRUE(serial_stats.exhausted);
+
+  ScheduleExplorer prober(opts);
+  auto root = prober.root_alternatives(run_one_collecting(nullptr));
+  // Two runnable processes, crash budget available: step 0/1, crash 0/1.
+  ASSERT_EQ(root.size(), 4u);
+
+  std::vector<std::vector<ProcId>> spliced;
+  long total = 0;
+  for (std::size_t shard = 0; shard < root.size(); ++shard) {
+    ScheduleExplorer shard_explorer(opts);
+    auto stats = shard_explorer.explore_shard(
+        root, shard, run_one_collecting(&spliced), total);
+    EXPECT_TRUE(stats.exhausted);
+    total += stats.schedules;
+  }
+  EXPECT_EQ(total, serial_stats.schedules);
+  EXPECT_EQ(spliced, serial);
+}
+
 TEST(ScheduleExplorer, ExhaustiveCountGrowsWithProgramLength) {
   auto count = [](int steps_per_proc) {
     ScheduleExplorer::Options opts;

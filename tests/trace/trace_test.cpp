@@ -193,6 +193,36 @@ TEST(Jsonl, ParserRejectsTrailingGarbage) {
   EXPECT_THROW(read_trace(is), ContractViolation);
 }
 
+TEST(Jsonl, ParserFlagsTornLines) {
+  // A truncated record -- the tail of an interrupted or interleaved append
+  // -- must fail with a diagnostic that names the likely cause, not just a
+  // generic parse error.
+  std::istringstream is(
+      "{\"schema\":\"rrfd-trace-v1\",\"git_rev\":\"x\"}\n"
+      "{\"kind\":\"emit\",\"sub\":\"engine\",\"p\":0,\"r\n");
+  try {
+    read_trace(is);
+    FAIL() << "must throw";
+  } catch (const ContractViolation& violation) {
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("torn line"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+}
+
+TEST(Jsonl, CompleteButMalformedLinesAreNotCalledTorn) {
+  std::istringstream is(
+      "{\"schema\":\"rrfd-trace-v1\",\"git_rev\":\"x\"}\n"
+      "{\"kind\":\"emit\",\"sub\":\"engine\",\"p\":zero,\"r\":1,\"a\":0,\"b\":0}\n");
+  try {
+    read_trace(is);
+    FAIL() << "must throw";
+  } catch (const ContractViolation& violation) {
+    EXPECT_EQ(std::string(violation.what()).find("torn line"),
+              std::string::npos);
+  }
+}
+
 TEST(Jsonl, ParserErrorsNameTheLine) {
   std::istringstream is(
       "{\"schema\":\"rrfd-trace-v1\",\"git_rev\":\"x\"}\n"
