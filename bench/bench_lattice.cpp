@@ -4,28 +4,32 @@
 // counterparts. The RRFD counterparts, being part of the same family,
 // bring forth the commonality and the difference between the systems."
 // The summary prints the pairwise implication matrix over the model zoo,
-// computed by exhaustive enumeration of every fault pattern for n = 3.
+// computed by exhaustive enumeration of every fault pattern for n = 3 --
+// then decides the same matrix at n = 4 (50625 patterns per cell) and
+// the paper's equivalences over two rounds at n = 4 (2.56e9 patterns per
+// direction), which the pruned, symmetry-reduced, sharded engine
+// finishes in seconds (E17 / bench_submodel quantifies the engine
+// itself).
 #include "core/submodel.h"
+
+#include <chrono>
 
 #include "bench_util.h"
 #include "core/adversaries.h"
 #include "core/predicates.h"
+#include "sweep/submodel_parallel.h"
 
 namespace {
 
 using namespace rrfd;
 
-void summary() {
-  bench::banner(
-      "E13 / the exact submodel lattice (n = 3, 1 round, all 343 patterns)",
-      "Cell (row, col) = does row's predicate imply column's?\n"
-      "(1 = submodel, 0 = counterexample exists)");
+struct Entry {
+  std::string label;
+  core::PredicatePtr pred;
+};
 
-  struct Entry {
-    std::string label;
-    core::PredicatePtr pred;
-  };
-  const std::vector<Entry> zoo = {
+std::vector<Entry> model_zoo() {
+  return {
       {"omission(1)", core::sync_omission(1)},
       {"crash(1)", core::sync_crash(1)},
       {"async(1)", core::async_message_passing(1)},
@@ -36,7 +40,31 @@ void summary() {
       {"equal-D", core::equal_announcements()},
       {"skew(2,1)", core::quorum_skew(2, 1)},
   };
+}
 
+void print_matrix(int n, core::Round rounds) {
+  const auto zoo = model_zoo();
+  std::vector<std::string> headers{"implies ->"};
+  for (const auto& e : zoo) headers.push_back(e.label);
+  bench::Table table(headers);
+  for (const auto& row : zoo) {
+    std::vector<std::string> cells{row.label};
+    for (const auto& col : zoo) {
+      auto r = sweep::implies_exhaustive(*row.pred, *col.pred, n, rounds);
+      cells.push_back(r.holds ? "1" : "0");
+    }
+    table.add_row(std::move(cells));
+  }
+  table.print();
+}
+
+void summary() {
+  bench::banner(
+      "E13 / the exact submodel lattice (n = 3, 1 round, all 343 patterns)",
+      "Cell (row, col) = does row's predicate imply column's?\n"
+      "(1 = submodel, 0 = counterexample exists)");
+
+  const auto zoo = model_zoo();
   std::vector<std::string> headers{"implies ->"};
   for (const auto& e : zoo) headers.push_back(e.label);
   bench::Table table(headers);
@@ -68,6 +96,56 @@ void summary() {
                 r.equivalent() ? "equivalent" : "DIFFERENT"});
   }
   eq.print();
+
+  using Clock = std::chrono::steady_clock;
+
+  bench::banner(
+      "E13c / the exact submodel lattice (n = 4, 1 round, all 50625 "
+      "patterns)",
+      "Same matrix one system size up, every cell decided exactly by the\n"
+      "pruned, symmetry-reduced, sharded engine (RRFD_SWEEP_THREADS "
+      "workers).");
+  {
+    const auto t0 = Clock::now();
+    print_matrix(4, 1);
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    bench::summary_out() << "\n  (81 cells decided in " << ms << " ms)\n";
+  }
+
+  bench::banner(
+      "E13d / exact equivalences at n = 4",
+      "The same manipulations over 2 rounds at n = 4: 15^8 = 2562890625\n"
+      "patterns per direction, decided exactly.");
+  {
+    bench::Table eq4({"claim", "verdict", "patterns/direction", "ms"});
+    {
+      const auto t0 = Clock::now();
+      auto r = sweep::equivalent_exhaustive(*core::equal_announcements(),
+                                            *core::k_uncertainty(1), 4, 2);
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count();
+      eq4.add_row({"equation (5) == 1-uncertainty",
+                   r.equivalent() ? "equivalent" : "DIFFERENT",
+                   std::to_string(r.forward.patterns_checked),
+                   std::to_string(static_cast<std::int64_t>(ms))});
+    }
+    {
+      core::ImmortalProcess immortal;
+      core::CumulativeFaultBound bound(3);
+      const auto t0 = Clock::now();
+      auto r = sweep::equivalent_exhaustive(immortal, bound, 4, 2);
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count();
+      eq4.add_row({"detector-S == omission budget n-1 (item 6)",
+                   r.equivalent() ? "equivalent" : "DIFFERENT",
+                   std::to_string(r.forward.patterns_checked),
+                   std::to_string(static_cast<std::int64_t>(ms))});
+    }
+    eq4.print();
+  }
 }
 
 void bm_exhaustive_implication(benchmark::State& state) {
@@ -79,6 +157,16 @@ void bm_exhaustive_implication(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_exhaustive_implication)->Arg(1)->Arg(2)->ArgName("rounds");
+
+void bm_exhaustive_implication_n4(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = core::implies_exhaustive(*core::atomic_snapshot(1),
+                                      *core::k_uncertainty(2), 4,
+                                      static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(r.holds);
+  }
+}
+BENCHMARK(bm_exhaustive_implication_n4)->Arg(1)->Arg(2)->ArgName("rounds");
 
 void bm_sampled_implication(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

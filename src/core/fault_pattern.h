@@ -46,6 +46,14 @@ class FaultPattern {
   /// processes can be late").
   void append(RoundFaults round);
 
+  /// Removes the most recently appended round (LIFO). Backtracking
+  /// counterpart of append(); the whole-pattern evaluator fallback in
+  /// core/predicate.cpp uses it to retract DFS extensions in place.
+  void pop_round() {
+    RRFD_REQUIRE(!rounds_.empty());
+    rounds_.pop_back();
+  }
+
   /// D(i, r); r is 1-based as in the paper.
   const ProcessSet& d(ProcId i, Round r) const {
     RRFD_REQUIRE(1 <= r && r <= rounds());

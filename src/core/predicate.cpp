@@ -1,14 +1,116 @@
 #include "core/predicate.h"
 
 #include <sstream>
+#include <utility>
 
 namespace rrfd::core {
+namespace {
+
+/// Default evaluator: re-checks holds() on the growing prefix after every
+/// push. Correct for *any* predicate — kViolatedForever then only states
+/// that the current prefix fails (the engine prunes on it solely when the
+/// predicate declares prunable()), and kSatisfiedForever is never
+/// claimed. Costs one holds() per round, which is what a predicate that
+/// exposes no incremental structure has to pay.
+class WholePatternEvaluator final : public StepEvaluator {
+ public:
+  explicit WholePatternEvaluator(const Predicate& pred)
+      : pred_(pred), pattern_(1) {}
+
+  void begin(int n, Round /*total_rounds*/) override {
+    pattern_ = FaultPattern(n);
+  }
+
+  StepVerdict push_round(const RoundFaults& round) override {
+    pattern_.append(round);
+    return pred_.holds(pattern_) ? StepVerdict::kSatisfiedSoFar
+                                 : StepVerdict::kViolatedForever;
+  }
+
+  void pop_round() override { pattern_.pop_round(); }
+
+ private:
+  const Predicate& pred_;
+  FaultPattern pattern_;
+};
+
+/// Conjunction evaluator: verdicts combine as AND. A child that reports
+/// kSatisfiedForever is retired (no further pushes) until the enumeration
+/// backtracks above the depth where it made that promise.
+class AndEvaluator final : public StepEvaluator {
+ public:
+  explicit AndEvaluator(const std::vector<PredicatePtr>& parts) {
+    children_.reserve(parts.size());
+    for (const auto& p : parts) children_.push_back({p->evaluator(), -1});
+  }
+
+  void begin(int n, Round total_rounds) override {
+    depth_ = 0;
+    for (Child& c : children_) {
+      c.eval->begin(n, total_rounds);
+      c.forever_at = -1;
+    }
+  }
+
+  StepVerdict push_round(const RoundFaults& round) override {
+    ++depth_;
+    bool violated = false;
+    bool all_forever = true;
+    for (Child& c : children_) {
+      if (c.forever_at >= 0) continue;  // holds for every extension
+      const StepVerdict v = c.eval->push_round(round);
+      if (v == StepVerdict::kViolatedForever) {
+        violated = true;
+        all_forever = false;
+      } else if (v == StepVerdict::kSatisfiedForever) {
+        c.forever_at = depth_;
+      } else {
+        all_forever = false;
+      }
+    }
+    if (violated) return StepVerdict::kViolatedForever;
+    return all_forever ? StepVerdict::kSatisfiedForever
+                       : StepVerdict::kSatisfiedSoFar;
+  }
+
+  void pop_round() override {
+    for (Child& c : children_) {
+      if (c.forever_at < 0) {
+        c.eval->pop_round();
+      } else if (c.forever_at == depth_) {
+        c.eval->pop_round();  // the promise was made at this depth
+        c.forever_at = -1;
+      }
+      // forever_at < depth_: the child saw no push at this depth.
+    }
+    --depth_;
+  }
+
+ private:
+  struct Child {
+    std::unique_ptr<StepEvaluator> eval;
+    Round forever_at;  ///< depth of a kSatisfiedForever verdict; -1 if none
+  };
+  std::vector<Child> children_;
+  Round depth_ = 0;
+};
+
+}  // namespace
 
 bool Predicate::holds_all_prefixes(const FaultPattern& pattern) const {
-  for (Round r = 0; r <= pattern.rounds(); ++r) {
-    if (!holds(pattern.prefix(r))) return false;
+  if (!holds(FaultPattern(pattern.n()))) return false;  // the empty prefix
+  const auto eval = evaluator();
+  eval->begin(pattern.n(), pattern.rounds());
+  for (Round r = 1; r <= pattern.rounds(); ++r) {
+    if (eval->push_round(pattern.round(r)) == StepVerdict::kViolatedForever) {
+      return false;
+    }
   }
   return true;
+}
+
+std::unique_ptr<StepEvaluator> Predicate::evaluator() const {
+  return std::make_unique<WholePatternEvaluator>(*this);
 }
 
 AndPredicate::AndPredicate(std::string name, std::vector<PredicatePtr> parts)
@@ -27,6 +129,26 @@ std::string AndPredicate::description() const {
 bool AndPredicate::holds(const FaultPattern& pattern) const {
   for (const auto& p : parts_) {
     if (!p->holds(pattern)) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<StepEvaluator> AndPredicate::evaluator() const {
+  return std::make_unique<AndEvaluator>(parts_);
+}
+
+bool AndPredicate::prunable() const {
+  // The conjunction's violations are extension-stable iff every part's
+  // are: a non-prunable part could recover and take the AND with it.
+  for (const auto& p : parts_) {
+    if (!p->prunable()) return false;
+  }
+  return true;
+}
+
+bool AndPredicate::symmetric() const {
+  for (const auto& p : parts_) {
+    if (!p->symmetric()) return false;
   }
   return true;
 }

@@ -5,7 +5,13 @@
 // for a model iff every pattern it can emit satisfies the model's
 // predicate. Submodel relations (Section 2: "A is a submodel of B iff
 // P_A => P_B") are checked with implies_on_samples() and, for small
-// systems, by exhaustive enumeration in the tests.
+// systems, decided exactly by the exhaustive engine in core/submodel.h.
+//
+// Exhaustive decision is only tractable because predicates expose an
+// *incremental* view of themselves: a StepEvaluator consumes a pattern
+// one round at a time and reports, after each round, whether the search
+// below the current prefix can be cut. See "Exhaustive model checking"
+// in DESIGN.md for the full contract.
 #pragma once
 
 #include <memory>
@@ -15,6 +21,56 @@
 #include "core/fault_pattern.h"
 
 namespace rrfd::core {
+
+/// Verdict of a StepEvaluator after one more round has been pushed.
+enum class StepVerdict {
+  /// The pushed prefix, taken as a complete pattern, violates the
+  /// predicate. If the owning predicate is prunable() (its violations are
+  /// stable under extension), every extension of the prefix violates it
+  /// too, and an enumeration engine may cut the whole subtree.
+  kViolatedForever,
+  /// The pushed prefix, taken as a complete pattern, satisfies the
+  /// predicate; extensions are undetermined.
+  kSatisfiedSoFar,
+  /// The pushed prefix satisfies the predicate and so does *every*
+  /// extension of it; an enumeration engine may stop consulting this
+  /// evaluator below the current depth. Evaluators must only return this
+  /// when the guarantee is unconditional (e.g. a per-round bound that no
+  /// legal round can exceed).
+  kSatisfiedForever,
+};
+
+/// Incremental, backtrackable view of a Predicate for DFS enumeration.
+///
+/// Usage: begin() once, then push_round()/pop_round() in LIFO order as the
+/// enumeration extends and retracts the pattern. The evaluator owns all
+/// state it needs to answer in O(n) per push (the zoo implementations keep
+/// a stack of per-depth summaries, e.g. the cumulative announcement
+/// union), so evaluating a prefix of r rounds across a whole subtree costs
+/// O(n) per node instead of O(n * r) per leaf.
+///
+/// Evaluators must tolerate pushes after kViolatedForever (the engine
+/// keeps descending under non-prunable predicates); the verdict must then
+/// remain exact for the deeper prefix.
+class StepEvaluator {
+ public:
+  virtual ~StepEvaluator() = default;
+
+  /// Resets to the empty pattern over `n` processes. `total_rounds` is the
+  /// depth at which the enumeration will stop extending (the whole-pattern
+  /// fallback uses it to know when a prefix is final); incremental
+  /// implementations may ignore it.
+  virtual void begin(int n, Round total_rounds) = 0;
+
+  /// Extends the pattern by one round and reports the verdict for the
+  /// extended prefix. `round` must be a legal RoundFaults over n processes
+  /// (every D a proper subset of S); it is only valid for the duration of
+  /// the call.
+  virtual StepVerdict push_round(const RoundFaults& round) = 0;
+
+  /// Retracts the most recently pushed round.
+  virtual void pop_round() = 0;
+};
 
 /// An RRFD model, i.e. a predicate over fault patterns.
 class Predicate {
@@ -32,9 +88,34 @@ class Predicate {
 
   /// True iff every prefix of `pattern` satisfies the model. For
   /// prefix-closed predicates (all the paper's models are) this equals
-  /// holds(); the default implementation checks every prefix explicitly so
-  /// non-prefix-closed custom predicates are still handled correctly.
+  /// holds(); the default implementation walks the rounds once through the
+  /// incremental evaluator, so zoo predicates pay O(n) per round instead
+  /// of re-evaluating every prefix from scratch, and non-prefix-closed
+  /// custom predicates are still handled correctly (the whole-pattern
+  /// fallback re-checks holds() at every depth).
   virtual bool holds_all_prefixes(const FaultPattern& pattern) const;
+
+  /// Incremental evaluator for exhaustive enumeration. The default is a
+  /// whole-pattern fallback that maintains a growing FaultPattern and
+  /// calls holds() after every push — correct for any predicate, but
+  /// without pruning power (see prunable()). Zoo predicates override this
+  /// with true O(n)-per-round implementations.
+  virtual std::unique_ptr<StepEvaluator> evaluator() const;
+
+  /// True iff the predicate's violations are stable under extension: once
+  /// a prefix violates it, every extension does too. This is what makes
+  /// kViolatedForever a licence to prune an enumeration subtree. Every
+  /// model in the paper's zoo has this property; the conservative default
+  /// is false so that custom predicates (e.g. "holds iff exactly two
+  /// rounds") are enumerated without unsound cuts.
+  virtual bool prunable() const { return false; }
+
+  /// True iff the predicate is invariant under renaming processes
+  /// (simultaneously permuting observer indices and set members). Enables
+  /// process-permutation symmetry reduction in the exhaustive engine. All
+  /// zoo predicates are symmetric; the default is false because a custom
+  /// predicate may single out specific identifiers.
+  virtual bool symmetric() const { return false; }
 };
 
 using PredicatePtr = std::shared_ptr<const Predicate>;
@@ -48,6 +129,9 @@ class AndPredicate final : public Predicate {
   std::string name() const override { return name_; }
   std::string description() const override;
   bool holds(const FaultPattern& pattern) const override;
+  std::unique_ptr<StepEvaluator> evaluator() const override;
+  bool prunable() const override;
+  bool symmetric() const override;
 
   const std::vector<PredicatePtr>& parts() const { return parts_; }
 

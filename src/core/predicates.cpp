@@ -1,8 +1,310 @@
 #include "core/predicates.h"
 
+#include <memory>
+#include <vector>
+
 #include "util/str.h"
 
 namespace rrfd::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Incremental evaluators
+//
+// Each evaluator keeps a stack of per-depth summaries so pop_round() is an
+// O(1) truncation; push_round() is O(n) set algebra. Verdicts are exact at
+// every depth: kViolatedForever iff the pushed prefix violates the
+// predicate (which, for these zoo predicates, all extensions then do too),
+// kSatisfiedForever only when no legal continuation can violate it.
+// ---------------------------------------------------------------------------
+
+/// Base for constraints that are a conjunction of independent per-round
+/// checks: the only state is "has any pushed round violated".
+class PerRoundEvaluator : public StepEvaluator {
+ public:
+  void begin(int n, Round /*total_rounds*/) override {
+    n_ = n;
+    viol_.assign(1, 0);
+  }
+
+  StepVerdict push_round(const RoundFaults& round) override {
+    const bool violated = viol_.back() != 0 || violates(round);
+    viol_.push_back(violated ? 1 : 0);
+    if (violated) return StepVerdict::kViolatedForever;
+    return vacuous() ? StepVerdict::kSatisfiedForever
+                     : StepVerdict::kSatisfiedSoFar;
+  }
+
+  void pop_round() override { viol_.pop_back(); }
+
+ protected:
+  virtual bool violates(const RoundFaults& round) const = 0;
+
+  /// True when no legal round (every D a proper subset of S) can violate
+  /// the constraint; the verdict is then kSatisfiedForever.
+  virtual bool vacuous() const { return false; }
+
+  int n_ = 0;
+
+ private:
+  std::vector<char> viol_;
+};
+
+class NoSelfSuspicionEvaluator final : public StepEvaluator {
+ public:
+  explicit NoSelfSuspicionEvaluator(bool exempt) : exempt_(exempt) {}
+
+  void begin(int n, Round /*total_rounds*/) override {
+    n_ = n;
+    states_.clear();
+    states_.push_back({ProcessSet(n), false});
+  }
+
+  StepVerdict push_round(const RoundFaults& round) override {
+    const State& prev = states_.back();
+    bool violated = prev.violated;
+    if (!violated) {
+      for (ProcId i = 0; i < n_; ++i) {
+        if (round[static_cast<std::size_t>(i)].contains(i) &&
+            !(exempt_ && prev.announced.contains(i))) {
+          violated = true;
+          break;
+        }
+      }
+    }
+    ProcessSet announced = prev.announced;
+    for (const ProcessSet& d : round) announced |= d;
+    const bool exhausted = exempt_ && announced.full();
+    states_.push_back({announced, violated});
+    if (violated) return StepVerdict::kViolatedForever;
+    // Once everybody has been announced, every future self-suspicion is
+    // exempt: the predicate can no longer be violated.
+    return exhausted ? StepVerdict::kSatisfiedForever
+                     : StepVerdict::kSatisfiedSoFar;
+  }
+
+  void pop_round() override { states_.pop_back(); }
+
+ private:
+  struct State {
+    ProcessSet announced;  ///< cumulative union of the pushed rounds
+    bool violated;
+  };
+  bool exempt_;
+  int n_ = 0;
+  std::vector<State> states_;
+};
+
+class CumulativeFaultBoundEvaluator final : public StepEvaluator {
+ public:
+  explicit CumulativeFaultBoundEvaluator(int f) : f_(f) {}
+
+  void begin(int n, Round /*total_rounds*/) override {
+    n_ = n;
+    cums_.assign(1, ProcessSet(n));
+  }
+
+  StepVerdict push_round(const RoundFaults& round) override {
+    ProcessSet cum = cums_.back();
+    for (const ProcessSet& d : round) cum |= d;
+    cums_.push_back(cum);
+    if (cum.size() > f_) return StepVerdict::kViolatedForever;
+    // With f >= n the bound can never be exceeded.
+    return f_ >= n_ ? StepVerdict::kSatisfiedForever
+                    : StepVerdict::kSatisfiedSoFar;
+  }
+
+  void pop_round() override { cums_.pop_back(); }
+
+ private:
+  int f_;
+  int n_ = 0;
+  std::vector<ProcessSet> cums_;
+};
+
+class CrashMonotonicityEvaluator final : public StepEvaluator {
+ public:
+  void begin(int n, Round /*total_rounds*/) override {
+    n_ = n;
+    states_.clear();
+    // Empty sentinel union: round 1 has no predecessor, and the empty set
+    // is a subset of everything, so the first check is vacuous.
+    states_.push_back({ProcessSet(n), false});
+  }
+
+  StepVerdict push_round(const RoundFaults& round) override {
+    const State& prev = states_.back();
+    bool violated = prev.violated;
+    if (!violated) {
+      for (const ProcessSet& d : round) {
+        if (!prev.round_union.subset_of(d)) {
+          violated = true;
+          break;
+        }
+      }
+    }
+    ProcessSet u(n_);
+    for (const ProcessSet& d : round) u |= d;
+    states_.push_back({u, violated});
+    return violated ? StepVerdict::kViolatedForever
+                    : StepVerdict::kSatisfiedSoFar;
+  }
+
+  void pop_round() override { states_.pop_back(); }
+
+ private:
+  struct State {
+    ProcessSet round_union;  ///< union of the most recently pushed round
+    bool violated;
+  };
+  int n_ = 0;
+  std::vector<State> states_;
+};
+
+class PerRoundFaultBoundEvaluator final : public PerRoundEvaluator {
+ public:
+  explicit PerRoundFaultBoundEvaluator(int f) : f_(f) {}
+
+ protected:
+  bool violates(const RoundFaults& round) const override {
+    for (const ProcessSet& d : round) {
+      if (d.size() > f_) return true;
+    }
+    return false;
+  }
+  // |D| <= n-1 always (D = S is structurally excluded).
+  bool vacuous() const override { return f_ >= n_ - 1; }
+
+ private:
+  int f_;
+};
+
+class SomeoneHeardByAllEvaluator final : public PerRoundEvaluator {
+ protected:
+  bool violates(const RoundFaults& round) const override {
+    return union_over(round).size() >= n_;
+  }
+  bool vacuous() const override { return n_ == 1; }
+};
+
+class NoMutualMissEvaluator final : public PerRoundEvaluator {
+ protected:
+  bool violates(const RoundFaults& round) const override {
+    for (ProcId i = 0; i < n_; ++i) {
+      for (ProcId j : round[static_cast<std::size_t>(i)]) {
+        if (round[static_cast<std::size_t>(j)].contains(i)) return true;
+      }
+    }
+    return false;
+  }
+  bool vacuous() const override { return n_ == 1; }
+};
+
+class ContainmentChainEvaluator final : public PerRoundEvaluator {
+ protected:
+  bool violates(const RoundFaults& round) const override {
+    for (ProcId i = 0; i < n_; ++i) {
+      const ProcessSet& di = round[static_cast<std::size_t>(i)];
+      for (ProcId j = i + 1; j < n_; ++j) {
+        const ProcessSet& dj = round[static_cast<std::size_t>(j)];
+        if (!di.subset_of(dj) && !dj.subset_of(di)) return true;
+      }
+    }
+    return false;
+  }
+  bool vacuous() const override { return n_ == 1; }
+};
+
+class ImmortalProcessEvaluator final : public StepEvaluator {
+ public:
+  void begin(int n, Round /*total_rounds*/) override {
+    n_ = n;
+    cums_.assign(1, ProcessSet(n));
+  }
+
+  StepVerdict push_round(const RoundFaults& round) override {
+    ProcessSet cum = cums_.back();
+    for (const ProcessSet& d : round) cum |= d;
+    cums_.push_back(cum);
+    return cum.size() >= n_ ? StepVerdict::kViolatedForever
+                            : StepVerdict::kSatisfiedSoFar;
+  }
+
+  void pop_round() override { cums_.pop_back(); }
+
+ private:
+  int n_ = 0;
+  std::vector<ProcessSet> cums_;
+};
+
+class KUncertaintyEvaluator final : public PerRoundEvaluator {
+ public:
+  explicit KUncertaintyEvaluator(int k) : k_(k) {}
+
+ protected:
+  bool violates(const RoundFaults& round) const override {
+    const ProcessSet disagreement =
+        union_over(round) - intersection_over(round);
+    return disagreement.size() >= k_;
+  }
+  // The disagreement set has at most n members.
+  bool vacuous() const override { return k_ > n_; }
+
+ private:
+  int k_;
+};
+
+class EqualAnnouncementsEvaluator final : public PerRoundEvaluator {
+ protected:
+  bool violates(const RoundFaults& round) const override {
+    for (ProcId i = 1; i < n_; ++i) {
+      if (round[static_cast<std::size_t>(i)] != round[0]) return true;
+    }
+    return false;
+  }
+  bool vacuous() const override { return n_ == 1; }
+};
+
+bool quorum_round_ok(const RoundFaults& round, int t, int f) {
+  // The minimal witness Q is exactly the set of processes whose D exceeds
+  // f; every member must still respect the bound t.
+  int oversized = 0;
+  for (const ProcessSet& d : round) {
+    if (d.size() > t) return false;
+    if (d.size() > f) ++oversized;
+  }
+  return oversized <= t;
+}
+
+class QuorumSkewEvaluator final : public PerRoundEvaluator {
+ public:
+  QuorumSkewEvaluator(int t, int f) : t_(t), f_(f) {}
+
+ protected:
+  bool violates(const RoundFaults& round) const override {
+    return !quorum_round_ok(round, t_, f_);
+  }
+  // With f >= n-1 nobody is ever oversized (and t > f >= |D|).
+  bool vacuous() const override { return f_ >= n_ - 1; }
+
+ private:
+  int t_;
+  int f_;
+};
+
+class NeverFaultyEvaluator final : public PerRoundEvaluator {
+ protected:
+  bool violates(const RoundFaults& round) const override {
+    for (const ProcessSet& d : round) {
+      if (!d.empty()) return true;
+    }
+    return false;
+  }
+  // n = 1: the only proper subset of S is the empty set.
+  bool vacuous() const override { return n_ == 1; }
+};
+
+}  // namespace
 
 // --------------------------------------------------------------------------
 // NoSelfSuspicion
@@ -34,6 +336,10 @@ bool NoSelfSuspicion::holds(const FaultPattern& pattern) const {
   return true;
 }
 
+std::unique_ptr<StepEvaluator> NoSelfSuspicion::evaluator() const {
+  return std::make_unique<NoSelfSuspicionEvaluator>(exempt_announced_);
+}
+
 // --------------------------------------------------------------------------
 // CumulativeFaultBound
 // --------------------------------------------------------------------------
@@ -55,6 +361,10 @@ bool CumulativeFaultBound::holds(const FaultPattern& pattern) const {
   return pattern.cumulative_union().size() <= f_;
 }
 
+std::unique_ptr<StepEvaluator> CumulativeFaultBound::evaluator() const {
+  return std::make_unique<CumulativeFaultBoundEvaluator>(f_);
+}
+
 // --------------------------------------------------------------------------
 // CrashMonotonicity
 // --------------------------------------------------------------------------
@@ -74,6 +384,10 @@ bool CrashMonotonicity::holds(const FaultPattern& pattern) const {
     }
   }
   return true;
+}
+
+std::unique_ptr<StepEvaluator> CrashMonotonicity::evaluator() const {
+  return std::make_unique<CrashMonotonicityEvaluator>();
 }
 
 // --------------------------------------------------------------------------
@@ -102,6 +416,10 @@ bool PerRoundFaultBound::holds(const FaultPattern& pattern) const {
   return true;
 }
 
+std::unique_ptr<StepEvaluator> PerRoundFaultBound::evaluator() const {
+  return std::make_unique<PerRoundFaultBoundEvaluator>(f_);
+}
+
 // --------------------------------------------------------------------------
 // SomeoneHeardByAll
 // --------------------------------------------------------------------------
@@ -118,6 +436,10 @@ bool SomeoneHeardByAll::holds(const FaultPattern& pattern) const {
     if (pattern.round_union(r).size() >= pattern.n()) return false;
   }
   return true;
+}
+
+std::unique_ptr<StepEvaluator> SomeoneHeardByAll::evaluator() const {
+  return std::make_unique<SomeoneHeardByAllEvaluator>();
 }
 
 // --------------------------------------------------------------------------
@@ -139,6 +461,10 @@ bool NoMutualMiss::holds(const FaultPattern& pattern) const {
     }
   }
   return true;
+}
+
+std::unique_ptr<StepEvaluator> NoMutualMiss::evaluator() const {
+  return std::make_unique<NoMutualMissEvaluator>();
 }
 
 // --------------------------------------------------------------------------
@@ -165,6 +491,10 @@ bool ContainmentChain::holds(const FaultPattern& pattern) const {
   return true;
 }
 
+std::unique_ptr<StepEvaluator> ContainmentChain::evaluator() const {
+  return std::make_unique<ContainmentChainEvaluator>();
+}
+
 // --------------------------------------------------------------------------
 // ImmortalProcess
 // --------------------------------------------------------------------------
@@ -177,6 +507,10 @@ std::string ImmortalProcess::description() const {
 
 bool ImmortalProcess::holds(const FaultPattern& pattern) const {
   return pattern.cumulative_union().size() < pattern.n();
+}
+
+std::unique_ptr<StepEvaluator> ImmortalProcess::evaluator() const {
+  return std::make_unique<ImmortalProcessEvaluator>();
 }
 
 // --------------------------------------------------------------------------
@@ -203,6 +537,10 @@ bool KUncertainty::holds(const FaultPattern& pattern) const {
   return true;
 }
 
+std::unique_ptr<StepEvaluator> KUncertainty::evaluator() const {
+  return std::make_unique<KUncertaintyEvaluator>(k_);
+}
+
 // --------------------------------------------------------------------------
 // EqualAnnouncements
 // --------------------------------------------------------------------------
@@ -223,6 +561,10 @@ bool EqualAnnouncements::holds(const FaultPattern& pattern) const {
   return true;
 }
 
+std::unique_ptr<StepEvaluator> EqualAnnouncements::evaluator() const {
+  return std::make_unique<EqualAnnouncementsEvaluator>();
+}
+
 // --------------------------------------------------------------------------
 // QuorumSkew
 // --------------------------------------------------------------------------
@@ -240,22 +582,15 @@ std::string QuorumSkew::description() const {
              ", inside Q |D| <= ", t_);
 }
 
-bool QuorumSkew::round_ok(const RoundFaults& round) const {
-  // The minimal witness Q is exactly the set of processes whose D exceeds
-  // f; every member must still respect the bound t.
-  int oversized = 0;
-  for (const ProcessSet& d : round) {
-    if (d.size() > t_) return false;
-    if (d.size() > f_) ++oversized;
-  }
-  return oversized <= t_;
-}
-
 bool QuorumSkew::holds(const FaultPattern& pattern) const {
   for (Round r = 1; r <= pattern.rounds(); ++r) {
-    if (!round_ok(pattern.round(r))) return false;
+    if (!quorum_round_ok(pattern.round(r), t_, f_)) return false;
   }
   return true;
+}
+
+std::unique_ptr<StepEvaluator> QuorumSkew::evaluator() const {
+  return std::make_unique<QuorumSkewEvaluator>(t_, f_);
 }
 
 // --------------------------------------------------------------------------
@@ -270,6 +605,10 @@ std::string NeverFaulty::description() const {
 
 bool NeverFaulty::holds(const FaultPattern& pattern) const {
   return pattern.cumulative_union().empty();
+}
+
+std::unique_ptr<StepEvaluator> NeverFaulty::evaluator() const {
+  return std::make_unique<NeverFaultyEvaluator>();
 }
 
 // --------------------------------------------------------------------------

@@ -5,6 +5,14 @@
 // constraints are separate classes so that the submodel lattice ("P_A =>
 // P_B") is visible in the composition; factory functions at the bottom
 // assemble the named systems exactly as the paper does.
+//
+// Every zoo predicate is *prunable* (its violations are stable under
+// extending the pattern with more rounds) and *symmetric* (invariant
+// under renaming processes), and each provides a true incremental
+// StepEvaluator — O(n) per pushed round — so the exhaustive submodel
+// engine (core/submodel.h) can prefix-prune and symmetry-reduce its
+// enumeration. predicates_test pins evaluator verdicts against holds()
+// on every prefix.
 #pragma once
 
 #include "core/predicate.h"
@@ -30,6 +38,9 @@ class NoSelfSuspicion final : public Predicate {
   std::string name() const override;
   std::string description() const override;
   bool holds(const FaultPattern& pattern) const override;
+  std::unique_ptr<StepEvaluator> evaluator() const override;
+  bool prunable() const override { return true; }
+  bool symmetric() const override { return true; }
 
  private:
   bool exempt_announced_;
@@ -43,6 +54,9 @@ class CumulativeFaultBound final : public Predicate {
   std::string name() const override;
   std::string description() const override;
   bool holds(const FaultPattern& pattern) const override;
+  std::unique_ptr<StepEvaluator> evaluator() const override;
+  bool prunable() const override { return true; }
+  bool symmetric() const override { return true; }
 
   int f() const { return f_; }
 
@@ -58,6 +72,9 @@ class CrashMonotonicity final : public Predicate {
   std::string name() const override;
   std::string description() const override;
   bool holds(const FaultPattern& pattern) const override;
+  std::unique_ptr<StepEvaluator> evaluator() const override;
+  bool prunable() const override { return true; }
+  bool symmetric() const override { return true; }
 };
 
 /// forall i, r: |D(i,r)| <= f. Predicate (3): the asynchronous bound --
@@ -69,6 +86,9 @@ class PerRoundFaultBound final : public Predicate {
   std::string name() const override;
   std::string description() const override;
   bool holds(const FaultPattern& pattern) const override;
+  std::unique_ptr<StepEvaluator> evaluator() const override;
+  bool prunable() const override { return true; }
+  bool symmetric() const override { return true; }
 
   int f() const { return f_; }
 
@@ -84,6 +104,9 @@ class SomeoneHeardByAll final : public Predicate {
   std::string name() const override;
   std::string description() const override;
   bool holds(const FaultPattern& pattern) const override;
+  std::unique_ptr<StepEvaluator> evaluator() const override;
+  bool prunable() const override { return true; }
+  bool symmetric() const override { return true; }
 };
 
 /// forall r, i, j: p_j in D(i,r) => p_i not in D(j,r). The alternative
@@ -94,6 +117,9 @@ class NoMutualMiss final : public Predicate {
   std::string name() const override;
   std::string description() const override;
   bool holds(const FaultPattern& pattern) const override;
+  std::unique_ptr<StepEvaluator> evaluator() const override;
+  bool prunable() const override { return true; }
+  bool symmetric() const override { return true; }
 };
 
 /// forall r, i, j: D(i,r) subseteq D(j,r) or D(j,r) subseteq D(i,r).
@@ -104,6 +130,9 @@ class ContainmentChain final : public Predicate {
   std::string name() const override;
   std::string description() const override;
   bool holds(const FaultPattern& pattern) const override;
+  std::unique_ptr<StepEvaluator> evaluator() const override;
+  bool prunable() const override { return true; }
+  bool symmetric() const override { return true; }
 };
 
 /// exists p_j such that p_j is never in any D(i,r). Item 6: the RRFD
@@ -115,6 +144,9 @@ class ImmortalProcess final : public Predicate {
   std::string name() const override;
   std::string description() const override;
   bool holds(const FaultPattern& pattern) const override;
+  std::unique_ptr<StepEvaluator> evaluator() const override;
+  bool prunable() const override { return true; }
+  bool symmetric() const override { return true; }
 };
 
 /// forall r: |U_i D(i,r) minus ^_i D(i,r)| < k. Theorem 3.1's detector: per
@@ -126,6 +158,9 @@ class KUncertainty final : public Predicate {
   std::string name() const override;
   std::string description() const override;
   bool holds(const FaultPattern& pattern) const override;
+  std::unique_ptr<StepEvaluator> evaluator() const override;
+  bool prunable() const override { return true; }
+  bool symmetric() const override { return true; }
 
   int k() const { return k_; }
 
@@ -141,6 +176,9 @@ class EqualAnnouncements final : public Predicate {
   std::string name() const override;
   std::string description() const override;
   bool holds(const FaultPattern& pattern) const override;
+  std::unique_ptr<StepEvaluator> evaluator() const override;
+  bool prunable() const override { return true; }
+  bool symmetric() const override { return true; }
 };
 
 /// Item 3's system B: in each round there is a set Q, |Q| <= t, such that
@@ -155,13 +193,14 @@ class QuorumSkew final : public Predicate {
   std::string name() const override;
   std::string description() const override;
   bool holds(const FaultPattern& pattern) const override;
+  std::unique_ptr<StepEvaluator> evaluator() const override;
+  bool prunable() const override { return true; }
+  bool symmetric() const override { return true; }
 
   int t() const { return t_; }
   int f() const { return f_; }
 
  private:
-  bool round_ok(const RoundFaults& round) const;
-
   int t_;
   int f_;
 };
@@ -173,6 +212,9 @@ class NeverFaulty final : public Predicate {
   std::string name() const override;
   std::string description() const override;
   bool holds(const FaultPattern& pattern) const override;
+  std::unique_ptr<StepEvaluator> evaluator() const override;
+  bool prunable() const override { return true; }
+  bool symmetric() const override { return true; }
 };
 
 // ---------------------------------------------------------------------------

@@ -1,11 +1,46 @@
 #include "core/submodel.h"
 
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <numeric>
 #include <vector>
 
 #include "util/check.h"
 
 namespace rrfd::core {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Space arithmetic
+// ---------------------------------------------------------------------------
+
+/// (2^n - 1)^digits, or nullopt when it overflows int64.
+std::optional<std::int64_t> checked_space(int n, std::int64_t digits) {
+  if (n >= 63) return std::nullopt;  // the digit base itself overflows
+  const std::int64_t v = (std::int64_t{1} << n) - 1;
+  std::int64_t space = 1;
+  for (std::int64_t d = 0; d < digits; ++d) {
+    if (space > std::numeric_limits<std::int64_t>::max() / v) {
+      return std::nullopt;
+    }
+    space *= v;
+  }
+  return space;
+}
+
+void require_representable(int n, Round rounds) {
+  RRFD_REQUIRE(0 < n && n <= kMaxProcesses);
+  RRFD_REQUIRE(rounds >= 1);
+  RRFD_REQUIRE_MSG(
+      checked_space(n, static_cast<std::int64_t>(n) * rounds).has_value(),
+      "pattern space (2^n - 1)^(n * rounds) exceeds int64 -- not "
+      "exhaustively checkable");
+}
+
+// ---------------------------------------------------------------------------
+// Naive reference sweep
+// ---------------------------------------------------------------------------
 
 /// Odometer over the pattern space: each "digit" is one D(i,r), ranging
 /// over masks 0 .. 2^n - 2 (the full set is structurally excluded).
@@ -53,17 +88,384 @@ class PatternOdometer {
   std::uint64_t max_mask_;
 };
 
+// ---------------------------------------------------------------------------
+// Process-permutation symmetry
+// ---------------------------------------------------------------------------
+
+/// One renaming pi, tabulated for O(1) application to a D-set mask and to
+/// an observer index.
+struct PermTable {
+  std::vector<int> inverse;            ///< inverse[j] = pi^-1(j)
+  std::vector<std::int64_t> mask_map;  ///< mask_map[m] = pi(m)
+};
+
+std::vector<PermTable> build_perm_tables(int n) {
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<PermTable> tables;
+  do {
+    PermTable t;
+    t.inverse.assign(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < n; ++i) {
+      t.inverse[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] =
+          i;
+    }
+    const std::int64_t n_masks = std::int64_t{1} << n;
+    t.mask_map.assign(static_cast<std::size_t>(n_masks), 0);
+    for (std::int64_t m = 0; m < n_masks; ++m) {
+      std::int64_t image = 0;
+      for (int i = 0; i < n; ++i) {
+        if ((m >> i) & 1) {
+          image |= std::int64_t{1} << perm[static_cast<std::size_t>(i)];
+        }
+      }
+      t.mask_map[static_cast<std::size_t>(m)] = image;
+    }
+    tables.push_back(std::move(t));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return tables;
+}
+
+// ---------------------------------------------------------------------------
+// Pruned, sharded DFS
+// ---------------------------------------------------------------------------
+
+/// Immutable description of one implication search, shared by all shards.
+struct SearchSpec {
+  const Predicate& a;
+  const Predicate& b;
+  int n;
+  Round rounds;
+  std::int64_t v;  ///< digit base 2^n - 1
+  bool prune_a;    ///< cut subtrees on A kViolatedForever
+  bool prune_b;    ///< cut subtrees on B kSatisfiedForever
+  bool use_symmetry;
+  std::int64_t node_budget;
+  /// leaves_below[d] = v^(n * (rounds - d)): complete patterns under one
+  /// depth-d node.
+  std::vector<std::int64_t> leaves_below;
+  std::vector<PermTable> perms;  ///< empty unless use_symmetry
+};
+
+/// What one shard reports back; merged strictly in shard order.
+struct ShardOutcome {
+  EnumStats stats;
+  std::optional<FaultPattern> counterexample;
+  bool budget_exceeded = false;
+  bool ran = false;
+};
+
+/// Depth-first search over one strided set of first-round indices. Owns
+/// its evaluators, buffers, and counters -- shards share nothing mutable
+/// (counters are published into the outcome once, at the end of run(),
+/// so parallel shards never write neighbouring cache lines per node).
+class ShardWorker {
+ public:
+  ShardWorker(const SearchSpec& spec, ShardOutcome& out)
+      : spec_(spec),
+        out_(out),
+        a_eval_(spec.a.evaluator()),
+        b_eval_(spec.b.evaluator()) {
+    buf_.resize(static_cast<std::size_t>(spec.rounds) + 1);
+    digits_.resize(static_cast<std::size_t>(spec.rounds) + 1);
+    for (Round d = 0; d <= spec.rounds; ++d) {
+      buf_[static_cast<std::size_t>(d)].assign(
+          static_cast<std::size_t>(spec.n), ProcessSet(spec.n));
+      digits_[static_cast<std::size_t>(d)].assign(
+          static_cast<std::size_t>(spec.n), 0);
+    }
+  }
+
+  /// Visits roots first, first + stride, first + 2 * stride, ... --
+  /// strided rather than contiguous, because canonical first rounds are
+  /// lexicographically minimal and therefore cluster at low indices; a
+  /// contiguous split would hand nearly all expansion work to the first
+  /// few shards.
+  void run(std::int64_t first, std::int64_t stride, std::int64_t total) {
+    a_eval_->begin(spec_.n, spec_.rounds);
+    b_eval_->begin(spec_.n, spec_.rounds);
+    for (std::int64_t k = first; k < total; k += stride) {
+      std::int64_t rem = k;
+      for (int i = 0; i < spec_.n; ++i) {
+        const std::int64_t digit = rem % spec_.v;
+        rem /= spec_.v;
+        digits_[1][static_cast<std::size_t>(i)] = digit;
+        buf_[1][static_cast<std::size_t>(i)] =
+            ProcessSet::from_bits(spec_.n, static_cast<std::uint64_t>(digit));
+      }
+      std::int64_t orbit = 1;
+      if (spec_.use_symmetry) {
+        orbit = orbit_if_canonical();
+        if (orbit == 0) continue;  // a renaming of a smaller root
+      }
+      ++stats_.expanded_roots;
+      if (!descend(1, orbit)) break;  // counterexample or budget
+    }
+    out_.stats = stats_;
+    out_.counterexample = std::move(counterexample_);
+    out_.budget_exceeded = budget_exceeded_;
+    out_.ran = true;
+  }
+
+ private:
+  /// Orbit size of the current first round if it is canonical
+  /// (lexicographically minimal among its renamings), else 0.
+  std::int64_t orbit_if_canonical() const {
+    const auto& d = digits_[1];
+    const int n = spec_.n;
+    std::int64_t stabilizer = 0;
+    for (const PermTable& p : spec_.perms) {
+      int cmp = 0;
+      for (int j = 0; j < n; ++j) {
+        const std::int64_t image =
+            p.mask_map[static_cast<std::size_t>(
+                d[static_cast<std::size_t>(
+                    p.inverse[static_cast<std::size_t>(j)])])];
+        if (image != d[static_cast<std::size_t>(j)]) {
+          cmp = image < d[static_cast<std::size_t>(j)] ? -1 : 1;
+          break;
+        }
+      }
+      if (cmp < 0) return 0;  // a strictly smaller renaming exists
+      if (cmp == 0) ++stabilizer;
+    }
+    return static_cast<std::int64_t>(spec_.perms.size()) / stabilizer;
+  }
+
+  /// A whole subtree below the current depth was decided at once.
+  void count_subtree(Round depth, std::int64_t orbit, bool at_leaf) {
+    stats_.patterns_decided +=
+        orbit * spec_.leaves_below[static_cast<std::size_t>(depth)];
+    if (at_leaf) {
+      ++stats_.leaves;
+    } else {
+      ++stats_.pruned_subtrees;
+    }
+  }
+
+  FaultPattern materialize() const {
+    FaultPattern p(spec_.n);
+    for (Round d = 1; d <= spec_.rounds; ++d) {
+      p.append(buf_[static_cast<std::size_t>(d)]);
+    }
+    return p;
+  }
+
+  /// Evaluates the node whose round assignment the caller placed in
+  /// buf_[depth] and recurses below it. Returns false to abort the shard
+  /// (counterexample recorded or budget exhausted).
+  bool descend(Round depth, std::int64_t orbit) {
+    if (++stats_.nodes > spec_.node_budget) {
+      budget_exceeded_ = true;
+      return false;
+    }
+    const RoundFaults& round = buf_[static_cast<std::size_t>(depth)];
+    const bool at_leaf = depth == spec_.rounds;
+
+    StepVerdict av;
+    bool a_pushed = false;
+    if (a_forever_at_ >= 0) {
+      av = StepVerdict::kSatisfiedForever;
+    } else {
+      av = a_eval_->push_round(round);
+      a_pushed = true;
+      if (av == StepVerdict::kSatisfiedForever) a_forever_at_ = depth;
+    }
+
+    // A violated: no counterexample at this leaf; with a prunable A, at
+    // no leaf below either.
+    if (av == StepVerdict::kViolatedForever && (at_leaf || spec_.prune_a)) {
+      count_subtree(depth, orbit, at_leaf);
+      if (a_pushed) {
+        a_eval_->pop_round();
+        if (a_forever_at_ == depth) a_forever_at_ = -1;
+      }
+      return true;
+    }
+
+    StepVerdict bv;
+    bool b_pushed = false;
+    if (b_forever_at_ >= 0) {
+      bv = StepVerdict::kSatisfiedForever;
+    } else {
+      bv = b_eval_->push_round(round);
+      b_pushed = true;
+      if (bv == StepVerdict::kSatisfiedForever) b_forever_at_ = depth;
+    }
+
+    bool keep_going = true;
+    if (at_leaf) {
+      ++stats_.leaves;
+      stats_.patterns_decided += orbit;
+      if (bv == StepVerdict::kViolatedForever) {
+        // av != kViolatedForever here: the complete pattern satisfies A
+        // and violates B.
+        counterexample_ = materialize();
+        keep_going = false;
+      }
+    } else if (spec_.prune_b && bv == StepVerdict::kSatisfiedForever) {
+      // B holds for every extension: no counterexample below.
+      count_subtree(depth, orbit, /*at_leaf=*/false);
+    } else {
+      keep_going = enumerate_level(depth + 1, orbit);
+    }
+
+    if (b_pushed) {
+      b_eval_->pop_round();
+      if (b_forever_at_ == depth) b_forever_at_ = -1;
+    }
+    if (a_pushed) {
+      a_eval_->pop_round();
+      if (a_forever_at_ == depth) a_forever_at_ = -1;
+    }
+    return keep_going;
+  }
+
+  /// In-place odometer over all v^n round assignments at `depth`,
+  /// descending into each. Process 0's digit varies fastest, matching
+  /// the first-round index decoding in run().
+  bool enumerate_level(Round depth, std::int64_t orbit) {
+    auto& digits = digits_[static_cast<std::size_t>(depth)];
+    RoundFaults& round = buf_[static_cast<std::size_t>(depth)];
+    std::fill(digits.begin(), digits.end(), 0);
+    for (int i = 0; i < spec_.n; ++i) {
+      round[static_cast<std::size_t>(i)] = ProcessSet(spec_.n);
+    }
+    for (;;) {
+      if (!descend(depth, orbit)) return false;
+      int i = 0;
+      while (i < spec_.n &&
+             digits[static_cast<std::size_t>(i)] == spec_.v - 1) {
+        digits[static_cast<std::size_t>(i)] = 0;
+        round[static_cast<std::size_t>(i)] = ProcessSet(spec_.n);
+        ++i;
+      }
+      if (i == spec_.n) return true;  // wrapped: level exhausted
+      ++digits[static_cast<std::size_t>(i)];
+      round[static_cast<std::size_t>(i)] = ProcessSet::from_bits(
+          spec_.n,
+          static_cast<std::uint64_t>(digits[static_cast<std::size_t>(i)]));
+    }
+  }
+
+  const SearchSpec& spec_;
+  ShardOutcome& out_;
+  std::unique_ptr<StepEvaluator> a_eval_;
+  std::unique_ptr<StepEvaluator> b_eval_;
+  /// Depth at which the evaluator promised kSatisfiedForever (no pushes
+  /// below it), -1 if none.
+  Round a_forever_at_ = -1;
+  Round b_forever_at_ = -1;
+  EnumStats stats_;  ///< shard-local; published to out_ once in run()
+  std::optional<FaultPattern> counterexample_;
+  bool budget_exceeded_ = false;
+  std::vector<RoundFaults> buf_;                 ///< [1..rounds] in-place
+  std::vector<std::vector<std::int64_t>> digits_;  ///< mask per (depth, proc)
+};
+
+ImplicationResult run_search(const Predicate& a, const Predicate& b, int n,
+                             Round rounds, const EnumOptions& options) {
+  require_representable(n, rounds);
+
+  SearchSpec spec{a, b, n, rounds, (std::int64_t{1} << n) - 1,
+                  /*prune_a=*/options.prune && a.prunable(),
+                  /*prune_b=*/options.prune,
+                  /*use_symmetry=*/false, options.node_budget,
+                  /*leaves_below=*/{}, /*perms=*/{}};
+  RRFD_REQUIRE_MSG(spec.node_budget > 0, "node budget must be positive");
+
+  switch (options.symmetry) {
+    case Symmetry::kOff:
+      break;
+    case Symmetry::kOn:
+      RRFD_REQUIRE_MSG(a.symmetric() && b.symmetric(),
+                       "symmetry reduction requires both predicates to be "
+                       "invariant under process renaming");
+      spec.use_symmetry = true;
+      break;
+    case Symmetry::kAuto:
+      // Scanning n! renamings per first round only pays off when n! is
+      // tiny next to the per-root subtree.
+      spec.use_symmetry = a.symmetric() && b.symmetric() && n <= 4;
+      break;
+  }
+  if (spec.use_symmetry) {
+    RRFD_REQUIRE_MSG(n <= 8, "symmetry tables are limited to n <= 8");
+    spec.perms = build_perm_tables(n);
+  }
+
+  spec.leaves_below.assign(static_cast<std::size_t>(rounds) + 1, 1);
+  for (Round d = rounds - 1; d >= 0; --d) {
+    spec.leaves_below[static_cast<std::size_t>(d)] =
+        spec.leaves_below[static_cast<std::size_t>(d) + 1] *
+        *checked_space(n, n);
+  }
+
+  const std::int64_t total_roots = *checked_space(n, n);
+  // Fixed shard count, independent of how many threads the runner uses:
+  // the merge below walks shards in index order, so the result is
+  // byte-identical for any execution schedule.
+  const int n_shards = static_cast<int>(std::min<std::int64_t>(
+      total_roots, 256));
+
+  std::vector<ShardOutcome> outcomes(static_cast<std::size_t>(n_shards));
+  // Lowest shard index that found a counterexample or ran out of budget.
+  // Shards above it cannot influence the merged result (the merge stops
+  // there), so workers may skip them -- purely an optimization.
+  std::atomic<std::int64_t> event_floor{n_shards};
+  const auto job = [&](int s) {
+    if (s > event_floor.load(std::memory_order_acquire)) return;
+    ShardOutcome& out = outcomes[static_cast<std::size_t>(s)];
+    ShardWorker worker(spec, out);
+    worker.run(s, n_shards, total_roots);
+    if (out.counterexample.has_value() || out.budget_exceeded) {
+      std::int64_t cur = event_floor.load(std::memory_order_relaxed);
+      while (s < cur && !event_floor.compare_exchange_weak(
+                            cur, s, std::memory_order_release)) {
+      }
+    }
+  };
+  if (options.runner) {
+    options.runner(n_shards, job);
+  } else {
+    for (int s = 0; s < n_shards; ++s) job(s);
+  }
+
+  // Splice in shard order: the first shard with an event decides the
+  // result; everything before it contributes statistics.
+  ImplicationResult result;
+  result.stats.total_roots = total_roots;
+  result.stats.symmetry_used = spec.use_symmetry;
+  result.stats.shards = n_shards;
+  for (int s = 0; s < n_shards; ++s) {
+    const ShardOutcome& o = outcomes[static_cast<std::size_t>(s)];
+    RRFD_REQUIRE(o.ran);  // only post-event shards may be skipped
+    result.stats.nodes += o.stats.nodes;
+    result.stats.leaves += o.stats.leaves;
+    result.stats.pruned_subtrees += o.stats.pruned_subtrees;
+    result.stats.patterns_decided += o.stats.patterns_decided;
+    result.stats.expanded_roots += o.stats.expanded_roots;
+    RRFD_REQUIRE_MSG(!o.budget_exceeded,
+                     "exhaustive check exceeded the per-shard node budget; "
+                     "raise EnumOptions::node_budget or shrink the system");
+    if (o.counterexample.has_value()) {
+      result.holds = false;
+      result.counterexample = o.counterexample;
+      break;
+    }
+  }
+  result.patterns_checked = result.stats.patterns_decided;
+  return result;
+}
+
 }  // namespace
 
-long enumerate_patterns(int n, Round rounds,
-                        const std::function<bool(const FaultPattern&)>& visit) {
-  RRFD_REQUIRE(0 < n && n <= kMaxProcesses);
-  RRFD_REQUIRE(rounds >= 1);
-  RRFD_REQUIRE_MSG(n <= 4 && rounds <= 3,
-                   "exhaustive pattern enumeration is only practical for "
-                   "tiny systems (n <= 4, rounds <= 3)");
+std::int64_t enumerate_patterns(
+    int n, Round rounds,
+    const std::function<bool(const FaultPattern&)>& visit) {
+  require_representable(n, rounds);
   PatternOdometer odo(n, rounds);
-  long count = 0;
+  std::int64_t count = 0;
   do {
     ++count;
     if (!visit(odo.current())) return count;
@@ -73,17 +475,13 @@ long enumerate_patterns(int n, Round rounds,
 
 ImplicationResult implies_exhaustive(const Predicate& a, const Predicate& b,
                                      int n, Round rounds) {
-  ImplicationResult result;
-  result.patterns_checked =
-      enumerate_patterns(n, rounds, [&](const FaultPattern& p) {
-        if (a.holds(p) && !b.holds(p)) {
-          result.holds = false;
-          result.counterexample = p;
-          return false;
-        }
-        return true;
-      });
-  return result;
+  return run_search(a, b, n, rounds, EnumOptions{});
+}
+
+ImplicationResult implies_exhaustive(const Predicate& a, const Predicate& b,
+                                     int n, Round rounds,
+                                     const EnumOptions& options) {
+  return run_search(a, b, n, rounds, options);
 }
 
 ImplicationResult implies_on_samples(Adversary& a_adversary,
@@ -105,9 +503,15 @@ ImplicationResult implies_on_samples(Adversary& a_adversary,
 
 EquivalenceResult equivalent_exhaustive(const Predicate& a, const Predicate& b,
                                         int n, Round rounds) {
+  return equivalent_exhaustive(a, b, n, rounds, EnumOptions{});
+}
+
+EquivalenceResult equivalent_exhaustive(const Predicate& a, const Predicate& b,
+                                        int n, Round rounds,
+                                        const EnumOptions& options) {
   EquivalenceResult r;
-  r.forward = implies_exhaustive(a, b, n, rounds);
-  r.backward = implies_exhaustive(b, a, n, rounds);
+  r.forward = implies_exhaustive(a, b, n, rounds, options);
+  r.backward = implies_exhaustive(b, a, n, rounds, options);
   return r;
 }
 

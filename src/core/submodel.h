@@ -2,15 +2,38 @@
 //
 // The paper's methodology is to compare systems by contrasting their
 // RRFDs; this module makes the comparison executable. For small systems
-// the implication is *decided exactly* by enumerating every fault pattern
-// (each D(i,r) ranges over all proper subsets of S); for larger systems
-// it is probed by sampling an adversary for the candidate submodel.
+// the implication is *decided exactly*; for larger systems it is probed
+// by sampling an adversary for the candidate submodel.
 //
-// Pattern-space sizes: (2^n - 1)^(n * rounds). n = 3, rounds = 1 is 343;
-// n = 3, rounds = 2 is ~118k; n = 4, rounds = 1 is ~50k -- exhaustive
-// checking is practical exactly where counterexamples are smallest.
+// The exact decision procedure is a prefix-pruned DFS over rounds rather
+// than a flat sweep of the (2^n - 1)^(n * rounds) pattern space:
+//
+//  * Incremental evaluation. Both predicates are consulted through their
+//    StepEvaluator (core/predicate.h) after every round extension --
+//    O(n) per enumeration node instead of O(n * rounds) per leaf.
+//  * Prefix pruning. A subtree is cut as soon as A reports
+//    kViolatedForever (when A is prunable(): no pattern below satisfies
+//    A, so the implication is vacuous there) or B reports
+//    kSatisfiedForever (no counterexample can exist below). Cut subtrees
+//    still contribute their full leaf count to `patterns_checked`.
+//  * Symmetry reduction. When both predicates are symmetric() the engine
+//    expands only first rounds that are canonical under process renaming
+//    and weights each by its orbit size, dividing the work by up to n!.
+//  * Deterministic sharding. The first-round index range is split into a
+//    fixed number of shards *independent of thread count*; shard results
+//    are spliced back in shard order, so the outcome (counterexample,
+//    counts, or budget error) is byte-identical whether shards run
+//    serially or on any number of threads. Parallel execution is
+//    injected via EnumOptions::runner (see sweep/submodel_parallel.h);
+//    core itself stays dependency-free.
+//
+// Runaway searches are stopped by a per-shard node budget (a
+// ContractViolation, reported deterministically) instead of the old
+// hard n/rounds cap; pattern spaces whose size overflows int64 are
+// rejected up front.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 
@@ -21,20 +44,92 @@ namespace rrfd::core {
 
 /// Invokes `visit` for every fault pattern over n processes and `rounds`
 /// rounds (every combination of proper-subset D sets). Returns the number
-/// visited. If `visit` returns false, enumeration stops early.
-long enumerate_patterns(int n, Round rounds,
-                        const std::function<bool(const FaultPattern&)>& visit);
+/// visited. If `visit` returns false, enumeration stops early. This is
+/// the naive reference sweep (no pruning, no symmetry); the exact
+/// implication checks below agree with it and are tested against it.
+/// Requires the space size (2^n - 1)^(n * rounds) to be representable in
+/// int64 -- termination within a lifetime is the caller's problem.
+std::int64_t enumerate_patterns(
+    int n, Round rounds, const std::function<bool(const FaultPattern&)>& visit);
+
+/// Process-permutation symmetry reduction policy for the exact checks.
+enum class Symmetry {
+  /// Reduce iff both predicates declare symmetric() and n is small
+  /// enough (n <= 4) that scanning n! renamings per first round is a
+  /// clear win. The default.
+  kAuto,
+  /// Never reduce. Required when comparing against the naive sweep
+  /// node-for-node; also the only sound choice for asymmetric custom
+  /// predicates (kAuto handles that automatically).
+  kOff,
+  /// Always reduce. Requires both predicates to be symmetric().
+  kOn,
+};
+
+/// Executes `job(0) .. job(n_jobs - 1)`, each exactly once, in any order
+/// and on any threads. The default (a null runner) is a serial loop;
+/// sweep/submodel_parallel.h supplies a pool-backed one. Results do not
+/// depend on the runner choice.
+using ShardRunner =
+    std::function<void(int n_jobs, const std::function<void(int)>& job)>;
+
+/// Tuning knobs for the exact checks. The defaults reproduce the
+/// documented semantics; every knob only changes *how fast* an answer is
+/// found, never which answer.
+struct EnumOptions {
+  /// Cut subtrees on kViolatedForever (prunable A) / kSatisfiedForever
+  /// (B). Off = visit every node; only useful as a benchmark baseline.
+  bool prune = true;
+  Symmetry symmetry = Symmetry::kAuto;
+  /// Max enumeration nodes per shard before the check aborts with a
+  /// ContractViolation. Exceeding it is reported deterministically: the
+  /// lowest-numbered exceeding shard wins, regardless of thread count.
+  std::int64_t node_budget = 1'000'000'000;
+  /// Shard executor; null runs shards serially in-process.
+  ShardRunner runner;
+};
+
+/// Work accounting for one exact check.
+struct EnumStats {
+  std::int64_t nodes = 0;            ///< prefix nodes expanded
+  std::int64_t leaves = 0;           ///< full-depth nodes expanded
+  std::int64_t pruned_subtrees = 0;  ///< inner nodes cut by a verdict
+  /// Complete patterns whose implication status was decided, weighted by
+  /// symmetry orbit: equals the full space size when the implication
+  /// holds everywhere.
+  std::int64_t patterns_decided = 0;
+  std::int64_t expanded_roots = 0;  ///< first rounds expanded (canonical)
+  std::int64_t total_roots = 0;     ///< (2^n - 1)^n
+  bool symmetry_used = false;
+  int shards = 0;
+};
 
 /// Result of an implication check.
 struct ImplicationResult {
   bool holds = true;
-  long patterns_checked = 0;
+  /// Complete patterns decided (== EnumStats::patterns_decided for the
+  /// exact checks; sample count for implies_on_samples). On a refuted
+  /// exact check this reflects only the work up to the counterexample.
+  std::int64_t patterns_checked = 0;
   std::optional<FaultPattern> counterexample;  ///< a pattern in A \ B
+  EnumStats stats;                             ///< exact checks only
 };
 
-/// Exact check of P_A => P_B over all patterns of the given size.
+/// Exact check of P_A => P_B over all patterns of the given size, with
+/// default options. The refuting counterexample, when one exists, is the
+/// first in deterministic engine order: shards take strided first-round
+/// indices (shard s visits s, s + shards, ...), the lowest-numbered
+/// refuting shard wins, and within a shard roots are visited in
+/// ascending index with deeper rounds depth-first, process 0's digit
+/// varying fastest. The order is fixed by the shard count, never by the
+/// runner's thread count.
 ImplicationResult implies_exhaustive(const Predicate& a, const Predicate& b,
                                      int n, Round rounds);
+
+/// Exact check with explicit options (pruning, symmetry, budget, runner).
+ImplicationResult implies_exhaustive(const Predicate& a, const Predicate& b,
+                                     int n, Round rounds,
+                                     const EnumOptions& options);
 
 /// Sampled check: records `samples` patterns from `a_adversary` (assumed
 /// to satisfy A) and tests them against B. A failure refutes A => B; a
@@ -51,5 +146,8 @@ struct EquivalenceResult {
 };
 EquivalenceResult equivalent_exhaustive(const Predicate& a, const Predicate& b,
                                         int n, Round rounds);
+EquivalenceResult equivalent_exhaustive(const Predicate& a, const Predicate& b,
+                                        int n, Round rounds,
+                                        const EnumOptions& options);
 
 }  // namespace rrfd::core

@@ -1,0 +1,29 @@
+#include "sweep/submodel_parallel.h"
+
+#include <utility>
+
+namespace rrfd::sweep {
+
+core::ShardRunner shard_runner(int threads) {
+  return [threads](int n_jobs, const std::function<void(int)>& job) {
+    detail::run_indexed(n_jobs, threads, job);
+  };
+}
+
+core::ImplicationResult implies_exhaustive(const core::Predicate& a,
+                                           const core::Predicate& b, int n,
+                                           core::Round rounds, int threads,
+                                           core::EnumOptions options) {
+  options.runner = shard_runner(threads);
+  return core::implies_exhaustive(a, b, n, rounds, options);
+}
+
+core::EquivalenceResult equivalent_exhaustive(const core::Predicate& a,
+                                              const core::Predicate& b, int n,
+                                              core::Round rounds, int threads,
+                                              core::EnumOptions options) {
+  options.runner = shard_runner(threads);
+  return core::equivalent_exhaustive(a, b, n, rounds, options);
+}
+
+}  // namespace rrfd::sweep

@@ -1,0 +1,37 @@
+// Parallel execution for the exhaustive submodel checks.
+//
+// core/submodel.h shards its DFS over first-round indices and accepts an
+// injected ShardRunner; this header supplies the pool-backed runner so
+// that core stays free of any threading dependency. The determinism
+// contract carries over unchanged from sweep::run ("Sweep determinism",
+// DESIGN.md): shard results are spliced in shard index order inside the
+// engine, so implies_exhaustive with this runner returns byte-identical
+// results -- same counterexample, same counts -- at any thread count,
+// including the serial default.
+#pragma once
+
+#include "core/submodel.h"
+#include "sweep/sweep.h"
+
+namespace rrfd::sweep {
+
+/// A ShardRunner over the shared worker pool. `threads` follows the
+/// RRFD_SWEEP_THREADS convention (0/1 = serial on the calling thread);
+/// an attached trace sink forces serial execution, as everywhere else.
+core::ShardRunner shard_runner(int threads = threads_from_env());
+
+/// implies_exhaustive with shards fanned out over `threads` workers.
+/// Extra options (pruning, symmetry, budget) are preserved; the runner
+/// field of `options` is overridden.
+core::ImplicationResult implies_exhaustive(
+    const core::Predicate& a, const core::Predicate& b, int n,
+    core::Round rounds, int threads = threads_from_env(),
+    core::EnumOptions options = {});
+
+/// equivalent_exhaustive with shards fanned out over `threads` workers.
+core::EquivalenceResult equivalent_exhaustive(
+    const core::Predicate& a, const core::Predicate& b, int n,
+    core::Round rounds, int threads = threads_from_env(),
+    core::EnumOptions options = {});
+
+}  // namespace rrfd::sweep

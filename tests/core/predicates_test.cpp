@@ -4,6 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
 #include "core/adversaries.h"
 
 namespace rrfd::core {
@@ -383,6 +388,150 @@ TEST(NamedSystems, PrefixClosureOfZooPatterns) {
     FaultPattern p = record_pattern(adv, 4);
     EXPECT_EQ(sys->holds(p), sys->holds_all_prefixes(p));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental evaluators (the exhaustive engine's view of the zoo)
+// ---------------------------------------------------------------------------
+
+/// Every instantiation the conformance sweep covers.
+std::vector<PredicatePtr> evaluator_zoo() {
+  return {
+      std::make_shared<NoSelfSuspicion>(),
+      std::make_shared<NoSelfSuspicion>(/*exempt_announced=*/true),
+      std::make_shared<CumulativeFaultBound>(0),
+      std::make_shared<CumulativeFaultBound>(1),
+      std::make_shared<CumulativeFaultBound>(3),  // >= n at n = 2 and 3
+      std::make_shared<CrashMonotonicity>(),
+      std::make_shared<PerRoundFaultBound>(0),
+      std::make_shared<PerRoundFaultBound>(1),
+      std::make_shared<SomeoneHeardByAll>(),
+      std::make_shared<NoMutualMiss>(),
+      std::make_shared<ContainmentChain>(),
+      std::make_shared<ImmortalProcess>(),
+      std::make_shared<KUncertainty>(1),
+      std::make_shared<KUncertainty>(2),
+      std::make_shared<EqualAnnouncements>(),
+      std::make_shared<QuorumSkew>(2, 1),
+      std::make_shared<NeverFaulty>(),
+      sync_crash(1),
+      atomic_snapshot(1),
+  };
+}
+
+/// Exhaustive DFS over every pattern of `rounds` rounds, exercising the
+/// evaluator exactly the way the enumeration engine does (push/pop in
+/// LIFO order, including pushes after a violation) and checking at every
+/// prefix that
+///  * the verdict is kViolatedForever iff holds(prefix) is false,
+///  * below a kSatisfiedForever promise every prefix satisfies, and
+///  * below a violation of a prunable() predicate every prefix violates.
+void check_evaluator_conformance(const Predicate& pred, int n, Round rounds) {
+  const std::uint64_t max_mask = (std::uint64_t{1} << n) - 2;
+  auto eval = pred.evaluator();
+  eval->begin(n, rounds);
+  FaultPattern prefix(n);
+
+  std::function<void(Round, bool, bool)> rec = [&](Round depth,
+                                                   bool forever_above,
+                                                   bool violated_above) {
+    std::vector<std::uint64_t> digits(static_cast<std::size_t>(n), 0);
+    for (;;) {
+      RoundFaults round;
+      for (int i = 0; i < n; ++i) {
+        round.push_back(
+            ProcessSet::from_bits(n, digits[static_cast<std::size_t>(i)]));
+      }
+      const StepVerdict v = eval->push_round(round);
+      prefix.append(round);
+      const bool sat = pred.holds(prefix);
+      EXPECT_EQ(v != StepVerdict::kViolatedForever, sat)
+          << pred.name() << " at depth " << depth << "\n"
+          << prefix.to_string();
+      if (forever_above) {
+        EXPECT_TRUE(sat) << pred.name()
+                         << ": kSatisfiedForever promise broken\n"
+                         << prefix.to_string();
+      }
+      if (violated_above && pred.prunable()) {
+        EXPECT_FALSE(sat) << pred.name()
+                          << ": prunable violation recovered\n"
+                          << prefix.to_string();
+      }
+      if (depth < rounds) {
+        rec(depth + 1, forever_above || v == StepVerdict::kSatisfiedForever,
+            violated_above || v == StepVerdict::kViolatedForever);
+      }
+      prefix.pop_round();
+      eval->pop_round();
+
+      int i = 0;
+      while (i < n && digits[static_cast<std::size_t>(i)] == max_mask) {
+        digits[static_cast<std::size_t>(i)] = 0;
+        ++i;
+      }
+      if (i == n) return;
+      ++digits[static_cast<std::size_t>(i)];
+    }
+  };
+  rec(1, false, false);
+}
+
+TEST(StepEvaluators, ConformToHoldsOnEveryPrefixN2) {
+  for (const auto& pred : evaluator_zoo()) {
+    check_evaluator_conformance(*pred, 2, 3);  // 9 + 81 + 729 prefixes
+  }
+}
+
+TEST(StepEvaluators, ConformToHoldsOnEveryPrefixN3) {
+  for (const auto& pred : evaluator_zoo()) {
+    check_evaluator_conformance(*pred, 3, 2);  // 343 + 117649 prefixes
+  }
+}
+
+TEST(StepEvaluators, ZooDeclaresPrunableAndSymmetric) {
+  for (const auto& pred : evaluator_zoo()) {
+    EXPECT_TRUE(pred->prunable()) << pred->name();
+    EXPECT_TRUE(pred->symmetric()) << pred->name();
+  }
+}
+
+TEST(StepEvaluators, DefaultTraitsAreConservative) {
+  // A custom predicate that overrides nothing gets the whole-pattern
+  // fallback evaluator and neither trait -- the engine then neither
+  // prunes on its violations nor symmetry-reduces.
+  class EveryOther final : public Predicate {
+   public:
+    std::string name() const override { return "every-other"; }
+    std::string description() const override { return "rounds() is even"; }
+    bool holds(const FaultPattern& p) const override {
+      return p.rounds() % 2 == 0;
+    }
+  };
+  EveryOther pred;
+  EXPECT_FALSE(pred.prunable());
+  EXPECT_FALSE(pred.symmetric());
+  // The fallback evaluator still reports exact per-prefix verdicts.
+  check_evaluator_conformance(pred, 2, 3);
+}
+
+TEST(StepEvaluators, HoldsAllPrefixesSeesNonPrefixClosedViolations) {
+  // holds() accepts any 2-round pattern, but the 1-round prefix fails:
+  // holds_all_prefixes must say false even though holds says true.
+  class ExactlyTwoRounds final : public Predicate {
+   public:
+    std::string name() const override { return "exactly-two-rounds"; }
+    std::string description() const override { return "rounds() == 2"; }
+    bool holds(const FaultPattern& p) const override {
+      return p.rounds() == 2;
+    }
+  };
+  ExactlyTwoRounds pred;
+  FaultPattern p(3);
+  p.append(uniform_round(3, ProcessSet(3)));
+  p.append(uniform_round(3, ProcessSet(3)));
+  EXPECT_TRUE(pred.holds(p));
+  EXPECT_FALSE(pred.holds_all_prefixes(p));
 }
 
 }  // namespace

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+#include <vector>
+
 #include "core/adversaries.h"
 #include "core/predicates.h"
 
@@ -147,6 +151,147 @@ TEST(Lattice, UncertaintyIsMonotoneInK) {
     auto r = implies_exhaustive(*k_uncertainty(k), *k_uncertainty(k + 1), 3, 1);
     EXPECT_TRUE(r.holds);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Engine modes agree with the naive sweep
+// ---------------------------------------------------------------------------
+
+/// Every engine configuration that must return the same lattice answer.
+std::vector<EnumOptions> all_modes() {
+  EnumOptions defaults;
+  EnumOptions no_prune;
+  no_prune.prune = false;
+  EnumOptions sym_off;
+  sym_off.symmetry = Symmetry::kOff;
+  EnumOptions sym_on;
+  sym_on.symmetry = Symmetry::kOn;
+  EnumOptions bare;
+  bare.prune = false;
+  bare.symmetry = Symmetry::kOff;
+  return {defaults, no_prune, sym_off, sym_on, bare};
+}
+
+TEST(ExhaustiveModes, AgreeWithNaiveSweepOnLatticePairs) {
+  struct Case {
+    PredicatePtr a, b;
+  };
+  const std::vector<Case> cases = {
+      {atomic_snapshot(1), k_uncertainty(2)},     // holds
+      {k_uncertainty(2), atomic_snapshot(1)},     // refuted
+      {sync_crash(1), sync_omission(1)},          // refuted (2 rounds)
+      {equal_announcements(), k_uncertainty(1)},  // holds
+  };
+  for (const Round rounds : {1, 2}) {
+    for (const auto& c : cases) {
+      // Naive reference: full odometer sweep, no pruning, no symmetry.
+      std::int64_t space = 0;
+      bool naive_holds = true;
+      enumerate_patterns(3, rounds, [&](const FaultPattern& p) {
+        ++space;
+        if (c.a->holds(p) && !c.b->holds(p)) naive_holds = false;
+        return true;
+      });
+      for (const auto& opts : all_modes()) {
+        auto r = implies_exhaustive(*c.a, *c.b, 3, rounds, opts);
+        EXPECT_EQ(r.holds, naive_holds)
+            << c.a->name() << " => " << c.b->name() << " rounds=" << rounds;
+        if (naive_holds) {
+          // Every configuration must decide the *entire* space: pruned
+          // subtrees and symmetry orbits still count all their leaves.
+          EXPECT_EQ(r.patterns_checked, space);
+          EXPECT_EQ(r.stats.patterns_decided, space);
+          EXPECT_FALSE(r.counterexample.has_value());
+        } else {
+          ASSERT_TRUE(r.counterexample.has_value());
+          EXPECT_EQ(r.counterexample->rounds(), rounds);
+          EXPECT_TRUE(c.a->holds(*r.counterexample));
+          EXPECT_FALSE(c.b->holds(*r.counterexample));
+        }
+      }
+    }
+  }
+}
+
+TEST(ExhaustiveModes, ResultIndependentOfShardExecutionOrder) {
+  // Shards may run in any order on any threads; the merge must still
+  // report the counterexample of the lowest-numbered refuting shard and
+  // the same work counts. Reverse execution order is the adversarial
+  // schedule for that splice.
+  EnumOptions reversed;
+  reversed.runner = [](int n_jobs, const std::function<void(int)>& job) {
+    for (int s = n_jobs - 1; s >= 0; --s) job(s);
+  };
+  const auto a = k_uncertainty(2);
+  const auto b = atomic_snapshot(1);
+  const auto serial = implies_exhaustive(*a, *b, 3, 1);
+  const auto serial2 = implies_exhaustive(*a, *b, 3, 1);
+  const auto rev = implies_exhaustive(*a, *b, 3, 1, reversed);
+  for (const auto& r : {serial2, rev}) {
+    EXPECT_EQ(r.holds, serial.holds);
+    EXPECT_EQ(r.patterns_checked, serial.patterns_checked);
+    ASSERT_TRUE(r.counterexample.has_value());
+    EXPECT_EQ(*r.counterexample, *serial.counterexample);
+    EXPECT_EQ(r.stats.nodes, serial.stats.nodes);
+    EXPECT_EQ(r.stats.expanded_roots, serial.stats.expanded_roots);
+  }
+}
+
+TEST(ExhaustiveCounts, FullSpaceCountExceeds32Bits) {
+  // 15^8 = 2562890625 complete patterns at n = 4, 2 rounds -- more than
+  // fits in 32 bits. cumulative(4) is vacuous at n = 4, so the b-side
+  // evaluator promises kSatisfiedForever immediately and pruning decides
+  // the whole space from a handful of nodes.
+  NeverFaulty nf;
+  CumulativeFaultBound vacuous(4);
+  auto r = implies_exhaustive(nf, vacuous, 4, 2);
+  EXPECT_TRUE(r.holds);
+  EXPECT_EQ(r.patterns_checked, std::int64_t{2562890625});
+  EXPECT_LT(r.stats.nodes, 10000);
+  EXPECT_TRUE(r.stats.symmetry_used);
+}
+
+TEST(ExhaustiveBudget, ThrowsWhenNodeBudgetExceeded) {
+  EnumOptions tiny;
+  tiny.node_budget = 10;
+  EXPECT_THROW(
+      implies_exhaustive(*sync_crash(1), *sync_omission(1), 3, 2, tiny),
+      ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Non-prefix-closed custom predicates
+// ---------------------------------------------------------------------------
+
+/// Holds only for complete 2-round patterns: every proper prefix violates
+/// it, so any engine that pruned on its violations would decide the whole
+/// space vacuously. prunable() stays default-false.
+class ExactlyTwoRounds final : public Predicate {
+ public:
+  std::string name() const override { return "exactly-two-rounds"; }
+  std::string description() const override { return "rounds() == 2"; }
+  bool holds(const FaultPattern& p) const override { return p.rounds() == 2; }
+};
+
+TEST(ExhaustiveCustom, NonPrefixClosedPredicateIsNotPrunedUnsoundly) {
+  ExactlyTwoRounds only_two;
+  NeverFaulty nf;
+  // Every 1-round prefix violates A, yet genuine 2-round counterexamples
+  // (patterns where each process is announced somewhere) exist below
+  // them. The engine must keep descending through A's violations.
+  auto r = implies_exhaustive(only_two, nf, 2, 2);
+  EXPECT_FALSE(r.holds);
+  ASSERT_TRUE(r.counterexample.has_value());
+  EXPECT_EQ(r.counterexample->rounds(), 2);
+  EXPECT_TRUE(only_two.holds(*r.counterexample));
+  EXPECT_FALSE(nf.holds(*r.counterexample));
+  // kAuto must not symmetry-reduce a predicate that never declared
+  // symmetric(); kOn insists and therefore throws.
+  EXPECT_FALSE(r.stats.symmetry_used);
+  EnumOptions force;
+  force.symmetry = Symmetry::kOn;
+  EXPECT_THROW(implies_exhaustive(only_two, nf, 2, 2, force),
+               ContractViolation);
 }
 
 // ---------------------------------------------------------------------------

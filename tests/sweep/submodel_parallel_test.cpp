@@ -1,0 +1,90 @@
+// Sharded exhaustive submodel checks over the worker pool: the result --
+// verdict, counterexample, every work counter -- must be byte-identical
+// to the serial engine at any thread count. This is the "Sweep
+// determinism" contract (DESIGN.md) applied to the DFS shards.
+#include "sweep/submodel_parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/predicates.h"
+
+namespace rrfd::sweep {
+namespace {
+
+using core::ImplicationResult;
+
+void expect_identical(const ImplicationResult& want,
+                      const ImplicationResult& got) {
+  EXPECT_EQ(want.holds, got.holds);
+  EXPECT_EQ(want.patterns_checked, got.patterns_checked);
+  ASSERT_EQ(want.counterexample.has_value(), got.counterexample.has_value());
+  if (want.counterexample.has_value()) {
+    EXPECT_EQ(*want.counterexample, *got.counterexample);
+  }
+  EXPECT_EQ(want.stats.nodes, got.stats.nodes);
+  EXPECT_EQ(want.stats.leaves, got.stats.leaves);
+  EXPECT_EQ(want.stats.pruned_subtrees, got.stats.pruned_subtrees);
+  EXPECT_EQ(want.stats.patterns_decided, got.stats.patterns_decided);
+  EXPECT_EQ(want.stats.expanded_roots, got.stats.expanded_roots);
+  EXPECT_EQ(want.stats.total_roots, got.stats.total_roots);
+  EXPECT_EQ(want.stats.symmetry_used, got.stats.symmetry_used);
+  EXPECT_EQ(want.stats.shards, got.stats.shards);
+}
+
+TEST(SubmodelParallel, HoldingImplicationIdenticalAcrossThreadCounts) {
+  const auto a = core::atomic_snapshot(1);
+  const auto b = core::k_uncertainty(2);
+  const auto serial = core::implies_exhaustive(*a, *b, 3, 2);
+  EXPECT_TRUE(serial.holds);
+  EXPECT_EQ(serial.patterns_checked, std::int64_t{117649});  // 7^6
+  for (const int threads : {1, 2, 8}) {
+    expect_identical(serial, implies_exhaustive(*a, *b, 3, 2, threads));
+  }
+}
+
+TEST(SubmodelParallel, RefutedImplicationIdenticalAcrossThreadCounts) {
+  // The counterexample is defined by shard index order, not by which
+  // worker thread reaches its shard first.
+  const auto a = core::sync_omission(1);
+  const auto b = core::sync_crash(1);
+  const auto serial = core::implies_exhaustive(*a, *b, 3, 2);
+  EXPECT_FALSE(serial.holds);
+  ASSERT_TRUE(serial.counterexample.has_value());
+  for (const int threads : {1, 2, 8}) {
+    const auto r = implies_exhaustive(*a, *b, 3, 2, threads);
+    expect_identical(serial, r);
+    EXPECT_TRUE(a->holds(*r.counterexample));
+    EXPECT_FALSE(b->holds(*r.counterexample));
+  }
+}
+
+TEST(SubmodelParallel, EquivalenceIdenticalAcrossThreadCounts) {
+  const core::ImmortalProcess immortal;
+  const core::CumulativeFaultBound bound(2);  // n - 1 at n = 3
+  const auto serial = core::equivalent_exhaustive(immortal, bound, 3, 2);
+  EXPECT_TRUE(serial.equivalent());
+  for (const int threads : {1, 2, 8}) {
+    const auto r = equivalent_exhaustive(immortal, bound, 3, 2, threads);
+    expect_identical(serial.forward, r.forward);
+    expect_identical(serial.backward, r.backward);
+    EXPECT_TRUE(r.equivalent());
+  }
+}
+
+TEST(SubmodelParallel, RunnerRespectsExtraOptions) {
+  // Pruning off + sharded must still match serial pruning-off exactly.
+  core::EnumOptions no_prune;
+  no_prune.prune = false;
+  const auto a = core::k_uncertainty(1);
+  const auto b = core::equal_announcements();
+  const auto serial = core::implies_exhaustive(*a, *b, 3, 1, no_prune);
+  for (const int threads : {2, 8}) {
+    expect_identical(serial,
+                     implies_exhaustive(*a, *b, 3, 1, threads, no_prune));
+  }
+}
+
+}  // namespace
+}  // namespace rrfd::sweep
