@@ -1,0 +1,257 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace rrfd::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return {};
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+/// Cursor over the source with 1-based line/column bookkeeping.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& src) : src_(src) {}
+
+  bool done() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  int line() const { return line_; }
+  int col() const { return col_; }
+
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+ private:
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : cur_(src) {}
+
+  LexResult run() {
+    while (!cur_.done()) step();
+    return std::move(out_);
+  }
+
+ private:
+  void step() {
+    char c = cur_.peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      cur_.advance();
+      return;
+    }
+    if (c == '\n') {
+      cur_.advance();
+      at_line_start_ = true;
+      return;
+    }
+    if (c == '/' && cur_.peek(1) == '/') return lex_line_comment();
+    if (c == '/' && cur_.peek(1) == '*') return lex_block_comment();
+    if (c == '#' && at_line_start_) return lex_preproc();
+    at_line_start_ = false;
+    if (is_ident_start(c)) return lex_ident_or_prefixed_literal();
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(cur_.peek(1))))) {
+      return lex_number();
+    }
+    if (c == '"') return lex_string(/*raw=*/false);
+    if (c == '\'') return lex_char();
+    lex_punct();
+  }
+
+  void lex_line_comment() {
+    int line = cur_.line();
+    cur_.advance();  // '/'
+    cur_.advance();  // '/'
+    std::string text;
+    while (!cur_.done() && cur_.peek() != '\n') text += cur_.advance();
+    out_.comments.push_back({trim(text), line});
+  }
+
+  void lex_block_comment() {
+    int line = cur_.line();
+    cur_.advance();  // '/'
+    cur_.advance();  // '*'
+    std::string text;
+    while (!cur_.done()) {
+      if (cur_.peek() == '*' && cur_.peek(1) == '/') {
+        cur_.advance();
+        cur_.advance();
+        break;
+      }
+      text += cur_.advance();
+    }
+    out_.comments.push_back({trim(text), line});
+    // A block comment does not interrupt a directive-start position, but
+    // tracking that costs more than it buys; treat it as ordinary code.
+    at_line_start_ = false;
+  }
+
+  // Consumes a whole directive, splicing backslash-newline continuations.
+  // Comment text inside the directive is kept verbatim: directives are
+  // matched as whole strings ("#pragma once"), never sub-lexed.
+  void lex_preproc() {
+    Token tok{TokKind::kPreproc, "", cur_.line(), cur_.col()};
+    while (!cur_.done()) {
+      if (cur_.peek() == '\\' && (cur_.peek(1) == '\n' ||
+                                  (cur_.peek(1) == '\r' &&
+                                   cur_.peek(2) == '\n'))) {
+        cur_.advance();  // backslash
+        while (!cur_.done() && cur_.peek() != '\n') cur_.advance();
+        if (!cur_.done()) cur_.advance();  // newline: directive continues
+        tok.text += ' ';
+        continue;
+      }
+      if (cur_.peek() == '\n') break;
+      tok.text += cur_.advance();
+    }
+    tok.text = trim(tok.text);
+    out_.tokens.push_back(std::move(tok));
+  }
+
+  void lex_ident_or_prefixed_literal() {
+    Token tok{TokKind::kIdent, "", cur_.line(), cur_.col()};
+    while (!cur_.done() && is_ident_char(cur_.peek())) {
+      tok.text += cur_.advance();
+    }
+    // String/char literal prefixes: R"(..)", u8"..", L'c', and friends.
+    const std::string& id = tok.text;
+    if (cur_.peek() == '"') {
+      if (id == "R" || id == "u8R" || id == "uR" || id == "LR") {
+        return lex_string(/*raw=*/true);
+      }
+      if (id == "u8" || id == "u" || id == "L") {
+        return lex_string(/*raw=*/false);
+      }
+    }
+    if (cur_.peek() == '\'' && (id == "u8" || id == "u" || id == "L")) {
+      return lex_char();
+    }
+    out_.tokens.push_back(std::move(tok));
+  }
+
+  void lex_number() {
+    Token tok{TokKind::kNumber, "", cur_.line(), cur_.col()};
+    // Good enough for lint purposes: digits, digit separators, hex/exponent
+    // letters, and a sign directly after an exponent marker.
+    while (!cur_.done()) {
+      char c = cur_.peek();
+      if (is_ident_char(c) || c == '\'' || c == '.') {
+        tok.text += cur_.advance();
+        continue;
+      }
+      if ((c == '+' || c == '-') && !tok.text.empty()) {
+        char prev = tok.text.back();
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          tok.text += cur_.advance();
+          continue;
+        }
+      }
+      break;
+    }
+    out_.tokens.push_back(std::move(tok));
+  }
+
+  void lex_string(bool raw) {
+    Token tok{TokKind::kString, "", cur_.line(), cur_.col()};
+    cur_.advance();  // opening quote
+    if (raw) {
+      std::string delim;
+      while (!cur_.done() && cur_.peek() != '(') delim += cur_.advance();
+      if (!cur_.done()) cur_.advance();  // '('
+      const std::string close = ")" + delim + "\"";
+      std::string content;
+      while (!cur_.done()) {
+        content += cur_.advance();
+        if (content.size() >= close.size() &&
+            content.compare(content.size() - close.size(), close.size(),
+                            close) == 0) {
+          content.erase(content.size() - close.size());
+          break;
+        }
+      }
+      tok.text = std::move(content);
+    } else {
+      while (!cur_.done() && cur_.peek() != '"' && cur_.peek() != '\n') {
+        char c = cur_.advance();
+        if (c == '\\' && !cur_.done()) {
+          tok.text += c;
+          tok.text += cur_.advance();
+          continue;
+        }
+        tok.text += c;
+      }
+      if (!cur_.done() && cur_.peek() == '"') cur_.advance();
+    }
+    out_.tokens.push_back(std::move(tok));
+  }
+
+  void lex_char() {
+    Token tok{TokKind::kChar, "", cur_.line(), cur_.col()};
+    cur_.advance();  // opening quote
+    while (!cur_.done() && cur_.peek() != '\'' && cur_.peek() != '\n') {
+      char c = cur_.advance();
+      if (c == '\\' && !cur_.done()) {
+        tok.text += c;
+        tok.text += cur_.advance();
+        continue;
+      }
+      tok.text += c;
+    }
+    if (!cur_.done() && cur_.peek() == '\'') cur_.advance();
+    out_.tokens.push_back(std::move(tok));
+  }
+
+  void lex_punct() {
+    Token tok{TokKind::kPunct, "", cur_.line(), cur_.col()};
+    char c = cur_.advance();
+    tok.text += c;
+    char n = cur_.peek();
+    // Two-character operators the rules care about. '<<'/'>>' are left as
+    // two tokens so template-argument scans can balance '<'/'>' directly.
+    if ((c == ':' && n == ':') || (c == '-' && n == '>') ||
+        (c == '=' && n == '=') || (c == '!' && n == '=') ||
+        (c == '<' && n == '=') || (c == '>' && n == '=') ||
+        (c == '&' && n == '&') || (c == '|' && n == '|')) {
+      tok.text += cur_.advance();
+    }
+    out_.tokens.push_back(std::move(tok));
+  }
+
+  Cursor cur_;
+  LexResult out_;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+LexResult lex(const std::string& source) { return Lexer(source).run(); }
+
+}  // namespace rrfd::lint

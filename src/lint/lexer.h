@@ -1,0 +1,51 @@
+// Minimal C++ lexer for rrfd_lint.
+//
+// This is not a compiler front end: it splits a translation unit into
+// identifiers, literals, punctuation, and preprocessor directives, and
+// collects comments separately so rules never match inside comment or
+// string text (the classic grep false positive). String literal *content*
+// is preserved on the token -- the no-env-sideband rule needs to read the
+// argument of getenv("...") -- but rules that scan identifiers only ever
+// see code.
+//
+// Deliberately unhandled: trigraphs, digraphs, and UCN identifiers. The
+// repo does not use them, and a lint pass that misses an exotic spelling
+// fails open (no finding), never closed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rrfd::lint {
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // numeric literals (incl. digit separators)
+  kString,   // string literal; text holds the content without quotes
+  kChar,     // character literal
+  kPunct,    // operators and punctuation ("::", "->", "<", ...)
+  kPreproc,  // whole preprocessor directive, continuations spliced
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based
+  int col = 0;   // 1-based
+};
+
+struct Comment {
+  std::string text;  // without the // or /* */ markers, trimmed
+  int line = 0;      // line the comment starts on
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Lexes a whole source file. Never throws on malformed input: an
+/// unterminated literal or comment simply ends at EOF.
+LexResult lex(const std::string& source);
+
+}  // namespace rrfd::lint

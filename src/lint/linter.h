@@ -1,0 +1,85 @@
+// rrfd_lint driver: suppressions, baseline, and reporting.
+//
+// Suppression contract (DESIGN.md "Static analysis & determinism lint"):
+// a finding is silenced by a comment on the same line or the line above:
+//
+//   // rrfd-lint: allow(no-wall-clock) -- trace timestamps are display-only
+//
+// The justification after the dash is mandatory; an allow() without one is
+// itself a finding (rule "bad-suppression"), as is an allow() that no
+// longer matches anything. Findings can also be parked in a checked-in
+// baseline file, which CI only allows to shrink: an entry with no matching
+// live finding is stale and fails the run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace rrfd::lint {
+
+/// Rule id for defective or unused allow(...) comments. Not a registry
+/// rule: emitted by the driver while resolving suppressions.
+inline constexpr std::string_view kBadSuppressionRule = "bad-suppression";
+
+/// One file's findings after inline-suppression resolution.
+struct LintedFile {
+  std::vector<Finding> active;      // unsuppressed, incl. bad-suppression
+  std::vector<Finding> suppressed;  // silenced by a justified allow(...)
+};
+
+/// Lints one in-memory source file. `path` must be repo-relative with
+/// forward slashes; it drives per-rule scoping.
+LintedFile lint_source(const std::string& path, const std::string& source);
+
+/// Stable fingerprint used by the baseline: FNV-1a over rule, path, and
+/// the whitespace-normalized source line. Line numbers are deliberately
+/// excluded so unrelated edits above a parked finding do not invalidate
+/// its entry.
+std::uint64_t finding_fingerprint(const Finding& f);
+
+/// Renders the baseline line for a finding: "rule|path|fingerprint-hex".
+std::string baseline_entry(const Finding& f);
+
+struct Baseline {
+  /// Entries as written, one per parked finding instance (multiset
+  /// semantics: two identical lines park two identical findings).
+  std::vector<std::string> entries;
+  /// Lines that could not be parsed (reported, never silently dropped).
+  std::vector<std::string> malformed;
+};
+
+/// Parses a baseline file: '#' comments and blank lines ignored.
+Baseline parse_baseline(const std::string& text);
+
+/// Aggregate result over a run; `unsuppressed` non-empty or
+/// `stale_baseline`/`malformed_baseline` non-empty means the run fails.
+struct RunResult {
+  int files = 0;
+  std::vector<Finding> unsuppressed;
+  std::vector<Finding> suppressed;
+  std::vector<Finding> baselined;
+  std::vector<std::string> stale_baseline;
+  std::vector<std::string> malformed_baseline;
+
+  bool ok() const {
+    return unsuppressed.empty() && stale_baseline.empty() &&
+           malformed_baseline.empty();
+  }
+};
+
+/// Lints every (path, source) pair and resolves the baseline.
+RunResult run_lint(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const Baseline& baseline);
+
+/// Human-readable report (one finding per line, then a summary).
+std::string render_text(const RunResult& result);
+
+/// JSONL report, one record per finding plus a trailing summary record,
+/// schema "rrfd-lint-v1" (same discipline as BENCH_rrfd.json).
+std::string render_json(const RunResult& result);
+
+}  // namespace rrfd::lint

@@ -1,0 +1,631 @@
+#include "lint/rules.h"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <set>
+#include <string>
+
+namespace rrfd::lint {
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+/// tokens[i - 1] / tokens[i + 1] with bounds checks; a static sentinel
+/// punct token stands in for "nothing there".
+const Token& tok_at(const std::vector<Token>& toks, std::ptrdiff_t i) {
+  static const Token kNone{TokKind::kPunct, "", 0, 0};
+  if (i < 0 || i >= static_cast<std::ptrdiff_t>(toks.size())) return kNone;
+  return toks[static_cast<std::size_t>(i)];
+}
+
+void add(std::vector<Finding>& out, const Rule& rule, const FileContext& file,
+         const Token& at, std::string message) {
+  out.push_back(Finding{std::string(rule.name()), file.path, at.line, at.col,
+                        std::move(message), file.snippet(at.line)});
+}
+
+/// True when the identifier at `i` is spelled as a qualified name whose
+/// qualifier is NOT `std` (e.g. `mylib::time`). Unqualified names and
+/// `std::`-qualified names return false.
+bool foreign_qualified(const std::vector<Token>& toks, std::size_t i) {
+  std::ptrdiff_t p = static_cast<std::ptrdiff_t>(i);
+  if (!is_punct(tok_at(toks, p - 1), "::")) return false;
+  const Token& scope = tok_at(toks, p - 2);
+  return !(scope.kind == TokKind::kIdent && scope.text == "std");
+}
+
+/// True when `name(` at index `i` reads as a *call* to a free function of
+/// that name: not a member access (x.time()), not qualified into a
+/// foreign namespace, and not a declaration (`int time()` -- preceded by
+/// a type-ish identifier rather than an expression-context keyword).
+bool is_free_call(const std::vector<Token>& toks, std::size_t i) {
+  if (!is_punct(tok_at(toks, static_cast<std::ptrdiff_t>(i) + 1), "(")) {
+    return false;
+  }
+  const Token& prev = tok_at(toks, static_cast<std::ptrdiff_t>(i) - 1);
+  if (is_punct(prev, ".") || is_punct(prev, "->")) return false;
+  if (foreign_qualified(toks, i)) return false;
+  if (prev.kind == TokKind::kIdent) {
+    static const std::set<std::string, std::less<>> kExprKeywords = {
+        "return", "co_return", "co_yield", "case", "throw", "else", "do"};
+    return kExprKeywords.count(prev.text) > 0;
+  }
+  return true;
+}
+
+/// Scans a balanced <...> starting at the '<' token index `open`.
+/// Returns the index one past the closing '>', or `open` if unbalanced /
+/// too long to be a plausible template argument list. Collects the indices
+/// of top-level ',' separators when `commas` is non-null.
+std::size_t scan_template_args(const std::vector<Token>& toks,
+                               std::size_t open,
+                               std::vector<std::size_t>* commas = nullptr) {
+  if (open >= toks.size() || !is_punct(toks[open], "<")) return open;
+  int depth = 0;
+  constexpr std::size_t kMaxSpan = 256;
+  for (std::size_t i = open; i < toks.size() && i - open < kMaxSpan; ++i) {
+    const Token& t = toks[i];
+    if (is_punct(t, "<")) ++depth;
+    if (is_punct(t, ">")) {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+    if (depth == 1 && commas != nullptr && is_punct(t, ",")) {
+      commas->push_back(i);
+    }
+    // A template argument list never crosses these.
+    if (is_punct(t, ";") || is_punct(t, "{")) break;
+  }
+  return open;
+}
+
+// ---------------------------------------------------------------------------
+// no-wall-clock
+
+class NoWallClock final : public Rule {
+ public:
+  std::string_view name() const override { return "no-wall-clock"; }
+  std::string_view description() const override {
+    return "wall-clock time sources are banned outside bench/: they make "
+           "results depend on when and where a run happens";
+  }
+  bool applies_to(std::string_view path) const override {
+    return !starts_with(path, "bench/");
+  }
+  void check(const FileContext& file, std::vector<Finding>& out) const override {
+    static const std::set<std::string, std::less<>> kClockTypes = {
+        "system_clock", "steady_clock", "high_resolution_clock"};
+    static const std::set<std::string, std::less<>> kClockCalls = {
+        "time",          "clock",    "gettimeofday", "clock_gettime",
+        "timespec_get",  "localtime", "gmtime",      "mktime",
+        "ftime"};
+    const auto& toks = file.lexed.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent) continue;
+      if (kClockTypes.count(t.text) > 0) {
+        add(out, *this, file, t,
+            "std::chrono::" + t.text + " reads the wall clock");
+        continue;
+      }
+      if (kClockCalls.count(t.text) > 0 && is_free_call(toks, i)) {
+        add(out, *this, file, t, "call to wall-clock function " + t.text + "()");
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// no-raw-random
+
+class NoRawRandom final : public Rule {
+ public:
+  std::string_view name() const override { return "no-raw-random"; }
+  std::string_view description() const override {
+    return "raw <random>/<cstdlib> generators are banned outside "
+           "src/util/rng.{h,cpp}: all randomness must flow through "
+           "counter-derived Rng streams";
+  }
+  bool applies_to(std::string_view path) const override {
+    return path != "src/util/rng.h" && path != "src/util/rng.cpp";
+  }
+  void check(const FileContext& file, std::vector<Finding>& out) const override {
+    static const std::set<std::string, std::less<>> kEngineTypes = {
+        "random_device",  "mt19937",        "mt19937_64",
+        "minstd_rand",    "minstd_rand0",   "default_random_engine",
+        "knuth_b",        "ranlux24",       "ranlux24_base",
+        "ranlux48",       "ranlux48_base"};
+    static const std::set<std::string, std::less<>> kRandCalls = {
+        "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48"};
+    const auto& toks = file.lexed.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent) continue;
+      if (kEngineTypes.count(t.text) > 0) {
+        add(out, *this, file, t,
+            t.text + " bypasses the seeded Rng contract (use Rng::stream)");
+        continue;
+      }
+      if (kRandCalls.count(t.text) > 0 && is_free_call(toks, i)) {
+        add(out, *this, file, t,
+            "call to " + t.text + "() bypasses the seeded Rng contract");
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// no-unordered-iteration
+
+class NoUnorderedIteration final : public Rule {
+ public:
+  std::string_view name() const override { return "no-unordered-iteration"; }
+  std::string_view description() const override {
+    return "range-for over unordered containers is banned: hash iteration "
+           "order leaks into results (use ordered containers or a sorted "
+           "snapshot)";
+  }
+  void check(const FileContext& file, std::vector<Finding>& out) const override {
+    static const std::set<std::string, std::less<>> kUnorderedTypes = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    const auto& toks = file.lexed.tokens;
+
+    // Pass A: names declared (anywhere in this file) with an unordered
+    // container type, including members and parameters. Single-file
+    // resolution only -- cross-file types are out of scope by design.
+    std::set<std::string, std::less<>> unordered_names;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent ||
+          kUnorderedTypes.count(toks[i].text) == 0) {
+        continue;
+      }
+      std::size_t j = i + 1;
+      if (j < toks.size() && is_punct(toks[j], "<")) {
+        std::size_t past = scan_template_args(toks, j);
+        if (past == j) continue;  // unbalanced; not a declaration
+        j = past;
+      }
+      // `unordered_map<K,V> a, b;` with cv/ref/ptr decoration.
+      while (j < toks.size()) {
+        while (j < toks.size() &&
+               (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
+                is_ident(toks[j], "const"))) {
+          ++j;
+        }
+        if (j >= toks.size() || toks[j].kind != TokKind::kIdent) break;
+        unordered_names.insert(toks[j].text);
+        ++j;
+        if (j < toks.size() && is_punct(toks[j], ",")) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+    }
+
+    // Pass B: range-for statements whose range expression mentions an
+    // unordered name or an unordered type (temporaries, members).
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!is_ident(toks[i], "for") || !is_punct(toks[i + 1], "(")) continue;
+      int depth = 0;
+      std::size_t colon = 0;
+      std::size_t close = 0;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (is_punct(toks[j], "(")) ++depth;
+        if (is_punct(toks[j], ")")) {
+          --depth;
+          if (depth == 0) {
+            close = j;
+            break;
+          }
+        }
+        if (depth == 1 && colon == 0 && is_punct(toks[j], ";")) break;
+        if (depth == 1 && colon == 0 && is_punct(toks[j], ":")) colon = j;
+      }
+      if (colon == 0 || close == 0) continue;  // classic for / unbalanced
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (toks[j].kind != TokKind::kIdent) continue;
+        if (kUnorderedTypes.count(toks[j].text) > 0 ||
+            unordered_names.count(toks[j].text) > 0) {
+          add(out, *this, file, toks[i],
+              "range-for over unordered container '" + toks[j].text +
+                  "': iteration order is hash-dependent");
+          break;
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// no-pointer-order
+
+class NoPointerOrder final : public Rule {
+ public:
+  std::string_view name() const override { return "no-pointer-order"; }
+  std::string_view description() const override {
+    return "hashing or ordering by pointer value is banned in "
+           "result-affecting code: addresses vary run to run";
+  }
+  void check(const FileContext& file, std::vector<Finding>& out) const override {
+    const auto& toks = file.lexed.tokens;
+    check_std_templates(file, toks, out);
+    check_comparator_lambdas(file, toks, out);
+  }
+
+ private:
+  static bool span_has_star(const std::vector<Token>& toks, std::size_t begin,
+                            std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (is_punct(toks[i], "*")) return true;
+    }
+    return false;
+  }
+
+  // std::hash<T*>, std::less<T*>, std::greater<T*>, and ordered containers
+  // keyed on pointers (std::map<T*, V>, std::set<T*>).
+  void check_std_templates(const FileContext& file,
+                           const std::vector<Token>& toks,
+                           std::vector<Finding>& out) const {
+    static const std::set<std::string, std::less<>> kWholeArg = {
+        "hash", "less", "greater"};
+    static const std::set<std::string, std::less<>> kKeyArg = {
+        "map", "set", "multimap", "multiset"};
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent) continue;
+      bool whole = kWholeArg.count(t.text) > 0;
+      bool keyed = kKeyArg.count(t.text) > 0;
+      if (!whole && !keyed) continue;
+      // Require std:: qualification: bare `map`/`set`/`less` identifiers
+      // are too common as local names.
+      std::ptrdiff_t p = static_cast<std::ptrdiff_t>(i);
+      if (!is_punct(tok_at(toks, p - 1), "::") ||
+          !is_ident(tok_at(toks, p - 2), "std")) {
+        continue;
+      }
+      if (i + 1 >= toks.size() || !is_punct(toks[i + 1], "<")) continue;
+      std::vector<std::size_t> commas;
+      std::size_t past = scan_template_args(toks, i + 1, &commas);
+      if (past == i + 1) continue;
+      std::size_t arg_end = keyed && !commas.empty() ? commas[0] : past - 1;
+      if (span_has_star(toks, i + 2, arg_end)) {
+        add(out, *this, file, t,
+            "std::" + t.text +
+                " instantiated with a pointer type orders/hashes by address");
+      }
+    }
+  }
+
+  // Lambda comparators passed to ordering algorithms that compare raw
+  // pointer parameters (`[](const T* a, const T* b) { return a < b; }`).
+  void check_comparator_lambdas(const FileContext& file,
+                                const std::vector<Token>& toks,
+                                std::vector<Finding>& out) const {
+    static const std::set<std::string, std::less<>> kOrderingAlgos = {
+        "sort",        "stable_sort", "partial_sort", "nth_element",
+        "min_element", "max_element", "lower_bound",  "upper_bound",
+        "equal_range", "binary_search", "merge",      "unique",
+        "is_sorted",   "make_heap",   "sort_heap"};
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent ||
+          kOrderingAlgos.count(toks[i].text) == 0 ||
+          !is_punct(toks[i + 1], "(")) {
+        continue;
+      }
+      // Span of the call's argument list.
+      int depth = 0;
+      std::size_t close = 0;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (is_punct(toks[j], "(")) ++depth;
+        if (is_punct(toks[j], ")")) {
+          --depth;
+          if (depth == 0) {
+            close = j;
+            break;
+          }
+        }
+      }
+      if (close == 0) continue;
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (is_punct(toks[j], "[")) j = check_lambda(file, toks, j, out);
+      }
+      i = close;
+    }
+  }
+
+  // Examines a potential lambda starting at the '[' token; returns the
+  // index to resume scanning from.
+  std::size_t check_lambda(const FileContext& file,
+                           const std::vector<Token>& toks, std::size_t open,
+                           std::vector<Finding>& out) const {
+    // Capture list.
+    std::size_t j = open;
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (is_punct(toks[j], "[")) ++depth;
+      if (is_punct(toks[j], "]")) {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+    if (j >= toks.size() || !is_punct(tok_at(toks, static_cast<std::ptrdiff_t>(j) + 1), "(")) {
+      return open;  // not a lambda with a parameter list
+    }
+    // Parameter list: collect names of pointer-typed parameters.
+    std::set<std::string, std::less<>> ptr_params;
+    std::size_t params_open = j + 1;
+    std::size_t params_close = 0;
+    depth = 0;
+    bool saw_star = false;
+    std::string last_ident;
+    for (std::size_t k = params_open; k < toks.size(); ++k) {
+      const Token& t = toks[k];
+      if (is_punct(t, "(")) ++depth;
+      if (is_punct(t, ")")) {
+        --depth;
+        if (depth == 0) {
+          params_close = k;
+          if (saw_star && !last_ident.empty()) ptr_params.insert(last_ident);
+          break;
+        }
+      }
+      if (depth != 1) continue;
+      if (is_punct(t, ",")) {
+        if (saw_star && !last_ident.empty()) ptr_params.insert(last_ident);
+        saw_star = false;
+        last_ident.clear();
+      } else if (is_punct(t, "*")) {
+        saw_star = true;
+      } else if (t.kind == TokKind::kIdent) {
+        last_ident = t.text;
+      }
+    }
+    if (params_close == 0 || ptr_params.empty()) return params_close + 1;
+    // Body: flag `a < b` where both are raw pointer params (a deref like
+    // `*a < *b` or a member access `a->x < b->x` breaks the adjacency).
+    std::size_t body_open = params_close + 1;
+    while (body_open < toks.size() && !is_punct(toks[body_open], "{") &&
+           !is_punct(toks[body_open], ";")) {
+      ++body_open;  // skip trailing return type etc.
+    }
+    if (body_open >= toks.size() || !is_punct(toks[body_open], "{")) {
+      return params_close + 1;
+    }
+    depth = 0;
+    for (std::size_t k = body_open; k < toks.size(); ++k) {
+      if (is_punct(toks[k], "{")) ++depth;
+      if (is_punct(toks[k], "}")) {
+        --depth;
+        if (depth == 0) return k + 1;
+      }
+      if (toks[k].kind != TokKind::kPunct) continue;
+      const std::string& op = toks[k].text;
+      if (op != "<" && op != ">" && op != "<=" && op != ">=") continue;
+      const Token& lhs = tok_at(toks, static_cast<std::ptrdiff_t>(k) - 1);
+      const Token& rhs = tok_at(toks, static_cast<std::ptrdiff_t>(k) + 1);
+      if (lhs.kind == TokKind::kIdent && rhs.kind == TokKind::kIdent &&
+          ptr_params.count(lhs.text) > 0 && ptr_params.count(rhs.text) > 0) {
+        add(out, *this, file, toks[k],
+            "comparator orders by raw pointer value ('" + lhs.text + " " +
+                op + " " + rhs.text + "')");
+      }
+    }
+    return toks.size();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// no-env-sideband
+
+class NoEnvSideband final : public Rule {
+ public:
+  std::string_view name() const override { return "no-env-sideband"; }
+  std::string_view description() const override {
+    return "getenv is restricted to the documented hooks (RRFD_TRACE, "
+           "RRFD_BENCH_*, RRFD_SWEEP_THREADS); setenv/putenv are banned";
+  }
+  void check(const FileContext& file, std::vector<Finding>& out) const override {
+    const auto& toks = file.lexed.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent) continue;
+      bool call = is_punct(tok_at(toks, static_cast<std::ptrdiff_t>(i) + 1), "(");
+      if (!call) continue;
+      if (t.text == "setenv" || t.text == "putenv" || t.text == "unsetenv") {
+        add(out, *this, file, t,
+            t.text + "() mutates the environment mid-run");
+        continue;
+      }
+      if (t.text != "getenv" && t.text != "secure_getenv") continue;
+      if (foreign_qualified(toks, i)) continue;
+      const Token& arg = tok_at(toks, static_cast<std::ptrdiff_t>(i) + 2);
+      const Token& after = tok_at(toks, static_cast<std::ptrdiff_t>(i) + 3);
+      if (arg.kind != TokKind::kString || !is_punct(after, ")")) {
+        add(out, *this, file, t,
+            "getenv with a computed variable name cannot be allowlisted");
+        continue;
+      }
+      if (!allowed(arg.text)) {
+        add(out, *this, file, t,
+            "getenv(\"" + arg.text + "\") is not a documented hook");
+      }
+    }
+  }
+
+ private:
+  static bool allowed(const std::string& var) {
+    return var == "RRFD_TRACE" || var == "RRFD_SWEEP_THREADS" ||
+           starts_with(var, "RRFD_BENCH_");
+  }
+};
+
+// ---------------------------------------------------------------------------
+// contract-hygiene
+
+class ContractHygiene final : public Rule {
+ public:
+  std::string_view name() const override { return "contract-hygiene"; }
+  std::string_view description() const override {
+    return "contract macros must carry a non-empty message; headers must "
+           "have include guards and no namespace-scope using-directives";
+  }
+  void check(const FileContext& file, std::vector<Finding>& out) const override {
+    const auto& toks = file.lexed.tokens;
+    if (file.is_header) {
+      check_guard(file, toks, out);
+      check_using_namespace(file, toks, out);
+    }
+    check_contract_messages(file, toks, out);
+  }
+
+ private:
+  static std::string normalize_directive(const std::string& raw) {
+    std::string norm;
+    for (char c : raw) {
+      if (c == ' ' || c == '\t') {
+        if (!norm.empty() && norm.back() != ' ') norm += ' ';
+      } else {
+        norm += c;
+      }
+    }
+    return norm;
+  }
+
+  void check_guard(const FileContext& file, const std::vector<Token>& toks,
+                  std::vector<Finding>& out) const {
+    for (const Token& t : toks) {
+      if (t.kind != TokKind::kPreproc) continue;
+      std::string norm = normalize_directive(t.text);
+      if (starts_with(norm, "#pragma once") || starts_with(norm, "# pragma once") ||
+          starts_with(norm, "#ifndef") || starts_with(norm, "# ifndef")) {
+        return;
+      }
+    }
+    Token anchor{TokKind::kPreproc, "", 1, 1};
+    add(out, *this, file, anchor,
+        "header has neither '#pragma once' nor an #ifndef include guard");
+  }
+
+  void check_using_namespace(const FileContext& file,
+                             const std::vector<Token>& toks,
+                             std::vector<Finding>& out) const {
+    // Brace contexts: 'n' = namespace body, 'b' = anything else. A
+    // using-directive is namespace-scope iff every enclosing brace is 'n'.
+    std::vector<char> stack;
+    bool pending_ns = false;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (is_ident(t, "namespace")) {
+        // `using namespace` is handled below; `namespace X = ...;` aliases
+        // and `namespace X {` openings both start here.
+        const Token& prev = tok_at(toks, static_cast<std::ptrdiff_t>(i) - 1);
+        if (!is_ident(prev, "using")) pending_ns = true;
+        continue;
+      }
+      if (is_punct(t, ";")) pending_ns = false;  // alias or declaration
+      if (is_punct(t, "{")) {
+        stack.push_back(pending_ns ? 'n' : 'b');
+        pending_ns = false;
+      }
+      if (is_punct(t, "}") && !stack.empty()) stack.pop_back();
+      if (is_ident(t, "using") &&
+          is_ident(tok_at(toks, static_cast<std::ptrdiff_t>(i) + 1),
+                   "namespace")) {
+        bool ns_scope =
+            std::all_of(stack.begin(), stack.end(),
+                        [](char c) { return c == 'n'; });
+        if (ns_scope) {
+          add(out, *this, file, t,
+              "using-directive at namespace scope in a header leaks into "
+              "every includer");
+        }
+      }
+    }
+  }
+
+  void check_contract_messages(const FileContext& file,
+                               const std::vector<Token>& toks,
+                               std::vector<Finding>& out) const {
+    static const std::set<std::string, std::less<>> kMsgMacros = {
+        "RRFD_REQUIRE_MSG", "RRFD_ENSURE_MSG"};
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent ||
+          kMsgMacros.count(toks[i].text) == 0 ||
+          !is_punct(toks[i + 1], "(")) {
+        continue;
+      }
+      // Find the last top-level argument.
+      int depth = 0;
+      std::size_t last_arg_begin = i + 2;
+      std::size_t close = 0;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        const Token& t = toks[j];
+        if (is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{")) ++depth;
+        if (is_punct(t, ")") || is_punct(t, "]") || is_punct(t, "}")) {
+          --depth;
+          if (depth == 0) {
+            close = j;
+            break;
+          }
+        }
+        if (depth == 1 && is_punct(t, ",")) last_arg_begin = j + 1;
+      }
+      if (close == 0) continue;
+      // Empty iff the argument is string literals with no content.
+      bool all_strings = close > last_arg_begin;
+      bool any_content = false;
+      for (std::size_t j = last_arg_begin; j < close; ++j) {
+        if (toks[j].kind != TokKind::kString) {
+          all_strings = false;
+          break;
+        }
+        if (!toks[j].text.empty()) any_content = true;
+      }
+      if (all_strings && !any_content) {
+        add(out, *this, file, toks[i],
+            toks[i].text + " with an empty message defeats the point of the "
+                           "_MSG variant");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::string FileContext::snippet(int line) const {
+  if (line < 1 || line > static_cast<int>(lines.size())) return {};
+  const std::string& raw = lines[static_cast<std::size_t>(line - 1)];
+  std::size_t b = raw.find_first_not_of(" \t");
+  if (b == std::string::npos) return {};
+  std::size_t e = raw.find_last_not_of(" \t\r");
+  return raw.substr(b, e - b + 1);
+}
+
+const std::vector<const Rule*>& all_rules() {
+  static const NoWallClock wall_clock;
+  static const NoRawRandom raw_random;
+  static const NoUnorderedIteration unordered_iteration;
+  static const NoPointerOrder pointer_order;
+  static const NoEnvSideband env_sideband;
+  static const ContractHygiene contract_hygiene;
+  static const std::vector<const Rule*> rules = {
+      &wall_clock,    &raw_random,   &unordered_iteration,
+      &pointer_order, &env_sideband, &contract_hygiene};
+  return rules;
+}
+
+}  // namespace rrfd::lint

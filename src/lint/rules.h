@@ -1,0 +1,64 @@
+// Rule registry for rrfd_lint.
+//
+// Each rule is a pure function over one lexed file: it receives the token
+// stream plus raw lines and appends findings. Rules never see comments or
+// string interiors except where they ask for them explicitly, and they
+// carry their own path scoping (e.g. no-wall-clock exempts bench/). The
+// rule list is the contract documented in DESIGN.md "Static analysis &
+// determinism lint" -- additions there and here must move together.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace rrfd::lint {
+
+/// One lexed source file, paths repo-relative with forward slashes
+/// ("src/util/rng.h"). `lines` is the raw text split on '\n' (1-based
+/// access via context_line); findings quote it for snippets.
+struct FileContext {
+  std::string path;
+  std::vector<std::string> lines;
+  LexResult lexed;
+  bool is_header = false;
+
+  /// The trimmed source text of a 1-based line (empty if out of range).
+  std::string snippet(int line) const;
+};
+
+struct Finding {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  int col = 0;
+  std::string message;
+  std::string snippet;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+
+  /// Stable kebab-case rule id, used in allow(...) suppressions, the
+  /// baseline file, and --json output.
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+
+  /// Path-based scoping; returning false skips the file entirely.
+  virtual bool applies_to(std::string_view path) const {
+    (void)path;
+    return true;
+  }
+
+  virtual void check(const FileContext& file,
+                     std::vector<Finding>& out) const = 0;
+};
+
+/// All registered rules, in stable (report) order. The objects live for
+/// the program's lifetime.
+const std::vector<const Rule*>& all_rules();
+
+}  // namespace rrfd::lint

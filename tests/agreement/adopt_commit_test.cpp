@@ -6,6 +6,7 @@
 
 #include "runtime/explorer.h"
 #include "runtime/schedulers.h"
+#include "util/str.h"
 
 namespace rrfd::agreement {
 namespace {
@@ -158,8 +159,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(2, 3, 5, 8, 16),
                        ::testing::Values(21u, 90210u)),
     [](const ::testing::TestParamInfo<std::tuple<int, std::uint64_t>>& pinfo) {
-      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_s" +
-             std::to_string(std::get<1>(pinfo.param));
+      return cat("n", std::get<0>(pinfo.param), "_s", std::get<1>(pinfo.param));
     });
 
 TEST(AdoptCommit, DisagreementUnderContentionIsReachable) {

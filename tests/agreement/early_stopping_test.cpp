@@ -6,6 +6,7 @@
 #include "agreement/tasks.h"
 #include "core/adversaries.h"
 #include "core/engine.h"
+#include "util/str.h"
 
 namespace rrfd::agreement {
 namespace {
@@ -72,9 +73,8 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1, 2, 3),
                        ::testing::Values(2u, 1234u)),
     [](const ::testing::TestParamInfo<std::tuple<int, int, std::uint64_t>>& pinfo) {
-      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_f" +
-             std::to_string(std::get<1>(pinfo.param)) + "_s" +
-             std::to_string(std::get<2>(pinfo.param));
+      return cat("n", std::get<0>(pinfo.param), "_f", std::get<1>(pinfo.param),
+                 "_s", std::get<2>(pinfo.param));
     });
 
 TEST(EarlyStopping, SurvivesTheChainExecution) {

@@ -7,6 +7,7 @@
 #include "agreement/tasks.h"
 #include "core/adversaries.h"
 #include "core/engine.h"
+#include "util/str.h"
 
 namespace rrfd::agreement {
 namespace {
@@ -114,8 +115,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 3),
                        ::testing::Values(1, 2, 3, 5)),
     [](const ::testing::TestParamInfo<std::tuple<int, int>>& pinfo) {
-      return "k" + std::to_string(std::get<0>(pinfo.param)) + "_R" +
-             std::to_string(std::get<1>(pinfo.param));
+      return cat("k", std::get<0>(pinfo.param), "_R", std::get<1>(pinfo.param));
     });
 
 TEST(FloodMin, TerminalsLearnChainValuesExactlyAtTheLastRound) {

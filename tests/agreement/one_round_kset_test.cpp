@@ -7,6 +7,7 @@
 #include "core/adversaries.h"
 #include "core/engine.h"
 #include "core/predicates.h"
+#include "util/str.h"
 
 namespace rrfd::agreement {
 namespace {
@@ -69,9 +70,8 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1, 2, 3, 8),
                        ::testing::Values(11u, 77u)),
     [](const ::testing::TestParamInfo<std::tuple<int, int, std::uint64_t>>& pinfo) {
-      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_k" +
-             std::to_string(std::get<1>(pinfo.param)) + "_s" +
-             std::to_string(std::get<2>(pinfo.param));
+      return cat("n", std::get<0>(pinfo.param), "_k", std::get<1>(pinfo.param),
+                 "_s", std::get<2>(pinfo.param));
     });
 
 TEST(OneRoundKSet, ConsensusUnderEqualAnnouncements) {

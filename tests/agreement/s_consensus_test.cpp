@@ -6,6 +6,7 @@
 #include "agreement/tasks.h"
 #include "core/adversaries.h"
 #include "core/engine.h"
+#include "util/str.h"
 
 namespace rrfd::agreement {
 namespace {
@@ -57,8 +58,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(2, 3, 5, 9, 16),
                        ::testing::Values(1u, 17u, 400u)),
     [](const ::testing::TestParamInfo<std::tuple<int, std::uint64_t>>& pinfo) {
-      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_s" +
-             std::to_string(std::get<1>(pinfo.param));
+      return cat("n", std::get<0>(pinfo.param), "_s", std::get<1>(pinfo.param));
     });
 
 TEST(SConsensus, AdoptionHappensInTheImmortalsRound) {

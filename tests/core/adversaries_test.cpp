@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "core/predicates.h"
+#include "util/str.h"
 
 namespace rrfd::core {
 namespace {
@@ -73,9 +74,8 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(0, 1, 2),
                        ::testing::Values(1u, 42u, 20260706u)),
     [](const ::testing::TestParamInfo<Params>& pinfo) {
-      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_f" +
-             std::to_string(std::get<1>(pinfo.param)) + "_s" +
-             std::to_string(std::get<2>(pinfo.param));
+      return cat("n", std::get<0>(pinfo.param), "_f", std::get<1>(pinfo.param),
+                 "_s", std::get<2>(pinfo.param));
     });
 
 // ---------------------------------------------------------------------------
@@ -112,9 +112,8 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1, 2, 3),
                        ::testing::Values(7u, 1234u)),
     [](const ::testing::TestParamInfo<Params>& pinfo) {
-      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_k" +
-             std::to_string(std::get<1>(pinfo.param)) + "_s" +
-             std::to_string(std::get<2>(pinfo.param));
+      return cat("n", std::get<0>(pinfo.param), "_k", std::get<1>(pinfo.param),
+                 "_s", std::get<2>(pinfo.param));
     });
 
 // ---------------------------------------------------------------------------

@@ -6,6 +6,7 @@
 
 #include "core/process_set.h"
 #include "util/rng.h"
+#include "util/str.h"
 
 namespace rrfd::core {
 namespace {
@@ -101,8 +102,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 7, 31, 64),
                        ::testing::Values(1u, 2u, 3u)),
     [](const ::testing::TestParamInfo<std::tuple<int, std::uint64_t>>& pinfo) {
-      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_s" +
-             std::to_string(std::get<1>(pinfo.param));
+      // cat() instead of `"n" + std::to_string(...)`: the rvalue operator+
+      // chain trips GCC 12's -Wrestrict false positive at -O3 -Werror.
+      return cat("n", std::get<0>(pinfo.param), "_s", std::get<1>(pinfo.param));
     });
 
 }  // namespace

@@ -2,6 +2,7 @@
 #include "msgpass/abd.h"
 
 #include <gtest/gtest.h>
+#include "util/str.h"
 
 namespace rrfd::msgpass {
 namespace {
@@ -135,8 +136,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(3, 5, 9),
                        ::testing::Values(1u, 7u, 42u, 1000u, 90210u)),
     [](const ::testing::TestParamInfo<std::tuple<int, std::uint64_t>>& pinfo) {
-      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_s" +
-             std::to_string(std::get<1>(pinfo.param));
+      return cat("n", std::get<0>(pinfo.param), "_s", std::get<1>(pinfo.param));
     });
 
 // ---------------------------------------------------------------------------

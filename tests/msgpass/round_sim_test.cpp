@@ -7,6 +7,7 @@
 #include <map>
 
 #include "core/predicates.h"
+#include "util/str.h"
 
 namespace rrfd::msgpass {
 
@@ -96,9 +97,8 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(0, 1, 2),
                        ::testing::Values(3u, 1009u)),
     [](const ::testing::TestParamInfo<std::tuple<int, int, std::uint64_t>>& pinfo) {
-      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_f" +
-             std::to_string(std::get<1>(pinfo.param)) + "_s" +
-             std::to_string(std::get<2>(pinfo.param));
+      return cat("n", std::get<0>(pinfo.param), "_f", std::get<1>(pinfo.param),
+                 "_s", std::get<2>(pinfo.param));
     });
 
 TEST(RoundEnforcedSim, LateMessagesAreDiscarded) {

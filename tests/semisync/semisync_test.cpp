@@ -6,6 +6,7 @@
 #include "agreement/tasks.h"
 #include "core/predicates.h"
 #include "xform/semisync_pattern.h"
+#include "util/str.h"
 
 namespace rrfd::semisync {
 namespace {
@@ -142,8 +143,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(2, 3, 5, 8, 16),
                        ::testing::Values(1u, 9u, 123u, 777u)),
     [](const ::testing::TestParamInfo<std::tuple<int, std::uint64_t>>& pinfo) {
-      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_s" +
-             std::to_string(std::get<1>(pinfo.param));
+      return cat("n", std::get<0>(pinfo.param), "_s", std::get<1>(pinfo.param));
     });
 
 TEST(Theorem51, Phi2AdmitsViolations) {
@@ -239,8 +239,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 3, 6, 12, 32),
                        ::testing::Values(4u, 44u, 444u)),
     [](const ::testing::TestParamInfo<std::tuple<int, std::uint64_t>>& pinfo) {
-      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_s" +
-             std::to_string(std::get<1>(pinfo.param));
+      return cat("n", std::get<0>(pinfo.param), "_s", std::get<1>(pinfo.param));
     });
 
 TEST(SemiSyncConsensus, ToleratesCrashes) {

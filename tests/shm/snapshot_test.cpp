@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "runtime/schedulers.h"
+#include "util/str.h"
 
 namespace rrfd::shm {
 namespace {
@@ -235,9 +236,10 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1u, 2u, 3u, 4u, 5u),
                        ::testing::Values(0, 2)),
     [](const ::testing::TestParamInfo<std::tuple<int, std::uint64_t, int>>& pinfo) {
-      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_s" +
-             std::to_string(std::get<1>(pinfo.param)) + "_c" +
-             std::to_string(std::get<2>(pinfo.param));
+      // cat() instead of `"n" + std::to_string(...)`: the rvalue operator+
+      // chain trips GCC 12's -Wrestrict false positive at -O3 -Werror.
+      return cat("n", std::get<0>(pinfo.param), "_s", std::get<1>(pinfo.param),
+                 "_c", std::get<2>(pinfo.param));
     });
 
 TEST(ImmediateSnapshot, SoloParticipantSeesOnlyItself) {

@@ -113,14 +113,19 @@ TEST(Sweep, TracingForcesSerialInTrialOrder) {
 }
 
 TEST(Sweep, ThreadsFromEnvParsesStrictly) {
+  // rrfd-lint: allow(no-env-sideband) -- this test exercises the hook itself
   ASSERT_EQ(setenv("RRFD_SWEEP_THREADS", "8", 1), 0);
   EXPECT_EQ(threads_from_env(), 8);
+  // rrfd-lint: allow(no-env-sideband) -- this test exercises the hook itself
   ASSERT_EQ(setenv("RRFD_SWEEP_THREADS", "0", 1), 0);
   EXPECT_EQ(threads_from_env(), 0);
+  // rrfd-lint: allow(no-env-sideband) -- this test exercises the hook itself
   ASSERT_EQ(setenv("RRFD_SWEEP_THREADS", "eight", 1), 0);
   EXPECT_THROW(threads_from_env(), ContractViolation);
+  // rrfd-lint: allow(no-env-sideband) -- this test exercises the hook itself
   ASSERT_EQ(setenv("RRFD_SWEEP_THREADS", "-2", 1), 0);
   EXPECT_THROW(threads_from_env(), ContractViolation);
+  // rrfd-lint: allow(no-env-sideband) -- this test exercises the hook itself
   ASSERT_EQ(unsetenv("RRFD_SWEEP_THREADS"), 0);
   EXPECT_EQ(threads_from_env(), 0);
 }

@@ -10,6 +10,7 @@
 #include "agreement/tasks.h"
 #include "runtime/schedulers.h"
 #include "xform/pattern_checks.h"
+#include "util/str.h"
 
 namespace rrfd::xform {
 namespace {
@@ -88,9 +89,8 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1, 2),
                        ::testing::Values(5u, 50u)),
     [](const ::testing::TestParamInfo<std::tuple<int, int, std::uint64_t>>& pinfo) {
-      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_k" +
-             std::to_string(std::get<1>(pinfo.param)) + "_s" +
-             std::to_string(std::get<2>(pinfo.param));
+      return cat("n", std::get<0>(pinfo.param), "_k", std::get<1>(pinfo.param),
+                 "_s", std::get<2>(pinfo.param));
     });
 
 TEST(CrashFromAsync, ExecutorCrashBecomesSimulatedCrash) {

@@ -6,6 +6,7 @@
 #include "core/adversaries.h"
 #include "core/predicates.h"
 #include "util/rng.h"
+#include "util/str.h"
 
 namespace rrfd::xform {
 namespace {
@@ -44,9 +45,8 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1, 2),
                        ::testing::Values(2u, 22u)),
     [](const ::testing::TestParamInfo<std::tuple<int, int, std::uint64_t>>& pinfo) {
-      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_f" +
-             std::to_string(std::get<1>(pinfo.param)) + "_s" +
-             std::to_string(std::get<2>(pinfo.param));
+      return cat("n", std::get<0>(pinfo.param), "_f", std::get<1>(pinfo.param),
+                 "_s", std::get<2>(pinfo.param));
     });
 
 TEST(MajorityEmulation, MultiRoundCombination) {
@@ -130,9 +130,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_tuple(5, 2, 1), std::make_tuple(7, 3, 1),
                       std::make_tuple(9, 4, 2), std::make_tuple(21, 8, 3)),
     [](const ::testing::TestParamInfo<std::tuple<int, int, int>>& pinfo) {
-      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_t" +
-             std::to_string(std::get<1>(pinfo.param)) + "_f" +
-             std::to_string(std::get<2>(pinfo.param));
+      return cat("n", std::get<0>(pinfo.param), "_t", std::get<1>(pinfo.param),
+                 "_f", std::get<2>(pinfo.param));
     });
 
 TEST(QuorumSkew, AIsAStrictSubmodelOfB) {
@@ -177,9 +176,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_tuple(8, 1, 3), std::make_tuple(8, 2, 6),
                       std::make_tuple(12, 3, 9), std::make_tuple(32, 2, 7)),
     [](const ::testing::TestParamInfo<std::tuple<int, int, int>>& pinfo) {
-      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_k" +
-             std::to_string(std::get<1>(pinfo.param)) + "_f" +
-             std::to_string(std::get<2>(pinfo.param));
+      return cat("n", std::get<0>(pinfo.param), "_k", std::get<1>(pinfo.param),
+                 "_f", std::get<2>(pinfo.param));
     });
 
 TEST(Theorem41, TooManyRoundsRejected) {

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Formats C++ sources with the repo's .clang-format.
+#
+#   tools/format.sh [--check] [FILE...]
+#
+# With no FILEs, operates on every tracked C++ source. --check reports
+# files that would change and exits 1 without modifying anything (the
+# static-analysis CI job runs this over the files a change touches).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format > /dev/null 2>&1; then
+  echo "tools/format.sh: clang-format not found on PATH" >&2
+  exit 2
+fi
+
+check=0
+files=()
+for arg in "$@"; do
+  case "$arg" in
+    --check) check=1 ;;
+    -*) echo "usage: tools/format.sh [--check] [FILE...]" >&2; exit 2 ;;
+    *) files+=("$arg") ;;
+  esac
+done
+
+if [ "${#files[@]}" -eq 0 ]; then
+  while IFS= read -r f; do
+    files+=("$f")
+  done < <(git ls-files '*.cpp' '*.h' '*.hpp' '*.cc')
+fi
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "tools/format.sh: nothing to format"
+  exit 0
+fi
+
+if [ "$check" -eq 1 ]; then
+  bad=0
+  for f in "${files[@]}"; do
+    if ! clang-format --dry-run --Werror "$f" > /dev/null 2>&1; then
+      echo "needs formatting: $f"
+      bad=1
+    fi
+  done
+  if [ "$bad" -ne 0 ]; then
+    echo "run tools/format.sh to fix" >&2
+    exit 1
+  fi
+  echo "formatting clean (${#files[@]} files)"
+else
+  clang-format -i "${files[@]}"
+  echo "formatted ${#files[@]} files"
+fi

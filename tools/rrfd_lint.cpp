@@ -1,0 +1,156 @@
+// rrfd_lint CLI: repo-aware determinism/contract static analysis.
+//
+// Usage:
+//   rrfd_lint [--root DIR] [--json] [--baseline FILE] [--list-rules] PATH...
+//
+// Each PATH (file or directory, relative to --root, default cwd) is
+// scanned for C++ sources (.h .hpp .cpp .cc). Exit codes: 0 clean, 1
+// unsuppressed findings or baseline errors, 2 usage / I/O error. The
+// file list is sorted so reports and fingerprints are byte-stable across
+// platforms and filesystem enumeration orders.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/linter.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--root DIR] [--json] [--baseline FILE] [--list-rules] "
+               "PATH...\n";
+  return 2;
+}
+
+bool has_cpp_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+bool skip_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  // Build trees and hidden directories are never part of the contract.
+  return name.rfind("build", 0) == 0 || (!name.empty() && name[0] == '.');
+}
+
+/// Repo-relative path with forward slashes (rule scoping keys off this).
+std::string rel_path(const fs::path& p, const fs::path& root) {
+  std::string s = fs::relative(p, root).generic_string();
+  return s;
+}
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  fs::path baseline_path;
+  bool json = false;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--root") {
+      if (++i >= argc) return usage(argv[0]);
+      root = argv[i];
+    } else if (arg == "--baseline") {
+      if (++i >= argc) return usage(argv[0]);
+      baseline_path = argv[i];
+    } else if (arg == "--list-rules") {
+      for (const rrfd::lint::Rule* rule : rrfd::lint::all_rules()) {
+        std::cout << rule->name() << "\n    " << rule->description() << "\n";
+      }
+      std::cout << rrfd::lint::kBadSuppressionRule
+                << "\n    defective or unused allow(...) comment (emitted by "
+                   "the driver)\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage(argv[0]);
+
+  std::error_code ec;
+  root = fs::canonical(root, ec);
+  if (ec) {
+    std::cerr << "rrfd_lint: bad --root: " << ec.message() << "\n";
+    return 2;
+  }
+
+  // Collect candidate files, sorted by repo-relative path.
+  std::vector<fs::path> files;
+  for (const std::string& input : inputs) {
+    fs::path p = fs::path(input).is_absolute() ? fs::path(input) : root / input;
+    if (fs::is_regular_file(p)) {
+      files.push_back(p);
+      continue;
+    }
+    if (!fs::is_directory(p)) {
+      std::cerr << "rrfd_lint: no such file or directory: " << input << "\n";
+      return 2;
+    }
+    fs::recursive_directory_iterator it(p, ec), end;
+    for (; it != end; it.increment(ec)) {
+      if (ec) break;
+      if (it->is_directory() && skip_dir(it->path())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && has_cpp_extension(it->path())) {
+        files.push_back(it->path());
+      }
+    }
+  }
+  std::vector<std::pair<std::string, std::string>> sources;
+  sources.reserve(files.size());
+  for (const fs::path& p : files) {
+    std::string content;
+    if (!read_file(p, content)) {
+      std::cerr << "rrfd_lint: cannot read " << p << "\n";
+      return 2;
+    }
+    sources.emplace_back(rel_path(p, root), std::move(content));
+  }
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end(),
+                            [](const auto& a, const auto& b) {
+                              return a.first == b.first;
+                            }),
+                sources.end());
+
+  rrfd::lint::Baseline baseline;
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path.is_absolute() ? baseline_path
+                                               : root / baseline_path,
+                   text)) {
+      std::cerr << "rrfd_lint: cannot read baseline " << baseline_path << "\n";
+      return 2;
+    }
+    baseline = rrfd::lint::parse_baseline(text);
+  }
+
+  rrfd::lint::RunResult result = rrfd::lint::run_lint(sources, baseline);
+  std::cout << (json ? rrfd::lint::render_json(result)
+                     : rrfd::lint::render_text(result));
+  return result.ok() ? 0 : 1;
+}
