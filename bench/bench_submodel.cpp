@@ -12,6 +12,8 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <string_view>
 
 #include "bench_util.h"
 #include "core/predicates.h"
@@ -26,10 +28,23 @@ using Clock = std::chrono::steady_clock;
 /// benchmarks report their speedup against it.
 double g_baseline_patterns_per_s = 0.0;
 
+// RRFD_BENCH_ENGINE_PATH=word|set selects which representation the DFS
+// feeds the evaluators (default word), mirroring bench_substrates, so one
+// binary records the E17 pre/post throughput multiple of the word cores.
+core::EnginePath bench_engine_path() {
+  const char* env = std::getenv("RRFD_BENCH_ENGINE_PATH");
+  if (env == nullptr || *env == '\0') return core::EnginePath::kWord;
+  const std::string_view v(env);
+  RRFD_REQUIRE_MSG(v == "word" || v == "set",
+                   "RRFD_BENCH_ENGINE_PATH must be 'word' or 'set'");
+  return v == "set" ? core::EnginePath::kSet : core::EnginePath::kWord;
+}
+
 core::EnumOptions mode_options(bool prune, core::Symmetry sym, int threads) {
   core::EnumOptions o;
   o.prune = prune;
   o.symmetry = sym;
+  o.path = bench_engine_path();
   if (threads > 0) o.runner = sweep::shard_runner(threads);
   return o;
 }
@@ -107,8 +122,10 @@ void summary() {
   core::ImplicationResult serial;
   double serial_s = 0.0;
   for (const int threads : {1, 2, 4, 8}) {
+    core::EnumOptions path_opts;
+    path_opts.path = bench_engine_path();
     const auto t0 = Clock::now();
-    auto r = sweep::implies_exhaustive(immortal, bound, 4, 2, threads);
+    auto r = sweep::implies_exhaustive(immortal, bound, 4, 2, threads, path_opts);
     const double s = std::chrono::duration<double>(Clock::now() - t0).count();
     if (threads == 1) {
       serial = r;
@@ -169,9 +186,11 @@ void bm_submodel_sharded_n4r2(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
   static core::ImplicationResult serial_reference;
   static bool have_reference = false;
+  core::EnumOptions path_opts;
+  path_opts.path = bench_engine_path();
   core::ImplicationResult r;
   for (auto _ : state) {
-    r = sweep::implies_exhaustive(immortal, bound, 4, 2, threads);
+    r = sweep::implies_exhaustive(immortal, bound, 4, 2, threads, path_opts);
     benchmark::DoNotOptimize(r.holds);
   }
   if (threads == 1 && !have_reference) {

@@ -227,9 +227,12 @@ inline void write_results_json(const std::string& experiment,
   std::ostringstream os;
   os << "{\"experiment\":\"" << detail::json_escape(experiment) << "\""
      << ",\"git_rev\":\"" << detail::json_escape(RRFD_GIT_REV) << "\"";
-  if (label_env && *label_env) {
-    os << ",\"label\":\"" << detail::json_escape(label_env) << "\"";
-  }
+  // `label` is always present (empty when RRFD_BENCH_LABEL is unset):
+  // downstream diffing tools key rows on it, and a sometimes-missing
+  // field made "unlabeled" indistinguishable from "written by an old
+  // binary". The bench-smoke validator rejects label-less rows.
+  os << ",\"label\":\""
+     << detail::json_escape(label_env ? label_env : "") << "\"";
   os << ",\"results\":[";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const ResultRecord& r = records[i];

@@ -40,6 +40,16 @@ RoundFaults ScriptedAdversary::next_round() {
   return uniform_round(pattern_.n(), ProcessSet::none(pattern_.n()));
 }
 
+void ScriptedAdversary::next_round_words(std::uint64_t* out) {
+  ++round_;
+  const int count = pattern_.n();
+  if (round_ <= pattern_.rounds()) {
+    for (ProcId i = 0; i < count; ++i) out[i] = pattern_.d(i, round_).bits();
+    return;
+  }
+  for (ProcId i = 0; i < count; ++i) out[i] = 0;  // benign tail
+}
+
 // --------------------------------------------------------------------------
 // BenignAdversary
 // --------------------------------------------------------------------------
@@ -50,6 +60,10 @@ BenignAdversary::BenignAdversary(int n) : n_(n) {
 
 RoundFaults BenignAdversary::next_round() {
   return uniform_round(n_, ProcessSet::none(n_));
+}
+
+void BenignAdversary::next_round_words(std::uint64_t* out) {
+  for (ProcId i = 0; i < n_; ++i) out[i] = 0;
 }
 
 // --------------------------------------------------------------------------
@@ -286,9 +300,10 @@ RoundFaults KUncertaintyAdversary::next_round() {
 // --------------------------------------------------------------------------
 
 ImmortalAdversary::ImmortalAdversary(int n, std::uint64_t seed, ProcId immortal)
-    : n_(n), seed_(seed), immortal_(immortal), rng_(seed) {
+    : n_(n), seed_(seed), immortal_(immortal), auto_immortal_(immortal < 0),
+      rng_(seed) {
   RRFD_REQUIRE(0 < n && n <= kMaxProcesses);
-  if (immortal_ < 0) {
+  if (auto_immortal_) {
     immortal_ = static_cast<ProcId>(rng_.below(static_cast<std::uint64_t>(n_)));
   }
   RRFD_REQUIRE(0 <= immortal_ && immortal_ < n_);
@@ -298,7 +313,15 @@ std::string ImmortalAdversary::name() const {
   return cat("immortal(p=", immortal_, ")");
 }
 
-void ImmortalAdversary::reset() { rng_.reseed(seed_); }
+void ImmortalAdversary::reset() {
+  rng_.reseed(seed_);
+  // An auto-picked immortal consumed one draw at construction; replay it,
+  // or the post-reset stream is offset by one draw relative to the first
+  // run (the pick itself is the same -- same seed, same draw).
+  if (auto_immortal_) {
+    immortal_ = static_cast<ProcId>(rng_.below(static_cast<std::uint64_t>(n_)));
+  }
+}
 
 RoundFaults ImmortalAdversary::next_round() {
   const ProcessSet candidates = ProcessSet::all(n_).without(immortal_);

@@ -21,6 +21,7 @@ class ScriptedAdversary final : public Adversary {
   int n() const override { return pattern_.n(); }
   std::string name() const override { return "scripted"; }
   RoundFaults next_round() override;
+  void next_round_words(std::uint64_t* out) override;
   void reset() override { round_ = 0; }
 
  private:
@@ -36,6 +37,7 @@ class BenignAdversary final : public Adversary {
   int n() const override { return n_; }
   std::string name() const override { return "benign"; }
   RoundFaults next_round() override;
+  void next_round_words(std::uint64_t* out) override;
   void reset() override {}
 
  private:
@@ -186,6 +188,8 @@ class ImmortalAdversary final : public Adversary {
   int n_;
   std::uint64_t seed_;
   ProcId immortal_;
+  bool auto_immortal_;  ///< was immortal_ drawn from the seed? reset()
+                        ///< must then replay that draw (see .cpp)
   Rng rng_;
 };
 

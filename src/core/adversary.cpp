@@ -2,6 +2,11 @@
 
 namespace rrfd::core {
 
+void Adversary::next_round_words(std::uint64_t* out) {
+  const RoundFaults round = next_round();
+  for (std::size_t i = 0; i < round.size(); ++i) out[i] = round[i].bits();
+}
+
 FaultPattern record_pattern(Adversary& adversary, Round rounds) {
   RRFD_REQUIRE(rounds >= 0);
   FaultPattern pattern(adversary.n());

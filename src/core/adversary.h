@@ -9,6 +9,7 @@
 // the lower-bound experiments.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -31,6 +32,14 @@ class Adversary {
 
   /// Announcements for the next round (first call = round 1).
   virtual RoundFaults next_round() = 0;
+
+  /// Word form of next_round() for the engine's fast path: writes
+  /// D(i, next round).bits() into out[0..n()). The default bridges
+  /// through next_round(), so the two forms always advance the adversary
+  /// identically; overrides (BenignAdversary, ScriptedAdversary) must
+  /// consume exactly the same randomness as their next_round() so a run
+  /// replays bit-identically whichever form the engine calls.
+  virtual void next_round_words(std::uint64_t* out);
 
   /// Rewinds to round 1; the replayed stream is identical.
   virtual void reset() = 0;

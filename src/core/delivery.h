@@ -1,0 +1,66 @@
+// Zero-copy delivery for the round engine.
+//
+// Each round the engine collects every process's emit(r) into one shared
+// `emitted` array and hands each recipient a DeliveryView: a non-owning
+// view pairing a pointer into that array with the recipient's fault mask
+// D(i,r). Delivery under communication closure is pure set algebra --
+// p_i receives m_{j,r} iff j is not in D(i,r) -- so the view never copies
+// a message: membership is one AND against the delivered mask and
+// iteration is a bit-scan. The full contract lives in DESIGN.md
+// ("Delivery contract: DeliveryView"); the short form:
+//
+//   * senders() is exactly S \ D(i,r), including the recipient's own
+//     message (self-delivery drops iff i in D(i,r)).
+//   * view[j] is valid only for j in senders(); debug builds assert.
+//     get(j) returns nullptr for dropped senders. faults() == d.
+//   * The view is valid only for the duration of the absorb() call --
+//     the engine overwrites the underlying buffer next round.
+#pragma once
+
+#include "core/process_set.h"
+#include "core/types.h"
+#include "util/check.h"
+
+namespace rrfd::core {
+
+/// Non-owning per-recipient view over the round's shared emit buffer.
+/// `Message` is the algorithm's round message type (see RoundProcess).
+template <typename Message>
+class DeliveryView {
+ public:
+  /// `emitted` must point at n() messages indexed by sender; `d` is the
+  /// recipient's announcement set D(i,r). Both must outlive the view.
+  DeliveryView(const Message* emitted, const ProcessSet& d)
+      : emitted_(emitted), delivered_(d.complement()) {
+    RRFD_ASSERT(emitted != nullptr);
+  }
+
+  /// System size.
+  int n() const { return delivered_.n(); }
+
+  /// The delivered senders S \ D(i,r), in one word.
+  const ProcessSet& senders() const { return delivered_; }
+
+  /// The announcement set D(i,r) this view was built from.
+  ProcessSet faults() const { return delivered_.complement(); }
+
+  /// Was j's round message delivered? One AND.
+  bool has(ProcId j) const { return delivered_.contains(j); }
+
+  /// Message from sender j; valid only for j in senders().
+  const Message& operator[](ProcId j) const {
+    RRFD_ASSERT(has(j));
+    return emitted_[j];
+  }
+
+  /// Message from sender j, or nullptr if j was dropped this round.
+  const Message* get(ProcId j) const {
+    return has(j) ? &emitted_[j] : nullptr;
+  }
+
+ private:
+  const Message* emitted_;
+  ProcessSet delivered_;  // S \ D(i,r)
+};
+
+}  // namespace rrfd::core

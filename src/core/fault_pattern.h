@@ -96,6 +96,11 @@ class FaultPattern {
   }
 
  private:
+  // The SoA word arena converts into rounds_ directly: its words were
+  // validated (mask within S, D != S) when they were recorded, so the
+  // conversion skips append()'s per-set re-checks (core/words.h).
+  friend class MaskRounds;
+
   int n_;
   std::vector<RoundFaults> rounds_;
 };

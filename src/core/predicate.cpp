@@ -53,24 +53,13 @@ class AndEvaluator final : public StepEvaluator {
   }
 
   StepVerdict push_round(const RoundFaults& round) override {
-    ++depth_;
-    bool violated = false;
-    bool all_forever = true;
-    for (Child& c : children_) {
-      if (c.forever_at >= 0) continue;  // holds for every extension
-      const StepVerdict v = c.eval->push_round(round);
-      if (v == StepVerdict::kViolatedForever) {
-        violated = true;
-        all_forever = false;
-      } else if (v == StepVerdict::kSatisfiedForever) {
-        c.forever_at = depth_;
-      } else {
-        all_forever = false;
-      }
-    }
-    if (violated) return StepVerdict::kViolatedForever;
-    return all_forever ? StepVerdict::kSatisfiedForever
-                       : StepVerdict::kSatisfiedSoFar;
+    return push_into_children(
+        [&round](StepEvaluator& e) { return e.push_round(round); });
+  }
+
+  StepVerdict push_round_words(const std::uint64_t* d, int n) override {
+    return push_into_children(
+        [d, n](StepEvaluator& e) { return e.push_round_words(d, n); });
   }
 
   void pop_round() override {
@@ -87,6 +76,28 @@ class AndEvaluator final : public StepEvaluator {
   }
 
  private:
+  template <typename Push>
+  StepVerdict push_into_children(const Push& push) {
+    ++depth_;
+    bool violated = false;
+    bool all_forever = true;
+    for (Child& c : children_) {
+      if (c.forever_at >= 0) continue;  // holds for every extension
+      const StepVerdict v = push(*c.eval);
+      if (v == StepVerdict::kViolatedForever) {
+        violated = true;
+        all_forever = false;
+      } else if (v == StepVerdict::kSatisfiedForever) {
+        c.forever_at = depth_;
+      } else {
+        all_forever = false;
+      }
+    }
+    if (violated) return StepVerdict::kViolatedForever;
+    return all_forever ? StepVerdict::kSatisfiedForever
+                       : StepVerdict::kSatisfiedSoFar;
+  }
+
   struct Child {
     std::unique_ptr<StepEvaluator> eval;
     Round forever_at;  ///< depth of a kSatisfiedForever verdict; -1 if none
@@ -96,6 +107,15 @@ class AndEvaluator final : public StepEvaluator {
 };
 
 }  // namespace
+
+StepVerdict StepEvaluator::push_round_words(const std::uint64_t* d, int n) {
+  RoundFaults round;
+  round.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    round.push_back(ProcessSet::from_bits(n, d[i]));
+  }
+  return push_round(round);
+}
 
 bool Predicate::holds_all_prefixes(const FaultPattern& pattern) const {
   if (!holds(FaultPattern(pattern.n()))) return false;  // the empty prefix

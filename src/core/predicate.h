@@ -14,6 +14,7 @@
 // in DESIGN.md for the full contract.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -67,6 +68,16 @@ class StepEvaluator {
   /// (every D a proper subset of S); it is only valid for the duration of
   /// the call.
   virtual StepVerdict push_round(const RoundFaults& round) = 0;
+
+  /// Word-path variant of push_round: `d[i]` is D(i,r).bits() for the
+  /// same legal round over `n` processes (`n` must match begin()'s).
+  /// Interchangeable with push_round call-for-call -- the two may be
+  /// mixed on one evaluator and pop_round() retracts either. The default
+  /// bridges by materializing ProcessSets; the zoo evaluators override
+  /// it with *independently written* whole-word cores, so the
+  /// differential suites compare two genuinely distinct evaluations of
+  /// every predicate.
+  virtual StepVerdict push_round_words(const std::uint64_t* d, int n);
 
   /// Retracts the most recently pushed round.
   virtual void pop_round() = 0;

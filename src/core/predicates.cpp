@@ -1,8 +1,11 @@
 #include "core/predicates.h"
 
+#include <bit>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "core/words.h"
 #include "util/str.h"
 
 namespace rrfd::core {
@@ -16,6 +19,13 @@ namespace {
 // every depth: kViolatedForever iff the pushed prefix violates the
 // predicate (which, for these zoo predicates, all extensions then do too),
 // kSatisfiedForever only when no legal continuation can violate it.
+//
+// Every evaluator implements the check twice: once over ProcessSets
+// (push_round / violates) and once over raw uint64_t words
+// (push_round_words / violates_words). The word cores are written from
+// the predicate's definition, NOT by delegating to the set code, so the
+// differential suites hold two independent derivations of each model
+// against each other.
 // ---------------------------------------------------------------------------
 
 /// Base for constraints that are a conjunction of independent per-round
@@ -35,10 +45,23 @@ class PerRoundEvaluator : public StepEvaluator {
                      : StepVerdict::kSatisfiedSoFar;
   }
 
+  StepVerdict push_round_words(const std::uint64_t* d,
+                               [[maybe_unused]] int n) override {
+    RRFD_ASSERT(n == n_);
+    const bool violated = viol_.back() != 0 || violates_words(d);
+    viol_.push_back(violated ? 1 : 0);
+    if (violated) return StepVerdict::kViolatedForever;
+    return vacuous() ? StepVerdict::kSatisfiedForever
+                     : StepVerdict::kSatisfiedSoFar;
+  }
+
   void pop_round() override { viol_.pop_back(); }
 
  protected:
   virtual bool violates(const RoundFaults& round) const = 0;
+
+  /// Word core of the same check: d[i] = D(i,r).bits(), n_ words.
+  virtual bool violates_words(const std::uint64_t* d) const = 0;
 
   /// True when no legal round (every D a proper subset of S) can violate
   /// the constraint; the verdict is then kSatisfiedForever.
@@ -83,6 +106,27 @@ class NoSelfSuspicionEvaluator final : public StepEvaluator {
                      : StepVerdict::kSatisfiedSoFar;
   }
 
+  StepVerdict push_round_words(const std::uint64_t* d, int n) override {
+    RRFD_ASSERT(n == n_);
+    const State& prev = states_.back();
+    // diag bit i <=> p_i in D(i,r); a violation is a diagonal bit outside
+    // the exemption mask (empty when !exempt_).
+    std::uint64_t diag = 0;
+    std::uint64_t u = 0;
+    for (int i = 0; i < n; ++i) {
+      diag |= (d[i] >> i & 1) << i;
+      u |= d[i];
+    }
+    const std::uint64_t exempt_mask = exempt_ ? prev.announced.bits() : 0;
+    const bool violated = prev.violated || (diag & ~exempt_mask) != 0;
+    const std::uint64_t announced = prev.announced.bits() | u;
+    const bool exhausted = exempt_ && announced == full_mask(n);
+    states_.push_back({ProcessSet::from_bits(n, announced), violated});
+    if (violated) return StepVerdict::kViolatedForever;
+    return exhausted ? StepVerdict::kSatisfiedForever
+                     : StepVerdict::kSatisfiedSoFar;
+  }
+
   void pop_round() override { states_.pop_back(); }
 
  private:
@@ -110,6 +154,16 @@ class CumulativeFaultBoundEvaluator final : public StepEvaluator {
     cums_.push_back(cum);
     if (cum.size() > f_) return StepVerdict::kViolatedForever;
     // With f >= n the bound can never be exceeded.
+    return f_ >= n_ ? StepVerdict::kSatisfiedForever
+                    : StepVerdict::kSatisfiedSoFar;
+  }
+
+  StepVerdict push_round_words(const std::uint64_t* d, int n) override {
+    RRFD_ASSERT(n == n_);
+    std::uint64_t cum = cums_.back().bits();
+    for (int i = 0; i < n; ++i) cum |= d[i];
+    cums_.push_back(ProcessSet::from_bits(n, cum));
+    if (std::popcount(cum) > f_) return StepVerdict::kViolatedForever;
     return f_ >= n_ ? StepVerdict::kSatisfiedForever
                     : StepVerdict::kSatisfiedSoFar;
   }
@@ -150,6 +204,22 @@ class CrashMonotonicityEvaluator final : public StepEvaluator {
                     : StepVerdict::kSatisfiedSoFar;
   }
 
+  StepVerdict push_round_words(const std::uint64_t* d, int n) override {
+    RRFD_ASSERT(n == n_);
+    const State& prev = states_.back();
+    const std::uint64_t must = prev.round_union.bits();
+    std::uint64_t missing = 0;  // announced-last-round bits absent from some D
+    std::uint64_t u = 0;
+    for (int i = 0; i < n; ++i) {
+      missing |= must & ~d[i];
+      u |= d[i];
+    }
+    const bool violated = prev.violated || missing != 0;
+    states_.push_back({ProcessSet::from_bits(n, u), violated});
+    return violated ? StepVerdict::kViolatedForever
+                    : StepVerdict::kSatisfiedSoFar;
+  }
+
   void pop_round() override { states_.pop_back(); }
 
  private:
@@ -172,6 +242,12 @@ class PerRoundFaultBoundEvaluator final : public PerRoundEvaluator {
     }
     return false;
   }
+  bool violates_words(const std::uint64_t* d) const override {
+    for (int i = 0; i < n_; ++i) {
+      if (std::popcount(d[i]) > f_) return true;
+    }
+    return false;
+  }
   // |D| <= n-1 always (D = S is structurally excluded).
   bool vacuous() const override { return f_ >= n_ - 1; }
 
@@ -184,6 +260,11 @@ class SomeoneHeardByAllEvaluator final : public PerRoundEvaluator {
   bool violates(const RoundFaults& round) const override {
     return union_over(round).size() >= n_;
   }
+  bool violates_words(const std::uint64_t* d) const override {
+    std::uint64_t u = 0;
+    for (int i = 0; i < n_; ++i) u |= d[i];
+    return u == full_mask(n_);
+  }
   bool vacuous() const override { return n_ == 1; }
 };
 
@@ -193,6 +274,17 @@ class NoMutualMissEvaluator final : public PerRoundEvaluator {
     for (ProcId i = 0; i < n_; ++i) {
       for (ProcId j : round[static_cast<std::size_t>(i)]) {
         if (round[static_cast<std::size_t>(j)].contains(i)) return true;
+      }
+    }
+    return false;
+  }
+  bool violates_words(const std::uint64_t* d) const override {
+    // Bit-scan row i and test the transposed bit: a mutual miss is a
+    // symmetric pair (bit j of d[i], bit i of d[j]) both set.
+    for (int i = 0; i < n_; ++i) {
+      for (std::uint64_t s = d[i]; s != 0; s &= s - 1) {
+        const int j = std::countr_zero(s);
+        if ((d[j] >> i & 1) != 0) return true;
       }
     }
     return false;
@@ -208,6 +300,16 @@ class ContainmentChainEvaluator final : public PerRoundEvaluator {
       for (ProcId j = i + 1; j < n_; ++j) {
         const ProcessSet& dj = round[static_cast<std::size_t>(j)];
         if (!di.subset_of(dj) && !dj.subset_of(di)) return true;
+      }
+    }
+    return false;
+  }
+  bool violates_words(const std::uint64_t* d) const override {
+    // a \subseteq b  <=>  (a & ~b) == 0; a chain is pairwise one-way
+    // containment.
+    for (int i = 0; i < n_; ++i) {
+      for (int j = i + 1; j < n_; ++j) {
+        if ((d[i] & ~d[j]) != 0 && (d[j] & ~d[i]) != 0) return true;
       }
     }
     return false;
@@ -230,6 +332,15 @@ class ImmortalProcessEvaluator final : public StepEvaluator {
                             : StepVerdict::kSatisfiedSoFar;
   }
 
+  StepVerdict push_round_words(const std::uint64_t* d, int n) override {
+    RRFD_ASSERT(n == n_);
+    std::uint64_t cum = cums_.back().bits();
+    for (int i = 0; i < n; ++i) cum |= d[i];
+    cums_.push_back(ProcessSet::from_bits(n, cum));
+    return cum == full_mask(n) ? StepVerdict::kViolatedForever
+                               : StepVerdict::kSatisfiedSoFar;
+  }
+
   void pop_round() override { cums_.pop_back(); }
 
  private:
@@ -247,6 +358,16 @@ class KUncertaintyEvaluator final : public PerRoundEvaluator {
         union_over(round) - intersection_over(round);
     return disagreement.size() >= k_;
   }
+  bool violates_words(const std::uint64_t* d) const override {
+    // Disagreement = OR \ AND of the round's announcements.
+    std::uint64_t any = 0;
+    std::uint64_t every = full_mask(n_);
+    for (int i = 0; i < n_; ++i) {
+      any |= d[i];
+      every &= d[i];
+    }
+    return std::popcount(any & ~every) >= k_;
+  }
   // The disagreement set has at most n members.
   bool vacuous() const override { return k_ > n_; }
 
@@ -261,6 +382,12 @@ class EqualAnnouncementsEvaluator final : public PerRoundEvaluator {
       if (round[static_cast<std::size_t>(i)] != round[0]) return true;
     }
     return false;
+  }
+  bool violates_words(const std::uint64_t* d) const override {
+    // XOR against the first row folds all inequality into one word.
+    std::uint64_t diff = 0;
+    for (int i = 1; i < n_; ++i) diff |= d[i] ^ d[0];
+    return diff != 0;
   }
   bool vacuous() const override { return n_ == 1; }
 };
@@ -284,6 +411,16 @@ class QuorumSkewEvaluator final : public PerRoundEvaluator {
   bool violates(const RoundFaults& round) const override {
     return !quorum_round_ok(round, t_, f_);
   }
+  bool violates_words(const std::uint64_t* d) const override {
+    // Same minimal-witness argument as quorum_round_ok, over popcounts.
+    int oversized = 0;
+    for (int i = 0; i < n_; ++i) {
+      const int sz = std::popcount(d[i]);
+      if (sz > t_) return true;
+      if (sz > f_) ++oversized;
+    }
+    return oversized > t_;
+  }
   // With f >= n-1 nobody is ever oversized (and t > f >= |D|).
   bool vacuous() const override { return f_ >= n_ - 1; }
 
@@ -299,6 +436,11 @@ class NeverFaultyEvaluator final : public PerRoundEvaluator {
       if (!d.empty()) return true;
     }
     return false;
+  }
+  bool violates_words(const std::uint64_t* d) const override {
+    std::uint64_t u = 0;
+    for (int i = 0; i < n_; ++i) u |= d[i];
+    return u != 0;
   }
   // n = 1: the only proper subset of S is the empty set.
   bool vacuous() const override { return n_ == 1; }

@@ -139,6 +139,7 @@ struct SearchSpec {
   std::int64_t v;  ///< digit base 2^n - 1
   bool prune_a;    ///< cut subtrees on A kViolatedForever
   bool prune_b;    ///< cut subtrees on B kSatisfiedForever
+  bool word_mode;  ///< feed evaluators raw digit words, skip ProcessSets
   bool use_symmetry;
   std::int64_t node_budget;
   /// leaves_below[d] = v^(n * (rounds - d)): complete patterns under one
@@ -190,8 +191,10 @@ class ShardWorker {
         const std::int64_t digit = rem % spec_.v;
         rem /= spec_.v;
         digits_[1][static_cast<std::size_t>(i)] = digit;
-        buf_[1][static_cast<std::size_t>(i)] =
-            ProcessSet::from_bits(spec_.n, static_cast<std::uint64_t>(digit));
+        if (!spec_.word_mode) {
+          buf_[1][static_cast<std::size_t>(i)] = ProcessSet::from_bits(
+              spec_.n, static_cast<std::uint64_t>(digit));
+        }
       }
       std::int64_t orbit = 1;
       if (spec_.use_symmetry) {
@@ -245,21 +248,51 @@ class ShardWorker {
 
   FaultPattern materialize() const {
     FaultPattern p(spec_.n);
-    for (Round d = 1; d <= spec_.rounds; ++d) {
-      p.append(buf_[static_cast<std::size_t>(d)]);
+    if (spec_.word_mode) {
+      // buf_ is not maintained in word mode; rebuild from the digits.
+      RoundFaults round(static_cast<std::size_t>(spec_.n),
+                        ProcessSet(spec_.n));
+      for (Round d = 1; d <= spec_.rounds; ++d) {
+        for (int i = 0; i < spec_.n; ++i) {
+          round[static_cast<std::size_t>(i)] = ProcessSet::from_bits(
+              spec_.n,
+              static_cast<std::uint64_t>(
+                  digits_[static_cast<std::size_t>(d)]
+                         [static_cast<std::size_t>(i)]));
+        }
+        p.append(round);
+      }
+    } else {
+      for (Round d = 1; d <= spec_.rounds; ++d) {
+        p.append(buf_[static_cast<std::size_t>(d)]);
+      }
     }
     return p;
   }
 
+  /// Pushes the depth's round assignment into one evaluator through the
+  /// selected representation. In word mode the odometer digits are handed
+  /// over directly -- digit masks are non-negative, so reading the int64
+  /// storage as uint64 words is value-preserving (and signed/unsigned
+  /// aliasing of the same width is well-defined).
+  StepVerdict push_current(StepEvaluator& eval, Round depth) const {
+    if (spec_.word_mode) {
+      return eval.push_round_words(
+          reinterpret_cast<const std::uint64_t*>(
+              digits_[static_cast<std::size_t>(depth)].data()),
+          spec_.n);
+    }
+    return eval.push_round(buf_[static_cast<std::size_t>(depth)]);
+  }
+
   /// Evaluates the node whose round assignment the caller placed in
-  /// buf_[depth] and recurses below it. Returns false to abort the shard
-  /// (counterexample recorded or budget exhausted).
+  /// buf_/digits_ at `depth` and recurses below it. Returns false to
+  /// abort the shard (counterexample recorded or budget exhausted).
   bool descend(Round depth, std::int64_t orbit) {
     if (++stats_.nodes > spec_.node_budget) {
       budget_exceeded_ = true;
       return false;
     }
-    const RoundFaults& round = buf_[static_cast<std::size_t>(depth)];
     const bool at_leaf = depth == spec_.rounds;
 
     StepVerdict av;
@@ -267,7 +300,7 @@ class ShardWorker {
     if (a_forever_at_ >= 0) {
       av = StepVerdict::kSatisfiedForever;
     } else {
-      av = a_eval_->push_round(round);
+      av = push_current(*a_eval_, depth);
       a_pushed = true;
       if (av == StepVerdict::kSatisfiedForever) a_forever_at_ = depth;
     }
@@ -288,7 +321,7 @@ class ShardWorker {
     if (b_forever_at_ >= 0) {
       bv = StepVerdict::kSatisfiedForever;
     } else {
-      bv = b_eval_->push_round(round);
+      bv = push_current(*b_eval_, depth);
       b_pushed = true;
       if (bv == StepVerdict::kSatisfiedForever) b_forever_at_ = depth;
     }
@@ -327,9 +360,12 @@ class ShardWorker {
   bool enumerate_level(Round depth, std::int64_t orbit) {
     auto& digits = digits_[static_cast<std::size_t>(depth)];
     RoundFaults& round = buf_[static_cast<std::size_t>(depth)];
+    const bool sets = !spec_.word_mode;
     std::fill(digits.begin(), digits.end(), 0);
-    for (int i = 0; i < spec_.n; ++i) {
-      round[static_cast<std::size_t>(i)] = ProcessSet(spec_.n);
+    if (sets) {
+      for (int i = 0; i < spec_.n; ++i) {
+        round[static_cast<std::size_t>(i)] = ProcessSet(spec_.n);
+      }
     }
     for (;;) {
       if (!descend(depth, orbit)) return false;
@@ -337,14 +373,16 @@ class ShardWorker {
       while (i < spec_.n &&
              digits[static_cast<std::size_t>(i)] == spec_.v - 1) {
         digits[static_cast<std::size_t>(i)] = 0;
-        round[static_cast<std::size_t>(i)] = ProcessSet(spec_.n);
+        if (sets) round[static_cast<std::size_t>(i)] = ProcessSet(spec_.n);
         ++i;
       }
       if (i == spec_.n) return true;  // wrapped: level exhausted
       ++digits[static_cast<std::size_t>(i)];
-      round[static_cast<std::size_t>(i)] = ProcessSet::from_bits(
-          spec_.n,
-          static_cast<std::uint64_t>(digits[static_cast<std::size_t>(i)]));
+      if (sets) {
+        round[static_cast<std::size_t>(i)] = ProcessSet::from_bits(
+            spec_.n,
+            static_cast<std::uint64_t>(digits[static_cast<std::size_t>(i)]));
+      }
     }
   }
 
@@ -370,6 +408,7 @@ ImplicationResult run_search(const Predicate& a, const Predicate& b, int n,
   SearchSpec spec{a, b, n, rounds, (std::int64_t{1} << n) - 1,
                   /*prune_a=*/options.prune && a.prunable(),
                   /*prune_b=*/options.prune,
+                  /*word_mode=*/options.path == EnginePath::kWord,
                   /*use_symmetry=*/false, options.node_budget,
                   /*leaves_below=*/{}, /*perms=*/{}};
   RRFD_REQUIRE_MSG(spec.node_budget > 0, "node budget must be positive");

@@ -39,6 +39,7 @@
 
 #include "core/adversary.h"
 #include "core/predicate.h"
+#include "core/words.h"
 
 namespace rrfd::core {
 
@@ -87,6 +88,12 @@ struct EnumOptions {
   std::int64_t node_budget = 1'000'000'000;
   /// Shard executor; null runs shards serially in-process.
   ShardRunner runner;
+  /// Which representation the DFS feeds the evaluators: kWord hands the
+  /// odometer digits to StepEvaluator::push_round_words directly (no
+  /// ProcessSet materialization per node); kSet is the original
+  /// RoundFaults path, kept as the equivalence oracle. Same verdicts,
+  /// counts, and counterexamples either way.
+  EnginePath path = EnginePath::kWord;
 };
 
 /// Work accounting for one exact check.

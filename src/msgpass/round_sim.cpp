@@ -1,8 +1,10 @@
 #include "msgpass/round_sim.h"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 
+#include "core/words.h"
 #include "trace/trace.h"
 #include "util/check.h"
 #include "util/str.h"
@@ -19,6 +21,7 @@ RoundEnforcedSim::RoundEnforcedSim(int n, int f, std::uint64_t seed)
   RRFD_REQUIRE(0 <= f && f < n);
   procs_.assign(static_cast<std::size_t>(n), ProcState(n));
   links_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  pending_dst_.assign(static_cast<std::size_t>(n), 0);
 }
 
 void RoundEnforcedSim::add_crash(const CrashPlan& plan) {
@@ -90,11 +93,14 @@ void RoundEnforcedSim::broadcast(ProcId src, Round r, std::uint64_t payload) {
     }
   }
 
+  std::uint64_t sent = 0;
   for (ProcId d : dests) {
     links_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
            static_cast<std::size_t>(d)]
         .push_back(Event{src, d, r, payload});
+    sent |= std::uint64_t{1} << d;
   }
+  pending_dst_[static_cast<std::size_t>(src)] |= sent;
 }
 
 void RoundEnforcedSim::enter_round(ProcId i, Round r, RoundProtocol& protocol) {
@@ -214,27 +220,34 @@ FaultPattern RoundEnforcedSim::run(RoundProtocol& protocol, Round rounds) {
   for (ProcId i = 0; i < n_; ++i) enter_round(i, 1, protocol);
 
   // Event loop: deliver pending messages in random order (per-link FIFO)
-  // until every alive process has finished its rounds.
+  // until every alive process has finished its rounds. Deliverable links
+  // are tracked as per-src destination words; the k-th ready link (in
+  // ascending src * n + dst order, exactly the order the old ready-vector
+  // scan produced) is found with popcount/bit-select instead of
+  // rebuilding an O(n^2) index vector per event.
   for (;;) {
-    std::vector<std::size_t> ready;
-    bool anyone_unfinished = false;
+    std::uint64_t finished = 0;
     for (ProcId i = 0; i < n_; ++i) {
-      if (!procs_[static_cast<std::size_t>(i)].finished) {
-        anyone_unfinished = true;
+      if (procs_[static_cast<std::size_t>(i)].finished) {
+        finished |= std::uint64_t{1} << i;
       }
     }
-    if (!anyone_unfinished) break;
+    if (finished == core::full_mask(n_)) break;
 
-    for (std::size_t l = 0; l < links_.size(); ++l) {
-      if (links_[l].empty()) continue;
-      const ProcId dst = static_cast<ProcId>(l % static_cast<std::size_t>(n_));
-      if (procs_[static_cast<std::size_t>(dst)].finished) {
-        links_[l].clear();  // destination is done; messages evaporate
-        continue;
+    int ready_count = 0;
+    for (ProcId src = 0; src < n_; ++src) {
+      std::uint64_t& pending = pending_dst_[static_cast<std::size_t>(src)];
+      // Destinations that finished evaporate their queued messages.
+      for (std::uint64_t evap = pending & finished; evap != 0;
+           evap &= evap - 1) {
+        links_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+               static_cast<std::size_t>(std::countr_zero(evap))]
+            .clear();
       }
-      ready.push_back(l);
+      pending &= ~finished;
+      ready_count += std::popcount(pending);
     }
-    if (ready.empty()) {
+    if (ready_count == 0) {
       // No deliverable messages but some process is still waiting: can only
       // happen if more than f processes crashed, which add_crash prevents.
       raise_deadlock();
@@ -246,14 +259,33 @@ FaultPattern RoundEnforcedSim::run(RoundProtocol& protocol, Round rounds) {
                        "replay script exhausted while deliveries remain");
       link = replay_links_[replay_next_++];
       RRFD_ENSURE_MSG(
-          std::find(ready.begin(), ready.end(), link) != ready.end(),
+          link < links_.size() &&
+              (pending_dst_[link / static_cast<std::size_t>(n_)] >>
+                   (link % static_cast<std::size_t>(n_)) &
+               1) != 0,
           cat("replayed link choice ", link,
               " is not deliverable at this point\n", state_report()));
     } else {
-      link = ready[static_cast<std::size_t>(rng_.below(ready.size()))];
+      int k = static_cast<int>(
+          rng_.below(static_cast<std::uint64_t>(ready_count)));
+      ProcId src = 0;
+      for (;; ++src) {
+        const int c =
+            std::popcount(pending_dst_[static_cast<std::size_t>(src)]);
+        if (k < c) break;
+        k -= c;
+      }
+      link =
+          static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+          static_cast<std::size_t>(core::nth_set_bit(
+              pending_dst_[static_cast<std::size_t>(src)], k));
     }
     Event ev = links_[link].front();
     links_[link].pop_front();
+    if (links_[link].empty()) {
+      pending_dst_[link / static_cast<std::size_t>(n_)] &=
+          ~(std::uint64_t{1} << (link % static_cast<std::size_t>(n_)));
+    }
     trace::record(trace::EventKind::kSchedChoice, kSub, ev.dst, ev.round,
                   static_cast<std::uint64_t>(link));
     accept(ev.dst, ev.round, ev.src, ev.payload, protocol);

@@ -141,6 +141,10 @@ class RoundEnforcedSim {
   std::vector<std::pair<ProcId, std::uint64_t>> replay_crash_dests_;
   std::vector<ProcState> procs_;
   std::vector<std::deque<Event>> links_;  // index src * n + dst, FIFO
+  /// pending_dst_[src] bit d <=> links_[src * n + d] is non-empty. The
+  /// event loop picks the k-th deliverable link from these words instead
+  /// of rebuilding an O(n^2) vector of ready link indices per event.
+  std::vector<std::uint64_t> pending_dst_;
   std::vector<CrashPlan> crash_plans_;
   ProcessSet crashed_;
   std::vector<std::vector<ProcessSet>> fault_sets_;  // [round][proc]

@@ -1,5 +1,9 @@
 #include "runtime/schedulers.h"
 
+#include <bit>
+#include <cstdint>
+
+#include "core/words.h"
 #include "util/check.h"
 
 namespace rrfd::runtime {
@@ -7,14 +11,12 @@ namespace rrfd::runtime {
 Scheduler::Choice RoundRobinScheduler::pick(const ProcessSet& runnable,
                                             int /*step*/) {
   RRFD_REQUIRE(!runnable.empty());
-  // Lowest id strictly greater than last_, wrapping around.
-  for (ProcId p : runnable.members()) {
-    if (p > last_) {
-      last_ = p;
-      return {p, false};
-    }
-  }
-  last_ = runnable.min();
+  // Lowest id strictly greater than last_, wrapping around. Masking off
+  // bits 0..last_ turns that into one countr_zero; last_ = 63 would shift
+  // by 64, so it short-circuits straight to the wrap.
+  const std::uint64_t above =
+      last_ >= 63 ? 0 : runnable.bits() & (~std::uint64_t{0} << (last_ + 1));
+  last_ = above != 0 ? std::countr_zero(above) : runnable.min();
   return {last_, false};
 }
 
@@ -27,9 +29,11 @@ RandomScheduler::RandomScheduler(std::uint64_t seed, double crash_prob,
 Scheduler::Choice RandomScheduler::pick(const ProcessSet& runnable,
                                         int /*step*/) {
   RRFD_REQUIRE(!runnable.empty());
-  const std::vector<ProcId> members = runnable.members();
-  const ProcId p =
-      members[static_cast<std::size_t>(rng_.below(members.size()))];
+  // k-th member in increasing order == members()[k], without the vector.
+  const ProcId p = core::nth_set_bit(
+      runnable.bits(),
+      static_cast<int>(
+          rng_.below(static_cast<std::uint64_t>(runnable.size()))));
   if (crashes_ < max_crashes_ && rng_.chance(crash_prob_)) {
     ++crashes_;
     return {p, true};

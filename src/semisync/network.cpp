@@ -1,5 +1,6 @@
 #include "semisync/network.h"
 
+#include "core/words.h"
 #include "trace/trace.h"
 #include "util/check.h"
 
@@ -148,8 +149,12 @@ StepSimResult StepSim::run() {
       RRFD_ENSURE_MSG(eligible.contains(p),
                       "replayed step choice is not eligible at this point");
     } else {
-      const std::vector<ProcId> members = eligible.members();
-      p = members[static_cast<std::size_t>(rng_.below(members.size()))];
+      // k-th eligible process in id order == eligible.members()[k],
+      // without allocating the vector on every event.
+      p = core::nth_set_bit(
+          eligible.bits(),
+          static_cast<int>(
+              rng_.below(static_cast<std::uint64_t>(eligible.size()))));
     }
     deliver_and_step(p, result);
 

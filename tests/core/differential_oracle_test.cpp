@@ -1,0 +1,302 @@
+// Differential oracle suite: the word path held against the set path
+// everywhere both exist (DESIGN.md "Word arenas").
+//
+// Three layers, one contract each:
+//  * evaluators: push_round_words and push_round are independently
+//    written implementations of the same predicate semantics, so a seeded
+//    random push/pop walk must produce verdict-identical streams --
+//    including on an evaluator that mixes the two representations
+//    call-for-call;
+//  * submodel search: EnumOptions::path=kWord feeds odometer digits to
+//    the evaluators directly; it must reproduce the kSet verdicts,
+//    counterexamples, and every EnumStats counter exactly, under both
+//    symmetry settings and under a threaded shard runner (this suite is
+//    in the TSan CI net for that reason);
+//  * engine: randomized configurations (n, adversary, seed, horizon,
+//    stop rule) must give byte-identical RunResults and trace streams on
+//    both EnginePath settings.
+//
+// engine_equivalence_test.cpp covers the engine on a fixed grid; this
+// suite adds the randomized sweep and the evaluator/submodel layers.
+#include "core/submodel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "agreement/flood_min.h"
+#include "core/adversaries.h"
+#include "core/engine.h"
+#include "core/predicates.h"
+#include "core/words.h"
+#include "sweep/submodel_parallel.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+
+namespace rrfd::core {
+namespace {
+
+struct NamedPredicate {
+  std::string name;
+  PredicatePtr pred;
+};
+
+/// Every zoo factory, parameterized so each is satisfiable at size n.
+/// Together these instantiate all twelve evaluator cores (the factories
+/// compose NeverFaulty and ImmortalProcess, which have no standalone
+/// factory of their own).
+std::vector<NamedPredicate> zoo(int n) {
+  const int f = n > 2 ? n / 2 : 1;
+  std::vector<NamedPredicate> out;
+  out.push_back({"sync_omission", sync_omission(f)});
+  out.push_back({"sync_crash", sync_crash(f)});
+  out.push_back({"async_message_passing", async_message_passing(f)});
+  out.push_back({"swmr_shared_memory", swmr_shared_memory(f)});
+  out.push_back({"swmr_shared_memory_alt", swmr_shared_memory_alt(f)});
+  out.push_back({"atomic_snapshot", atomic_snapshot(f)});
+  out.push_back({"detector_s", detector_s()});
+  out.push_back({"k_uncertainty", k_uncertainty(f)});
+  out.push_back({"equal_announcements", equal_announcements()});
+  out.push_back({"quorum_skew", quorum_skew(f + 1, f)});
+  return out;
+}
+
+/// A legal round as digits: each D(i,r) uniform over every set except S.
+std::vector<std::uint64_t> random_round_words(Rng& rng, int n) {
+  std::vector<std::uint64_t> d(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) d[static_cast<std::size_t>(i)] =
+      rng.below(full_mask(n));
+  return d;
+}
+
+RoundFaults materialize(const std::vector<std::uint64_t>& d, int n) {
+  RoundFaults round;
+  round.reserve(d.size());
+  for (std::uint64_t bits : d) round.push_back(ProcessSet::from_bits(n, bits));
+  return round;
+}
+
+TEST(DifferentialOracle, EvaluatorWordAndSetVerdictsMatchOnRandomWalks) {
+  // Three evaluators of the same predicate walk one seeded push/pop
+  // sequence: one fed sets, one words, one alternating per call. Any
+  // divergence pins the word core of that predicate. Terminal verdicts
+  // are retracted immediately, exactly as the DFS backtracks on them.
+  for (int n : {1, 2, 3, 5, 8, 16, 33, 63, 64}) {
+    for (std::uint64_t seed : {1u, 77u, 4242u}) {
+      for (const NamedPredicate& entry : zoo(n)) {
+        Rng rng(seed * 1000003u + static_cast<std::uint64_t>(n));
+        std::unique_ptr<StepEvaluator> set_eval = entry.pred->evaluator();
+        std::unique_ptr<StepEvaluator> word_eval = entry.pred->evaluator();
+        std::unique_ptr<StepEvaluator> mixed_eval = entry.pred->evaluator();
+        const Round horizon = 12;
+        set_eval->begin(n, horizon);
+        word_eval->begin(n, horizon);
+        mixed_eval->begin(n, horizon);
+        int depth = 0;
+        for (int step = 0; step < 64; ++step) {
+          if (depth > 0 && (depth >= horizon || rng.below(4) == 0)) {
+            set_eval->pop_round();
+            word_eval->pop_round();
+            mixed_eval->pop_round();
+            --depth;
+            continue;
+          }
+          const std::vector<std::uint64_t> d = random_round_words(rng, n);
+          const RoundFaults round = materialize(d, n);
+          const StepVerdict vs = set_eval->push_round(round);
+          const StepVerdict vw = word_eval->push_round_words(d.data(), n);
+          const StepVerdict vm = step % 2 == 0
+                                     ? mixed_eval->push_round_words(d.data(), n)
+                                     : mixed_eval->push_round(round);
+          ++depth;
+          EXPECT_EQ(static_cast<int>(vs), static_cast<int>(vw))
+              << entry.name << " n=" << n << " seed=" << seed
+              << " step=" << step;
+          EXPECT_EQ(static_cast<int>(vs), static_cast<int>(vm))
+              << entry.name << " (mixed) n=" << n << " seed=" << seed
+              << " step=" << step;
+          if (vs != StepVerdict::kSatisfiedSoFar) {
+            // Backtrack off the terminal verdict, as the search would.
+            set_eval->pop_round();
+            word_eval->pop_round();
+            mixed_eval->pop_round();
+            --depth;
+          }
+        }
+      }
+    }
+  }
+}
+
+void expect_same_search(const ImplicationResult& word,
+                        const ImplicationResult& set,
+                        const std::string& what) {
+  EXPECT_EQ(word.holds, set.holds) << what;
+  EXPECT_EQ(word.patterns_checked, set.patterns_checked) << what;
+  ASSERT_EQ(word.counterexample.has_value(), set.counterexample.has_value())
+      << what;
+  if (word.counterexample.has_value()) {
+    EXPECT_EQ(*word.counterexample, *set.counterexample) << what;
+  }
+  EXPECT_EQ(word.stats.nodes, set.stats.nodes) << what;
+  EXPECT_EQ(word.stats.leaves, set.stats.leaves) << what;
+  EXPECT_EQ(word.stats.pruned_subtrees, set.stats.pruned_subtrees) << what;
+  EXPECT_EQ(word.stats.patterns_decided, set.stats.patterns_decided) << what;
+  EXPECT_EQ(word.stats.expanded_roots, set.stats.expanded_roots) << what;
+  EXPECT_EQ(word.stats.total_roots, set.stats.total_roots) << what;
+  EXPECT_EQ(word.stats.symmetry_used, set.stats.symmetry_used) << what;
+  EXPECT_EQ(word.stats.shards, set.stats.shards) << what;
+}
+
+TEST(DifferentialOracle, SubmodelSearchMatchesAcrossPathsAndSymmetry) {
+  // Every ordered zoo pair at n=3, rounds=2, under both symmetry
+  // settings: the word DFS must reproduce the set DFS node-for-node.
+  // Both outcomes (holds and refuted-with-counterexample) occur in this
+  // grid; neither direction is asserted, only path identity.
+  const int n = 3;
+  const Round rounds = 2;
+  const std::vector<NamedPredicate> preds = zoo(n);
+  for (const NamedPredicate& a : preds) {
+    for (const NamedPredicate& b : preds) {
+      for (Symmetry symmetry : {Symmetry::kAuto, Symmetry::kOff}) {
+        EnumOptions options;
+        options.symmetry = symmetry;
+        options.path = EnginePath::kWord;
+        const ImplicationResult word =
+            implies_exhaustive(*a.pred, *b.pred, n, rounds, options);
+        options.path = EnginePath::kSet;
+        const ImplicationResult set =
+            implies_exhaustive(*a.pred, *b.pred, n, rounds, options);
+        expect_same_search(
+            word, set,
+            a.name + " => " + b.name +
+                (symmetry == Symmetry::kOff ? " (sym off)" : " (sym auto)"));
+      }
+    }
+  }
+}
+
+TEST(DifferentialOracle, SubmodelSearchMatchesUnderThreadedRunner) {
+  // The word path through the pool-backed shard runner (the TSan target):
+  // same answers as the serial set path, and as its own serial run.
+  const int n = 3;
+  const Round rounds = 2;
+  EnumOptions threaded;
+  threaded.runner = sweep::shard_runner(4);
+  threaded.path = EnginePath::kWord;
+  EnumOptions serial;
+  serial.path = EnginePath::kSet;
+  for (const auto& [a, b] : std::vector<std::pair<std::string, std::string>>{
+           {"sync_crash", "sync_omission"},
+           {"sync_omission", "sync_crash"},
+           {"atomic_snapshot", "async_message_passing"},
+           {"equal_announcements", "detector_s"}}) {
+    PredicatePtr pa;
+    PredicatePtr pb;
+    for (const NamedPredicate& entry : zoo(n)) {
+      if (entry.name == a) pa = entry.pred;
+      if (entry.name == b) pb = entry.pred;
+    }
+    ASSERT_TRUE(pa && pb) << a << " => " << b;
+    expect_same_search(implies_exhaustive(*pa, *pb, n, rounds, threaded),
+                       implies_exhaustive(*pa, *pb, n, rounds, serial),
+                       a + " => " + b + " (threaded word vs serial set)");
+  }
+}
+
+TEST(DifferentialOracle, EquivalenceCheckMatchesAcrossPaths) {
+  const int n = 3;
+  const Round rounds = 2;
+  for (Symmetry symmetry : {Symmetry::kAuto, Symmetry::kOff}) {
+    EnumOptions options;
+    options.symmetry = symmetry;
+    options.path = EnginePath::kWord;
+    const EquivalenceResult word = equivalent_exhaustive(
+        *swmr_shared_memory(1), *swmr_shared_memory_alt(1), n, rounds, options);
+    options.path = EnginePath::kSet;
+    const EquivalenceResult set = equivalent_exhaustive(
+        *swmr_shared_memory(1), *swmr_shared_memory_alt(1), n, rounds, options);
+    EXPECT_EQ(word.equivalent(), set.equivalent());
+    expect_same_search(word.forward, set.forward, "swmr forward");
+    expect_same_search(word.backward, set.backward, "swmr backward");
+  }
+}
+
+std::unique_ptr<Adversary> random_adversary(Rng& rng, int n,
+                                            std::uint64_t seed) {
+  const int f =
+      n > 2 ? 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(n - 1)))
+            : 1;
+  switch (rng.below(9)) {
+    case 0: return std::make_unique<BenignAdversary>(n);
+    case 1: return std::make_unique<OmissionAdversary>(n, f, seed);
+    case 2: return std::make_unique<CrashAdversary>(n, f, seed);
+    case 3: return std::make_unique<AsyncAdversary>(n, f, seed);
+    case 4: return std::make_unique<SwmrAdversary>(n, f, seed);
+    case 5: return std::make_unique<SnapshotAdversary>(n, f, seed);
+    case 6: return std::make_unique<KUncertaintyAdversary>(n, f, seed);
+    case 7: return std::make_unique<ImmortalAdversary>(n, seed);
+    default: return std::make_unique<EqualAdversary>(n, seed);
+  }
+}
+
+TEST(DifferentialOracle, EngineRunsMatchAcrossPathsOnRandomConfigs) {
+  // Randomized engine configurations: everything observable -- the
+  // RunResult (pattern, rounds, decisions, all_decided) and the full
+  // trace event stream -- must be identical on both paths.
+  Rng rng(0xd1ffu);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 2 + static_cast<int>(rng.below(63));
+    const std::uint64_t seed = rng();
+    std::unique_ptr<Adversary> adv = random_adversary(rng, n, seed);
+    EngineOptions options;
+    options.max_rounds = 1 + static_cast<Round>(rng.below(10));
+    options.stop_when_all_decided = rng.chance(0.5);
+    const Round decide_round =
+        1 + static_cast<Round>(rng.below(
+                static_cast<std::uint64_t>(options.max_rounds)));
+    auto make = [&] {
+      std::vector<agreement::FloodMin> ps;
+      ps.reserve(static_cast<std::size_t>(n));
+      for (ProcId i = 0; i < n; ++i) {
+        ps.emplace_back(static_cast<int>((i * 7 + trial) % n), decide_round);
+      }
+      return ps;
+    };
+
+    trace::CaptureRecorder word_trace;
+    std::vector<agreement::FloodMin> word_ps = make();
+    options.path = EnginePath::kWord;
+    RunResult<int> word = [&] {
+      trace::ScopedTrace scoped(&word_trace);
+      return run_rounds(word_ps, *adv, options);
+    }();
+
+    adv->reset();
+    trace::CaptureRecorder set_trace;
+    std::vector<agreement::FloodMin> set_ps = make();
+    options.path = EnginePath::kSet;
+    RunResult<int> set = [&] {
+      trace::ScopedTrace scoped(&set_trace);
+      return run_rounds(set_ps, *adv, options);
+    }();
+
+    EXPECT_EQ(word.pattern, set.pattern) << "trial " << trial;
+    EXPECT_EQ(word.rounds, set.rounds) << "trial " << trial;
+    EXPECT_EQ(word.all_decided, set.all_decided) << "trial " << trial;
+    EXPECT_EQ(word.decisions, set.decisions) << "trial " << trial;
+    ASSERT_EQ(word_trace.events().size(), set_trace.events().size())
+        << "trial " << trial << " adversary " << adv->name();
+    for (std::size_t k = 0; k < word_trace.events().size(); ++k) {
+      EXPECT_EQ(word_trace.events()[k], set_trace.events()[k])
+          << "trial " << trial << " event " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rrfd::core

@@ -1,0 +1,247 @@
+// The engine's two round loops held against each other.
+//
+// EnginePath::kSet is the original per-ProcessSet loop; EnginePath::kWord
+// is the SoA word-arena rewrite (DESIGN.md "Word arenas"). The contract is
+// observational identity: same RunResult bytes (pattern, rounds, decisions),
+// same trace event stream, same adversary RNG consumption. This suite
+// replays seeded adversaries through both loops -- and additionally holds
+// the delivered views against the pre-DeliveryView inbox semantics (one
+// vector<optional<Message>> per recipient per round), recomputed here from
+// the recorded pattern as an independent oracle.
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "agreement/flood_min.h"
+#include "core/adversaries.h"
+#include "trace/trace.h"
+
+namespace rrfd::core {
+namespace {
+
+/// Emits its id, materializes every view it receives (the inbox oracle
+/// needs the post-hoc copy; views die with the absorb call), decides after
+/// `decide_after` rounds on the set of peers heard in the final round.
+struct Recorder {
+  using Message = int;
+  using Decision = std::uint64_t;
+
+  ProcId id = 0;
+  Round decide_after = 1;
+  Round rounds_seen = 0;
+  std::vector<std::vector<std::optional<int>>> inboxes;
+  std::vector<ProcessSet> fault_sets;
+
+  int emit(Round) { return id; }
+
+  void absorb(Round r, const DeliveryView<int>& view, const ProcessSet& d) {
+    EXPECT_EQ(view.faults(), d);
+    EXPECT_EQ(view.senders(), d.complement());
+    rounds_seen = r;
+    std::vector<std::optional<int>> inbox(static_cast<std::size_t>(view.n()));
+    for (ProcId j : view.senders()) {
+      inbox[static_cast<std::size_t>(j)] = view[j];
+      EXPECT_EQ(view.get(j), &view[j]);
+    }
+    for (ProcId j : d) EXPECT_EQ(view.get(j), nullptr);
+    inboxes.push_back(std::move(inbox));
+    fault_sets.push_back(d);
+  }
+
+  bool decided() const { return rounds_seen >= decide_after; }
+  std::uint64_t decision() const {
+    if (fault_sets.empty()) return 0;
+    ProcessSet heard(fault_sets.back().n());
+    for (std::size_t j = 0; j < inboxes.back().size(); ++j) {
+      if (inboxes.back()[j]) heard.add(static_cast<ProcId>(j));
+    }
+    return heard.bits();
+  }
+};
+
+std::vector<Recorder> recorders(int n, Round decide_after) {
+  std::vector<Recorder> ps;
+  for (ProcId i = 0; i < n; ++i) {
+    Recorder rec;
+    rec.id = i;
+    rec.decide_after = decide_after;
+    ps.push_back(rec);
+  }
+  return ps;
+}
+
+template <typename Decision>
+void expect_same_result(const RunResult<Decision>& word,
+                        const RunResult<Decision>& set) {
+  EXPECT_EQ(word.pattern, set.pattern);
+  EXPECT_EQ(word.rounds, set.rounds);
+  EXPECT_EQ(word.all_decided, set.all_decided);
+  EXPECT_EQ(word.decisions, set.decisions);
+}
+
+/// Runs `make_adversary()` through both paths with fresh processes and a
+/// reset adversary, requiring byte-identical results and trace streams.
+template <typename P>
+void expect_paths_agree(std::function<std::vector<P>()> make_processes,
+                        Adversary& adversary, EngineOptions options) {
+  trace::CaptureRecorder word_trace;
+  std::optional<RunResult<typename P::Decision>> word;
+  std::vector<P> word_ps = make_processes();
+  {
+    trace::ScopedTrace scoped(&word_trace);
+    options.path = EnginePath::kWord;
+    word = run_rounds(word_ps, adversary, options);
+  }
+
+  adversary.reset();
+  trace::CaptureRecorder set_trace;
+  std::optional<RunResult<typename P::Decision>> set;
+  std::vector<P> set_ps = make_processes();
+  {
+    trace::ScopedTrace scoped(&set_trace);
+    options.path = EnginePath::kSet;
+    set = run_rounds(set_ps, adversary, options);
+  }
+
+  expect_same_result(*word, *set);
+  ASSERT_EQ(word_trace.events().size(), set_trace.events().size());
+  for (std::size_t k = 0; k < word_trace.events().size(); ++k) {
+    EXPECT_EQ(word_trace.events()[k], set_trace.events()[k]) << "event " << k;
+  }
+  adversary.reset();
+}
+
+std::vector<AdversaryPtr> zoo(int n, std::uint64_t seed) {
+  const int f = n > 2 ? n / 2 : 1;
+  std::vector<AdversaryPtr> out;
+  out.push_back(std::make_unique<BenignAdversary>(n));
+  out.push_back(std::make_unique<OmissionAdversary>(n, f, seed));
+  out.push_back(std::make_unique<CrashAdversary>(n, f, seed));
+  out.push_back(std::make_unique<AsyncAdversary>(n, f, seed));
+  out.push_back(std::make_unique<SwmrAdversary>(n, f, seed));
+  out.push_back(std::make_unique<SnapshotAdversary>(n, f, seed));
+  out.push_back(std::make_unique<KUncertaintyAdversary>(n, f, seed));
+  out.push_back(std::make_unique<ImmortalAdversary>(n, seed));
+  out.push_back(std::make_unique<EqualAdversary>(n, seed));
+  return out;
+}
+
+TEST(EngineEquivalence, RecorderAgreesAcrossAdversaryZoo) {
+  for (int n : {2, 3, 5, 8, 17, 33, 64}) {
+    for (std::uint64_t seed : {1u, 7u, 1234u}) {
+      for (const AdversaryPtr& adv : zoo(n, seed)) {
+        EngineOptions options;
+        options.max_rounds = 9;
+        expect_paths_agree<Recorder>([n] { return recorders(n, 6); }, *adv,
+                                     options);
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, FloodMinBatchAbsorbAgreesAcrossAdversaryZoo) {
+  for (int n : {2, 5, 16, 64}) {
+    for (std::uint64_t seed : {3u, 99u}) {
+      for (const AdversaryPtr& adv : zoo(n, seed)) {
+        auto make = [n] {
+          std::vector<agreement::FloodMin> ps;
+          for (ProcId i = 0; i < n; ++i) {
+            // Duplicated and descending inputs exercise argmin ties.
+            ps.emplace_back(/*input=*/(n - i) % (n / 2 + 1), /*decide_round=*/4);
+          }
+          return ps;
+        };
+        EngineOptions options;
+        options.max_rounds = 8;
+        expect_paths_agree<agreement::FloodMin>(make, *adv, options);
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, FloodMinBatchAbsorbMatchesChainLowerBound) {
+  // The Corollary 4.2 construction: k crash chains force k+1 decisions out
+  // of flood-min truncated at floor(f/k) rounds. The word path must
+  // reproduce the violation decisions exactly.
+  const int k = 2;
+  const int f = 6;
+  const int n = k * (f / k) + k + 1;
+  ChainAdversary adv(n, f, k);
+  auto make = [&] {
+    std::vector<agreement::FloodMin> ps;
+    const std::vector<int> inputs = adv.violating_inputs();
+    for (ProcId i = 0; i < n; ++i) {
+      ps.emplace_back(inputs[static_cast<std::size_t>(i)], adv.rounds());
+    }
+    return ps;
+  };
+  EngineOptions options;
+  options.max_rounds = adv.rounds();
+  expect_paths_agree<agreement::FloodMin>(make, adv, options);
+
+  adv.reset();
+  std::vector<agreement::FloodMin> ps = make();
+  auto result = run_rounds(ps, adv, options);
+  EXPECT_EQ(static_cast<int>(result.distinct_decisions().size()), k + 1);
+}
+
+TEST(EngineEquivalence, WordViewsMatchInboxSemantics) {
+  // Pre-DeliveryView oracle: recompute each recipient's per-round inbox
+  // (one optional<Message> per sender) from the recorded pattern and
+  // require the materialized views to match it exactly.
+  const int n = 11;
+  CrashAdversary adv(n, 5, /*seed=*/42);
+  std::vector<Recorder> ps = recorders(n, 4);
+  EngineOptions options;
+  options.max_rounds = 7;
+  auto result = run_rounds(ps, adv, options);
+
+  for (ProcId i = 0; i < n; ++i) {
+    const Recorder& p = ps[static_cast<std::size_t>(i)];
+    ASSERT_EQ(static_cast<Round>(p.inboxes.size()), result.rounds);
+    for (Round r = 1; r <= result.rounds; ++r) {
+      const ProcessSet& d = result.pattern.d(i, r);
+      EXPECT_EQ(p.fault_sets[static_cast<std::size_t>(r - 1)], d);
+      for (ProcId j = 0; j < n; ++j) {
+        std::optional<int> expected;
+        if (!d.contains(j)) expected = j;  // Recorder emits its id
+        EXPECT_EQ(p.inboxes[static_cast<std::size_t>(r - 1)]
+                           [static_cast<std::size_t>(j)],
+                  expected)
+            << "i=" << i << " j=" << j << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, WordPathRejectsFullAnnouncementWord) {
+  // D(i,r) = S is structurally forbidden; the word path must enforce the
+  // same contract FaultPattern::append enforces on the set path.
+  class FullAdversary final : public Adversary {
+   public:
+    int n() const override { return 3; }
+    std::string name() const override { return "full"; }
+    RoundFaults next_round() override {
+      return uniform_round(3, ProcessSet::all(3));
+    }
+    void next_round_words(std::uint64_t* out) override {
+      out[0] = out[1] = out[2] = 0x7;
+    }
+    void reset() override {}
+  };
+  FullAdversary adv;
+  for (EnginePath path : {EnginePath::kWord, EnginePath::kSet}) {
+    std::vector<Recorder> ps = recorders(3, 1);
+    EngineOptions options;
+    options.path = path;
+    EXPECT_THROW(run_rounds(ps, adv, options), ContractViolation);
+  }
+}
+
+}  // namespace
+}  // namespace rrfd::core

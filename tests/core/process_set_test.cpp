@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
+#include <vector>
 
+#include "core/words.h"
 #include "util/check.h"
 
 namespace rrfd::core {
@@ -171,6 +174,75 @@ TEST(ProcessSet, OrderingIsUsableAsMapKey) {
 TEST(ProcessSet, EqualityRequiresSameSystemSize) {
   EXPECT_FALSE(ProcessSet(4, {1}) == ProcessSet(5, {1}));
   EXPECT_TRUE(ProcessSet(4, {1}) != ProcessSet(5, {1}));
+}
+
+TEST(ProcessSet, FullWidthShiftEdges) {
+  // n = 64 is the shift edge of every mask expression: `1 << 64` and
+  // `~0 >> 0` style formulas are UB or wrap, so all(64), complement,
+  // from_bits and bit 63 must be exercised explicitly.
+  const ProcessSet everyone = ProcessSet::all(64);
+  EXPECT_EQ(everyone.size(), 64);
+  EXPECT_EQ(everyone.bits(), ~std::uint64_t{0});
+  EXPECT_TRUE(everyone.complement().empty());
+  EXPECT_EQ(ProcessSet(64).complement(), everyone);
+
+  const ProcessSet high = ProcessSet(64, {0, 63});
+  EXPECT_EQ(high.bits(), (std::uint64_t{1} << 63) | 1u);
+  EXPECT_EQ(high.min(), 0);
+  EXPECT_EQ(high.max(), 63);
+  EXPECT_EQ(ProcessSet::from_bits(64, high.bits()), high);
+  EXPECT_EQ(high.complement().size(), 62);
+  EXPECT_FALSE(high.complement().contains(63));
+
+  // Iteration must reach bit 63 and stay sorted.
+  std::vector<ProcId> seen;
+  for (ProcId p : everyone) seen.push_back(p);
+  ASSERT_EQ(seen.size(), 64u);
+  EXPECT_EQ(seen.front(), 0);
+  EXPECT_EQ(seen.back(), 63);
+  EXPECT_EQ(everyone.members(), seen);
+}
+
+TEST(ProcessSet, WordHelperShiftEdges) {
+  // The word path's helpers share the n = 64 edge: full_mask must not
+  // shift by 64, and nth_set_bit must reach bit 63.
+  EXPECT_EQ(full_mask(1), 1u);
+  EXPECT_EQ(full_mask(63), ~std::uint64_t{0} >> 1);
+  EXPECT_EQ(full_mask(64), ~std::uint64_t{0});
+  EXPECT_EQ(full_mask(64), ProcessSet::all(64).bits());
+
+  EXPECT_EQ(nth_set_bit(~std::uint64_t{0}, 0), 0);
+  EXPECT_EQ(nth_set_bit(~std::uint64_t{0}, 63), 63);
+  EXPECT_EQ(nth_set_bit(std::uint64_t{1} << 63, 0), 63);
+  const ProcessSet sparse(64, {3, 17, 63});
+  for (int k = 0; k < sparse.size(); ++k) {
+    EXPECT_EQ(nth_set_bit(sparse.bits(), k),
+              sparse.members()[static_cast<std::size_t>(k)]);
+  }
+}
+
+TEST(ProcessSet, MixedSizeOperandsThrowAcrossTheFullApi) {
+  // Every binary operation must reject operands from different system
+  // sizes -- including at the n = 64 boundary, where the bit patterns of
+  // a smaller set can be a valid subset of the larger universe.
+  const ProcessSet small(4, {1});
+  const ProcessSet wide = ProcessSet::all(64);
+  for (const ProcessSet& other : {ProcessSet(5, {1}), wide}) {
+    EXPECT_THROW((void)(small | other), ContractViolation);
+    EXPECT_THROW((void)(small & other), ContractViolation);
+    EXPECT_THROW((void)(small - other), ContractViolation);
+    EXPECT_THROW((void)small.subset_of(other), ContractViolation);
+    EXPECT_THROW((void)small.intersects(other), ContractViolation);
+    ProcessSet mutated = small;
+    EXPECT_THROW(mutated |= other, ContractViolation);
+    EXPECT_THROW(mutated &= other, ContractViolation);
+    EXPECT_THROW(mutated -= other, ContractViolation);
+    EXPECT_EQ(mutated, small);  // failed compounds must not half-apply
+  }
+  EXPECT_THROW((void)ProcessSet::from_bits(63, ~std::uint64_t{0}),
+               ContractViolation);
+  EXPECT_THROW((void)ProcessSet(64).contains(64), ContractViolation);
+  EXPECT_THROW((void)ProcessSet(64).add(64), ContractViolation);
 }
 
 }  // namespace

@@ -90,6 +90,63 @@ TEST(Replay, EngineRunRoundTripsThroughScriptedAdversary) {
   }
 }
 
+TEST(Replay, TruncatedTracedRunReplaysByteIdenticallyOnBothPaths) {
+  // Regression: max_rounds truncation x tracing x replay. A run cut off
+  // by the horizon before every process decides leaves processes
+  // undecided mid-protocol; the recorded trace ends at the truncation
+  // point and the replay must stop exactly there too -- same RunResult,
+  // byte-identical event stream -- on the word path, on the set path,
+  // and when the recording path differs from the replaying path.
+  const int n = 8;
+  const Round horizon = 3;
+  auto make_procs = [&] {
+    std::vector<agreement::FloodMin> ps;
+    // decide_round beyond the horizon forces truncation with no decisions.
+    for (int i = 0; i < n; ++i) ps.emplace_back(/*input=*/i, /*decide_round=*/horizon + 2);
+    return ps;
+  };
+
+  for (core::EnginePath record_path :
+       {core::EnginePath::kWord, core::EnginePath::kSet}) {
+    core::EngineOptions options;
+    options.max_rounds = horizon;
+    options.path = record_path;
+
+    CaptureRecorder recording;
+    core::RunResult<int> recorded(n);
+    {
+      ScopedTrace attach(&recording);
+      auto procs = make_procs();
+      core::OmissionAdversary adversary(n, /*f=*/3, /*seed=*/7);
+      recorded = core::run_rounds(procs, adversary, options);
+    }
+    EXPECT_EQ(recorded.rounds, horizon);
+    EXPECT_FALSE(recorded.all_decided);
+
+    TraceReplayer replayer(through_jsonl(recording));
+    ASSERT_TRUE(replayer.recorded_rounds().has_value());
+    EXPECT_EQ(*replayer.recorded_rounds(), horizon);
+
+    for (core::EnginePath replay_path :
+         {core::EnginePath::kWord, core::EnginePath::kSet}) {
+      options.path = replay_path;
+      CaptureRecorder replaying;
+      core::RunResult<int> replayed(n);
+      {
+        ScopedTrace attach(&replaying);
+        auto procs = make_procs();
+        core::AdversaryPtr adversary = replayer.scripted_adversary();
+        replayed = core::run_rounds(procs, *adversary, options);
+      }
+      replayer.verify_matches(replaying.events());
+      EXPECT_EQ(replayed.pattern, recorded.pattern);
+      EXPECT_EQ(replayed.rounds, recorded.rounds);
+      EXPECT_EQ(replayed.all_decided, recorded.all_decided);
+      EXPECT_EQ(replayed.decisions, recorded.decisions);
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Runtime (thread-per-process cooperative simulation)
 // ---------------------------------------------------------------------------
