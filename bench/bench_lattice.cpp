@@ -10,18 +10,37 @@
 // direction), which the pruned, symmetry-reduced, sharded engine
 // finishes in seconds (E17 / bench_submodel quantifies the engine
 // itself).
+// E19 extends the lattice with the Heard-Of bridge: predicates compiled
+// from operational specs (src/ho) are placed against the hand-written zoo
+// and the advertised recoveries are re-decided as exact equivalences.
 #include "core/submodel.h"
 
 #include <chrono>
+#include <cstdlib>
+#include <string_view>
 
 #include "bench_util.h"
 #include "core/adversaries.h"
 #include "core/predicates.h"
+#include "ho/catalog.h"
+#include "ho/compile.h"
 #include "sweep/submodel_parallel.h"
 
 namespace {
 
 using namespace rrfd;
+
+// RRFD_BENCH_ENGINE_PATH=word|set selects the representation the DFS
+// feeds the evaluators (default word), mirroring bench_submodel, so the
+// derived-model placement can be diffed across both engine paths.
+core::EnginePath bench_engine_path() {
+  const char* env = std::getenv("RRFD_BENCH_ENGINE_PATH");
+  if (env == nullptr || *env == '\0') return core::EnginePath::kWord;
+  const std::string_view v(env);
+  RRFD_REQUIRE_MSG(v == "word" || v == "set",
+                   "RRFD_BENCH_ENGINE_PATH must be 'word' or 'set'");
+  return v == "set" ? core::EnginePath::kSet : core::EnginePath::kWord;
+}
 
 struct Entry {
   std::string label;
@@ -146,6 +165,68 @@ void summary() {
     }
     eq4.print();
   }
+
+  bench::banner(
+      "E19 / Heard-Of bridge: compiled operational specs vs the zoo "
+      "(n = 3, 2 rounds)",
+      "Rows are predicates compiled from src/ho specs; cell vs column:\n"
+      "'=' equivalent, '<' strict submodel, '>' strict supermodel,\n"
+      "'#' incomparable. Engine path: RRFD_BENCH_ENGINE_PATH (word).");
+  {
+    core::EnumOptions options;
+    options.path = bench_engine_path();
+    options.runner = sweep::shard_runner();
+    const auto t0 = Clock::now();
+    const auto catalog = ho::standard_catalog();
+    std::vector<std::string> ho_headers{"derived \\ zoo"};
+    for (const auto& z : ho::reference_zoo()) ho_headers.push_back(z.name);
+    bench::Table ho_table(ho_headers);
+    for (const auto& m : catalog) {
+      std::vector<std::string> cells{m.name};
+      for (const ho::Placement& p :
+           ho::place_in_zoo(*m.pred, 3, 2, options)) {
+        cells.push_back(p.implies ? (p.implied_by ? "=" : "<")
+                                  : (p.implied_by ? ">" : "#"));
+      }
+      ho_table.add_row(std::move(cells));
+    }
+    ho_table.print();
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    bench::summary_out() << "\n  (" << catalog.size() << " x "
+                         << ho::reference_zoo().size()
+                         << " placements decided in " << ms << " ms)\n";
+  }
+
+  bench::banner(
+      "E19b / recoveries: hand-written models as spec compositions",
+      "Advertised equivalences re-decided exhaustively (both directions,\n"
+      "117649 patterns each at n = 3, 2 rounds).");
+  {
+    core::EnumOptions options;
+    options.path = bench_engine_path();
+    options.runner = sweep::shard_runner();
+    bench::Table rec({"spec", "hand-written model", "verdict"});
+    const std::vector<std::pair<std::string, std::string>> claims = {
+        {"loss_cap(1)", "async(1)"},
+        {"kernel(1)", "S"},
+        {"all(self_delivery(),faulty(1))", "omission(1)"},
+        {"all(loss_cap(1),no_partition())", "swmr(1)"},
+    };
+    const auto hand_written = model_zoo();
+    for (const auto& [spec, zoo_name] : claims) {
+      core::PredicatePtr target;
+      for (const auto& e : hand_written) {
+        if (e.label == zoo_name) target = e.pred;
+      }
+      const auto derived = ho::compile_text(spec);
+      const auto r =
+          core::equivalent_exhaustive(*derived, *target, 3, 2, options);
+      rec.add_row(
+          {spec, zoo_name, r.equivalent() ? "equivalent" : "DIFFERENT"});
+    }
+    rec.print();
+  }
 }
 
 void bm_exhaustive_implication(benchmark::State& state) {
@@ -178,6 +259,34 @@ void bm_sampled_implication(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_sampled_implication)->Arg(8)->Arg(32)->Arg(64)->ArgName("n");
+
+void bm_derived_placement(benchmark::State& state) {
+  // One derived model placed against the full reference zoo (18 exact
+  // implications per iteration) on the selected engine path.
+  const auto derived = ho::compile_text("all(loss_cap(1),no_partition())");
+  core::EnumOptions options;
+  options.path = bench_engine_path();
+  for (auto _ : state) {
+    const auto placement = ho::place_in_zoo(*derived, 3, 1, options);
+    benchmark::DoNotOptimize(placement.size());
+  }
+}
+BENCHMARK(bm_derived_placement);
+
+void bm_derived_equivalence_recovery(benchmark::State& state) {
+  // The E19b headline recovery, timed: compiled kernel(1) against the
+  // hand-written detector-S over `rounds` rounds.
+  const auto derived = ho::compile_text("kernel(1)");
+  const auto target = core::detector_s();
+  core::EnumOptions options;
+  options.path = bench_engine_path();
+  for (auto _ : state) {
+    const auto r = core::equivalent_exhaustive(
+        *derived, *target, 3, static_cast<int>(state.range(0)), options);
+    benchmark::DoNotOptimize(r.forward.patterns_checked);
+  }
+}
+BENCHMARK(bm_derived_equivalence_recovery)->Arg(1)->Arg(2)->ArgName("rounds");
 
 }  // namespace
 

@@ -1,0 +1,62 @@
+#include "ho/catalog.h"
+
+#include "core/predicates.h"
+#include "ho/compile.h"
+
+namespace rrfd::ho {
+
+std::vector<DerivedModel> standard_catalog() {
+  // Kept small on purpose: one exemplar per primitive family, plus the
+  // compositions that recover hand-written zoo models (the recoveries
+  // are proved exhaustively in tests/ho/compile_test.cpp and E19).
+  const std::vector<std::pair<std::string, std::string>> entries = {
+      {"ho-async(1)", "loss_cap(1)"},
+      {"ho-omission(1)", "all(self_delivery(),faulty(1))"},
+      {"ho-swmr(1)", "all(loss_cap(1),no_partition())"},
+      {"ho-detector-S", "kernel(1)"},
+      {"ho-mobile(1)", "mobile(1)"},
+      {"ho-link-budget(1)", "link_budget(1)"},
+      {"ho-delay(1)", "delay(1)"},
+      {"ho-crash-tail", "window(2,0,crash_only())"},
+      {"ho-eventually-quiet", "eventually(mobile(0))"},
+      {"ho-partition(0|12)", "partition(src={0},dst={1,2})"},
+  };
+  std::vector<DerivedModel> catalog;
+  catalog.reserve(entries.size());
+  for (const auto& [name, spec] : entries) {
+    catalog.push_back({name, spec, compile_text(spec, name)});
+  }
+  return catalog;
+}
+
+std::vector<ZooModel> reference_zoo() {
+  return {
+      {"omission(1)", core::sync_omission(1)},
+      {"crash(1)", core::sync_crash(1)},
+      {"async(1)", core::async_message_passing(1)},
+      {"swmr(1)", core::swmr_shared_memory(1)},
+      {"snapshot(1)", core::atomic_snapshot(1)},
+      {"S", core::detector_s()},
+      {"2-uncertainty", core::k_uncertainty(2)},
+      {"equal-D", core::equal_announcements()},
+      {"skew(2,1)", core::quorum_skew(2, 1)},
+  };
+}
+
+std::vector<Placement> place_in_zoo(const core::Predicate& derived, int n,
+                                    core::Round rounds,
+                                    const core::EnumOptions& options) {
+  std::vector<Placement> placements;
+  for (const ZooModel& zoo : reference_zoo()) {
+    Placement p;
+    p.vs = zoo.name;
+    p.implies =
+        core::implies_exhaustive(derived, *zoo.pred, n, rounds, options).holds;
+    p.implied_by =
+        core::implies_exhaustive(*zoo.pred, derived, n, rounds, options).holds;
+    placements.push_back(std::move(p));
+  }
+  return placements;
+}
+
+}  // namespace rrfd::ho

@@ -1,0 +1,729 @@
+#include "ho/compile.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/fault_pattern.h"
+#include "core/process_set.h"
+#include "core/words.h"
+#include "ho/parse.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace rrfd::ho {
+
+namespace {
+
+using core::FaultPattern;
+using core::ProcessSet;
+using core::ProcId;
+using core::Round;
+using core::RoundFaults;
+using core::StepVerdict;
+using core::full_mask;
+
+// --------------------------------------------------------------------------
+// Round-local primitive checks.
+//
+// Two independently written cores per primitive: the set core works in
+// ProcessSet algebra, the word core in raw masks. The differential and
+// conformance suites hold them against each other on every derived
+// model, the same regime the hand-written zoo lives under.
+// --------------------------------------------------------------------------
+
+bool prim_ok_set(const Spec& s, const RoundFaults& round) {
+  switch (s.kind) {
+    case SpecKind::kLossCap:
+      for (const ProcessSet& d : round) {
+        if (d.size() > s.a) return false;
+      }
+      return true;
+    case SpecKind::kMobileCap:
+      return union_over(round).size() <= s.a;
+    case SpecKind::kSelfDelivery:
+      for (std::size_t i = 0; i < round.size(); ++i) {
+        if (round[i].contains(static_cast<ProcId>(i))) return false;
+      }
+      return true;
+    case SpecKind::kNoPartition:
+      return !union_over(round).full();
+    case SpecKind::kPartition: {
+      const int n = round.front().n();
+      const ProcessSet sources = ProcessSet::from_bits(n, s.src);
+      for (ProcId i : ProcessSet::from_bits(n, s.dst)) {
+        if (!sources.subset_of(round[static_cast<std::size_t>(i)])) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case SpecKind::kAll:
+      for (const Spec& c : s.children) {
+        if (!prim_ok_set(c, round)) return false;
+      }
+      return true;
+    default:
+      break;
+  }
+  RRFD_REQUIRE_MSG(false, "prim_ok_set: spec is not round-local");
+  return false;
+}
+
+bool prim_ok_words(const Spec& s, const std::uint64_t* d, int n) {
+  switch (s.kind) {
+    case SpecKind::kLossCap:
+      for (int i = 0; i < n; ++i) {
+        if (std::popcount(d[i]) > s.a) return false;
+      }
+      return true;
+    case SpecKind::kMobileCap: {
+      std::uint64_t u = 0;
+      for (int i = 0; i < n; ++i) u |= d[i];
+      return std::popcount(u) <= s.a;
+    }
+    case SpecKind::kSelfDelivery:
+      for (int i = 0; i < n; ++i) {
+        if ((d[i] >> i) & 1) return false;
+      }
+      return true;
+    case SpecKind::kNoPartition: {
+      std::uint64_t u = 0;
+      for (int i = 0; i < n; ++i) u |= d[i];
+      return u != full_mask(n);
+    }
+    case SpecKind::kPartition:
+      for (std::uint64_t m = s.dst; m != 0; m &= m - 1) {
+        const int i = std::countr_zero(m);
+        if ((s.src & ~d[i]) != 0) return false;
+      }
+      return true;
+    case SpecKind::kAll:
+      for (const Spec& c : s.children) {
+        if (!prim_ok_words(c, d, n)) return false;
+      }
+      return true;
+    default:
+      break;
+  }
+  RRFD_REQUIRE_MSG(false, "prim_ok_words: spec is not round-local");
+  return false;
+}
+
+/// True iff no legal round (every D a proper subset of S) can violate
+/// the round-local spec -- the licence for kSatisfiedForever.
+bool prim_vacuous(const Spec& s, int n) {
+  switch (s.kind) {
+    case SpecKind::kLossCap:
+      return s.a >= n - 1;  // |D| <= n-1 because D != S
+    case SpecKind::kMobileCap:
+      return s.a >= n || n == 1;  // n == 1: every D is empty
+    case SpecKind::kSelfDelivery:
+    case SpecKind::kNoPartition:
+      return n == 1;
+    case SpecKind::kPartition:
+      return false;
+    case SpecKind::kAll:
+      for (const Spec& c : s.children) {
+        if (!prim_vacuous(c, n)) return false;
+      }
+      return true;
+    default:
+      break;
+  }
+  RRFD_REQUIRE_MSG(false, "prim_vacuous: spec is not round-local");
+  return false;
+}
+
+// --------------------------------------------------------------------------
+// Whole-pattern interpreter (holds()).
+//
+// Evaluates the spec over the contiguous (1-based, absolute) round range
+// [lo, hi] of the pattern; window() narrows the range for its child and
+// stateful primitives treat the range as their whole scope, matching the
+// renumbering the incremental WindowNode performs.
+// --------------------------------------------------------------------------
+
+std::size_t link_index(int n, int i, int j) {
+  return static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+         static_cast<std::size_t>(j);
+}
+
+bool holds_range(const Spec& s, const FaultPattern& p, Round lo, Round hi) {
+  const int n = p.n();
+  switch (s.kind) {
+    case SpecKind::kLossCap:
+    case SpecKind::kMobileCap:
+    case SpecKind::kSelfDelivery:
+    case SpecKind::kNoPartition:
+    case SpecKind::kPartition:
+      for (Round r = lo; r <= hi; ++r) {
+        if (!prim_ok_set(s, p.round(r))) return false;
+      }
+      return true;
+    case SpecKind::kLinkBudget: {
+      std::vector<int> drops(static_cast<std::size_t>(n) *
+                                 static_cast<std::size_t>(n),
+                             0);
+      for (Round r = lo; r <= hi; ++r) {
+        for (ProcId i = 0; i < n; ++i) {
+          for (ProcId j : p.d(i, r)) {
+            if (++drops[link_index(n, i, j)] > s.a) return false;
+          }
+        }
+      }
+      return true;
+    }
+    case SpecKind::kCrashOnly:
+      for (Round r = lo; r < hi; ++r) {
+        const ProcessSet announced = p.round_union(r);
+        for (ProcId k = 0; k < n; ++k) {
+          if (!announced.subset_of(p.d(k, r + 1))) return false;
+        }
+      }
+      return true;
+    case SpecKind::kFaultyCap:
+    case SpecKind::kKernel: {
+      ProcessSet u(n);
+      for (Round r = lo; r <= hi; ++r) u |= p.round_union(r);
+      const int cap = (s.kind == SpecKind::kFaultyCap) ? s.a : n - s.a;
+      return u.size() <= cap;
+    }
+    case SpecKind::kDelayCap: {
+      std::vector<int> run(static_cast<std::size_t>(n) *
+                               static_cast<std::size_t>(n),
+                           0);
+      for (Round r = lo; r <= hi; ++r) {
+        for (ProcId i = 0; i < n; ++i) {
+          const ProcessSet& d = p.d(i, r);
+          for (ProcId j = 0; j < n; ++j) {
+            if (d.contains(j)) {
+              if (++run[link_index(n, i, j)] > s.a) return false;
+            } else {
+              run[link_index(n, i, j)] = 0;
+            }
+          }
+        }
+      }
+      return true;
+    }
+    case SpecKind::kAll:
+      for (const Spec& c : s.children) {
+        if (!holds_range(c, p, lo, hi)) return false;
+      }
+      return true;
+    case SpecKind::kWindow: {
+      const Round child_lo = lo + s.a - 1;
+      const Round child_hi = (s.b == 0) ? hi : std::min(hi, lo + s.b - 1);
+      return holds_range(s.children.front(), p, child_lo, child_hi);
+    }
+    case SpecKind::kEventually:
+      for (Round r = lo; r <= hi; ++r) {
+        if (prim_ok_set(s.children.front(), p.round(r))) return true;
+      }
+      return false;
+  }
+  RRFD_REQUIRE_MSG(false, "holds_range: unknown spec kind");
+  return false;
+}
+
+// --------------------------------------------------------------------------
+// Incremental evaluator nodes.
+//
+// One node per spec subtree, each with the same LIFO push/pop shape as a
+// StepEvaluator but returning its verdict through current() so that
+// combinator nodes can poll children after every push. All per-push
+// state lives in per-depth stacks, so pop() is exact backtracking and a
+// node answers in O(n) (O(n^2) for the per-link primitives) per push.
+// --------------------------------------------------------------------------
+
+class Node {
+ public:
+  virtual ~Node() = default;
+  /// Resets to the empty scope. `total` is the number of rounds this
+  /// node's scope can grow to (the enumeration bound, narrowed by
+  /// enclosing windows); budget primitives use it for their vacuity
+  /// licence.
+  virtual void begin(int n, Round total) = 0;
+  virtual void push_set(const RoundFaults& round) = 0;
+  virtual void push_words(const std::uint64_t* d) = 0;
+  virtual void pop() = 0;
+  virtual StepVerdict current() const = 0;
+};
+
+std::unique_ptr<Node> build_node(const Spec& spec);
+
+/// "In every round of scope, the round-local body holds."
+class PerRoundNode final : public Node {
+ public:
+  explicit PerRoundNode(const Spec& spec) : spec_(spec) {}
+
+  void begin(int n, Round) override {
+    n_ = n;
+    vacuous_ = prim_vacuous(spec_, n);
+    violated_.clear();
+  }
+  void push_set(const RoundFaults& round) override {
+    push(prim_ok_set(spec_, round));
+  }
+  void push_words(const std::uint64_t* d) override {
+    push(prim_ok_words(spec_, d, n_));
+  }
+  void pop() override { violated_.pop_back(); }
+  StepVerdict current() const override {
+    if (!violated_.empty() && violated_.back() != 0) {
+      return StepVerdict::kViolatedForever;
+    }
+    return vacuous_ ? StepVerdict::kSatisfiedForever
+                    : StepVerdict::kSatisfiedSoFar;
+  }
+
+ private:
+  void push(bool round_ok) {
+    const bool prev = !violated_.empty() && violated_.back() != 0;
+    violated_.push_back(static_cast<char>(prev || !round_ok));
+  }
+
+  const Spec& spec_;
+  int n_ = 0;
+  bool vacuous_ = false;
+  std::vector<char> violated_;
+};
+
+/// "Some round of scope satisfies the round-local body." Violations are
+/// not stable (a later good round repairs the prefix), which is exactly
+/// why derive_traits() strips prunability; the verdict itself stays
+/// exact at every depth.
+class EventuallyNode final : public Node {
+ public:
+  explicit EventuallyNode(const Spec& body) : body_(body) {}
+
+  void begin(int n, Round) override {
+    n_ = n;
+    seen_.clear();
+  }
+  void push_set(const RoundFaults& round) override {
+    push(prim_ok_set(body_, round));
+  }
+  void push_words(const std::uint64_t* d) override {
+    push(prim_ok_words(body_, d, n_));
+  }
+  void pop() override { seen_.pop_back(); }
+  StepVerdict current() const override {
+    const bool seen = !seen_.empty() && seen_.back() != 0;
+    // A good round can never be un-seen, so satisfaction is permanent.
+    return seen ? StepVerdict::kSatisfiedForever
+                : StepVerdict::kViolatedForever;
+  }
+
+ private:
+  void push(bool round_ok) {
+    const bool prev = !seen_.empty() && seen_.back() != 0;
+    seen_.push_back(static_cast<char>(prev || round_ok));
+  }
+
+  const Spec& body_;
+  int n_ = 0;
+  std::vector<char> seen_;
+};
+
+/// Conjunction: push into every child, combine verdicts.
+class AllNode final : public Node {
+ public:
+  explicit AllNode(const Spec& spec) {
+    for (const Spec& c : spec.children) children_.push_back(build_node(c));
+  }
+
+  void begin(int n, Round total) override {
+    for (auto& c : children_) c->begin(n, total);
+  }
+  void push_set(const RoundFaults& round) override {
+    for (auto& c : children_) c->push_set(round);
+  }
+  void push_words(const std::uint64_t* d) override {
+    for (auto& c : children_) c->push_words(d);
+  }
+  void pop() override {
+    for (auto& c : children_) c->pop();
+  }
+  StepVerdict current() const override {
+    bool all_forever = true;
+    for (const auto& c : children_) {
+      const StepVerdict v = c->current();
+      if (v == StepVerdict::kViolatedForever) return v;
+      all_forever = all_forever && v == StepVerdict::kSatisfiedForever;
+    }
+    return all_forever ? StepVerdict::kSatisfiedForever
+                       : StepVerdict::kSatisfiedSoFar;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Node>> children_;
+};
+
+/// Scope restriction: forwards only rounds lo..hi (1-based within this
+/// node's scope) to the child, renumbered as the child's own scope. Once
+/// the window has closed (depth >= hi), the child's sub-pattern can no
+/// longer change, so a kSatisfiedSoFar child hardens to forever.
+class WindowNode final : public Node {
+ public:
+  explicit WindowNode(const Spec& spec)
+      : lo_(spec.a), hi_(spec.b), child_(build_node(spec.children.front())) {}
+
+  void begin(int n, Round total) override {
+    depth_ = 0;
+    const Round child_hi = (hi_ == 0) ? total : std::min(hi_, total);
+    child_->begin(n, std::max(0, child_hi - lo_ + 1));
+  }
+  void push_set(const RoundFaults& round) override {
+    ++depth_;
+    if (in_window(depth_)) child_->push_set(round);
+  }
+  void push_words(const std::uint64_t* d) override {
+    ++depth_;
+    if (in_window(depth_)) child_->push_words(d);
+  }
+  void pop() override {
+    if (in_window(depth_)) child_->pop();
+    --depth_;
+  }
+  StepVerdict current() const override {
+    const StepVerdict v = child_->current();
+    if (v == StepVerdict::kSatisfiedSoFar && hi_ != 0 && depth_ >= hi_) {
+      return StepVerdict::kSatisfiedForever;
+    }
+    return v;
+  }
+
+ private:
+  bool in_window(Round depth) const {
+    return depth >= lo_ && (hi_ == 0 || depth <= hi_);
+  }
+
+  Round lo_;
+  Round hi_;
+  std::unique_ptr<Node> child_;
+  Round depth_ = 0;
+};
+
+/// link_budget(c): per-link drop counters with an over-budget tally;
+/// pop() undoes a push from the recorded round words.
+class LinkBudgetNode final : public Node {
+ public:
+  explicit LinkBudgetNode(int budget) : budget_(budget) {}
+
+  void begin(int n, Round total) override {
+    n_ = n;
+    vacuous_ = budget_ >= total;  // each link drops at most once per round
+    drops_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                  0);
+    history_.clear();
+    over_.assign(1, 0);
+  }
+  void push_set(const RoundFaults& round) override {
+    const std::size_t base = history_.size();
+    history_.resize(base + static_cast<std::size_t>(n_));
+    int over = over_.back();
+    for (std::size_t i = 0; i < round.size(); ++i) {
+      history_[base + i] = round[i].bits();
+      for (ProcId j : round[i]) {
+        if (++drops_[link_index(n_, static_cast<int>(i), j)] == budget_ + 1) {
+          ++over;
+        }
+      }
+    }
+    over_.push_back(over);
+  }
+  void push_words(const std::uint64_t* d) override {
+    const std::size_t base = history_.size();
+    history_.resize(base + static_cast<std::size_t>(n_));
+    int over = over_.back();
+    for (int i = 0; i < n_; ++i) {
+      history_[base + static_cast<std::size_t>(i)] = d[i];
+      for (std::uint64_t m = d[i]; m != 0; m &= m - 1) {
+        const int j = std::countr_zero(m);
+        if (++drops_[link_index(n_, i, j)] == budget_ + 1) ++over;
+      }
+    }
+    over_.push_back(over);
+  }
+  void pop() override {
+    const std::size_t base = history_.size() - static_cast<std::size_t>(n_);
+    for (int i = 0; i < n_; ++i) {
+      for (std::uint64_t m = history_[base + static_cast<std::size_t>(i)];
+           m != 0; m &= m - 1) {
+        --drops_[link_index(n_, i, std::countr_zero(m))];
+      }
+    }
+    history_.resize(base);
+    over_.pop_back();
+  }
+  StepVerdict current() const override {
+    if (over_.back() > 0) return StepVerdict::kViolatedForever;
+    return vacuous_ ? StepVerdict::kSatisfiedForever
+                    : StepVerdict::kSatisfiedSoFar;
+  }
+
+ private:
+  int budget_;
+  int n_ = 0;
+  bool vacuous_ = false;
+  std::vector<int> drops_;
+  std::vector<std::uint64_t> history_;  // n pushed words per depth
+  std::vector<int> over_;               // links over budget, per depth
+};
+
+/// crash_only(): per-depth stack of (previous round's announcement
+/// union, violated-so-far); a broken adjacency stays broken.
+class CrashOnlyNode final : public Node {
+ public:
+  void begin(int n, Round) override {
+    n_ = n;
+    state_.assign(1, State{0, false});
+  }
+  void push_set(const RoundFaults& round) override {
+    const State top = state_.back();
+    bool violated = top.violated;
+    const ProcessSet announced = ProcessSet::from_bits(n_, top.prev_union);
+    ProcessSet next(n_);
+    for (const ProcessSet& d : round) {
+      if (state_.size() > 1 && !announced.subset_of(d)) violated = true;
+      next |= d;
+    }
+    state_.push_back(State{next.bits(), violated});
+  }
+  void push_words(const std::uint64_t* d) override {
+    const State top = state_.back();
+    bool violated = top.violated;
+    std::uint64_t next = 0;
+    for (int i = 0; i < n_; ++i) {
+      if (state_.size() > 1 && (top.prev_union & ~d[i]) != 0) violated = true;
+      next |= d[i];
+    }
+    state_.push_back(State{next, violated});
+  }
+  void pop() override { state_.pop_back(); }
+  StepVerdict current() const override {
+    return state_.back().violated ? StepVerdict::kViolatedForever
+                                  : StepVerdict::kSatisfiedSoFar;
+  }
+
+ private:
+  struct State {
+    std::uint64_t prev_union;
+    bool violated;
+  };
+
+  int n_ = 0;
+  std::vector<State> state_;
+};
+
+/// faulty(f) / kernel(k): cumulative announcement union against a cap.
+class CumulativeCapNode final : public Node {
+ public:
+  CumulativeCapNode(SpecKind kind, int value) : kind_(kind), value_(value) {}
+
+  void begin(int n, Round) override {
+    n_ = n;
+    cap_ = (kind_ == SpecKind::kFaultyCap) ? value_ : n - value_;
+    unions_.assign(1, 0);
+  }
+  void push_set(const RoundFaults& round) override {
+    ProcessSet u = ProcessSet::from_bits(n_, unions_.back());
+    for (const ProcessSet& d : round) u |= d;
+    unions_.push_back(u.bits());
+  }
+  void push_words(const std::uint64_t* d) override {
+    std::uint64_t u = unions_.back();
+    for (int i = 0; i < n_; ++i) u |= d[i];
+    unions_.push_back(u);
+  }
+  void pop() override { unions_.pop_back(); }
+  StepVerdict current() const override {
+    if (std::popcount(unions_.back()) > cap_) {
+      return StepVerdict::kViolatedForever;
+    }
+    // cap >= n: even the full S stays within the cap.
+    return cap_ >= n_ ? StepVerdict::kSatisfiedForever
+                      : StepVerdict::kSatisfiedSoFar;
+  }
+
+ private:
+  SpecKind kind_;
+  int value_;
+  int n_ = 0;
+  int cap_ = 0;
+  std::vector<std::uint64_t> unions_;
+};
+
+/// delay(d): per-depth matrix of consecutive-drop run lengths per link.
+class DelayCapNode final : public Node {
+ public:
+  explicit DelayCapNode(int cap) : cap_(cap) {}
+
+  void begin(int n, Round total) override {
+    n_ = n;
+    vacuous_ = cap_ >= total;
+    runs_.assign(
+        1, std::vector<int>(
+               static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0));
+    violated_.assign(1, 0);
+  }
+  void push_set(const RoundFaults& round) override {
+    const std::vector<int>& prev = runs_.back();
+    std::vector<int> next(prev.size());
+    bool violated = violated_.back() != 0;
+    for (int i = 0; i < n_; ++i) {
+      const ProcessSet& d = round[static_cast<std::size_t>(i)];
+      for (ProcId j = 0; j < n_; ++j) {
+        const std::size_t link = link_index(n_, i, j);
+        const int run = d.contains(j) ? prev[link] + 1 : 0;
+        next[link] = run;
+        if (run > cap_) violated = true;
+      }
+    }
+    runs_.push_back(std::move(next));
+    violated_.push_back(static_cast<char>(violated));
+  }
+  void push_words(const std::uint64_t* d) override {
+    const std::vector<int>& prev = runs_.back();
+    std::vector<int> next(prev.size());
+    bool violated = violated_.back() != 0;
+    for (int i = 0; i < n_; ++i) {
+      for (int j = 0; j < n_; ++j) {
+        const std::size_t link = link_index(n_, i, j);
+        const int run = ((d[i] >> j) & 1) != 0 ? prev[link] + 1 : 0;
+        next[link] = run;
+        if (run > cap_) violated = true;
+      }
+    }
+    runs_.push_back(std::move(next));
+    violated_.push_back(static_cast<char>(violated));
+  }
+  void pop() override {
+    runs_.pop_back();
+    violated_.pop_back();
+  }
+  StepVerdict current() const override {
+    if (violated_.back() != 0) return StepVerdict::kViolatedForever;
+    return vacuous_ ? StepVerdict::kSatisfiedForever
+                    : StepVerdict::kSatisfiedSoFar;
+  }
+
+ private:
+  int cap_;
+  int n_ = 0;
+  bool vacuous_ = false;
+  std::vector<std::vector<int>> runs_;
+  std::vector<char> violated_;
+};
+
+std::unique_ptr<Node> build_node(const Spec& spec) {
+  // Any fully round-local subtree (including all() of round-locals)
+  // collapses into one per-round node.
+  if (round_local(spec)) return std::make_unique<PerRoundNode>(spec);
+  switch (spec.kind) {
+    case SpecKind::kAll:
+      return std::make_unique<AllNode>(spec);
+    case SpecKind::kWindow:
+      return std::make_unique<WindowNode>(spec);
+    case SpecKind::kEventually:
+      return std::make_unique<EventuallyNode>(spec.children.front());
+    case SpecKind::kLinkBudget:
+      return std::make_unique<LinkBudgetNode>(spec.a);
+    case SpecKind::kCrashOnly:
+      return std::make_unique<CrashOnlyNode>();
+    case SpecKind::kFaultyCap:
+    case SpecKind::kKernel:
+      return std::make_unique<CumulativeCapNode>(spec.kind, spec.a);
+    case SpecKind::kDelayCap:
+      return std::make_unique<DelayCapNode>(spec.a);
+    default:
+      break;
+  }
+  RRFD_REQUIRE_MSG(false, "build_node: unknown spec kind");
+  return nullptr;
+}
+
+// --------------------------------------------------------------------------
+// The compiled predicate.
+// --------------------------------------------------------------------------
+
+class HoEvaluator final : public core::StepEvaluator {
+ public:
+  HoEvaluator(const Spec& spec, int max_id)
+      : root_(build_node(spec)), max_id_(max_id) {}
+
+  void begin(int n, Round total_rounds) override {
+    RRFD_REQUIRE_MSG(max_id_ < n, "spec names a process id >= n");
+    n_ = n;
+    root_->begin(n, total_rounds);
+  }
+  StepVerdict push_round(const RoundFaults& round) override {
+    RRFD_ASSERT(static_cast<int>(round.size()) == n_);
+    root_->push_set(round);
+    return root_->current();
+  }
+  StepVerdict push_round_words(const std::uint64_t* d, int n) override {
+    RRFD_ASSERT(n == n_);
+    root_->push_words(d);
+    return root_->current();
+  }
+  void pop_round() override { root_->pop(); }
+
+ private:
+  std::unique_ptr<Node> root_;
+  int max_id_;
+  int n_ = 0;
+};
+
+class HoPredicate final : public core::Predicate {
+ public:
+  HoPredicate(Spec spec, std::string name)
+      : spec_(std::move(spec)),
+        name_(std::move(name)),
+        traits_(derive_traits(spec_)),
+        max_id_(max_process_id(spec_)) {}
+
+  std::string name() const override { return name_; }
+  std::string description() const override {
+    return cat("Heard-Of composition ", to_text(spec_),
+               " lowered to a fault-pattern predicate");
+  }
+  bool holds(const FaultPattern& pattern) const override {
+    RRFD_REQUIRE_MSG(max_id_ < pattern.n(), "spec names a process id >= n");
+    return holds_range(spec_, pattern, 1, pattern.rounds());
+  }
+  std::unique_ptr<core::StepEvaluator> evaluator() const override {
+    // The nodes hold a reference into spec_; the evaluator must not
+    // outlive the predicate (same lifetime rule as AndEvaluator's
+    // borrowed parts).
+    return std::make_unique<HoEvaluator>(spec_, max_id_);
+  }
+  bool prunable() const override { return traits_.prunable; }
+  bool symmetric() const override { return traits_.symmetric; }
+
+ private:
+  Spec spec_;
+  std::string name_;
+  Traits traits_;
+  int max_id_;
+};
+
+}  // namespace
+
+core::PredicatePtr compile(const Spec& spec, std::string name) {
+  validate(spec);
+  if (name.empty()) name = cat("ho:", to_text(spec));
+  return std::make_shared<HoPredicate>(spec, std::move(name));
+}
+
+core::PredicatePtr compile_text(const std::string& spec_text,
+                                std::string name) {
+  return compile(parse_spec(spec_text), std::move(name));
+}
+
+}  // namespace rrfd::ho

@@ -1,0 +1,163 @@
+#include "ho/parse.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace rrfd::ho {
+
+namespace {
+
+/// Hand-rolled recursive descent over the spec grammar. Positions are
+/// 0-based byte offsets into the input, reported in every error.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Spec parse() {
+    Spec spec = parse_call();
+    skip_ws();
+    fail_unless(pos_ == text_.size(), "trailing input after spec");
+    validate(spec);
+    return spec;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    detail::contract_fail(
+        "spec parse", "well-formed spec text", __FILE__, __LINE__,
+        cat("at offset ", pos_, ": ", what, " in \"", text_, "\""));
+  }
+
+  void fail_unless(bool ok, const std::string& what) const {
+    if (!ok) fail(what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool peek_is(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  void expect(char c) {
+    skip_ws();
+    fail_unless(pos_ < text_.size() && text_[pos_] == c,
+                cat("expected '", c, "'"));
+    ++pos_;
+  }
+
+  static bool ident_char(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_';
+  }
+
+  std::string parse_ident() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && ident_char(text_[pos_])) ++pos_;
+    fail_unless(pos_ > start, "expected a name");
+    return text_.substr(start, pos_ - start);
+  }
+
+  int parse_int() {
+    skip_ws();
+    const std::size_t start = pos_;
+    std::int64_t value = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      value = value * 10 + (text_[pos_] - '0');
+      fail_unless(value <= 1'000'000, "integer parameter too large");
+      ++pos_;
+    }
+    fail_unless(pos_ > start, "expected an integer");
+    return static_cast<int>(value);
+  }
+
+  std::uint64_t parse_set() {
+    expect('{');
+    std::uint64_t mask = 0;
+    while (true) {
+      const int p = parse_int();
+      fail_unless(p < core::kMaxProcesses,
+                  cat("process id ", p, " out of range"));
+      mask |= std::uint64_t{1} << p;
+      if (peek_is(',')) {
+        expect(',');
+        continue;
+      }
+      break;
+    }
+    expect('}');
+    return mask;
+  }
+
+  std::uint64_t parse_keyword_set(const std::string& key) {
+    const std::string got = parse_ident();
+    fail_unless(got == key, cat("expected '", key, "='"));
+    expect('=');
+    return parse_set();
+  }
+
+  Spec parse_call() {
+    const std::string name = parse_ident();
+    expect('(');
+    Spec spec = parse_args(name);
+    expect(')');
+    return spec;
+  }
+
+  Spec parse_args(const std::string& name) {
+    if (name == "loss_cap") return loss_cap(parse_int());
+    if (name == "mobile") return mobile(parse_int());
+    if (name == "link_budget") return link_budget(parse_int());
+    if (name == "faulty") return faulty(parse_int());
+    if (name == "kernel") return kernel(parse_int());
+    if (name == "delay") return delay(parse_int());
+    if (name == "self_delivery") return self_delivery();
+    if (name == "no_partition") return no_partition();
+    if (name == "crash_only") return crash_only();
+    if (name == "partition") {
+      const std::uint64_t src = parse_keyword_set("src");
+      expect(',');
+      const std::uint64_t dst = parse_keyword_set("dst");
+      return partition(src, dst);
+    }
+    if (name == "all") {
+      std::vector<Spec> children;
+      children.push_back(parse_call());
+      while (peek_is(',')) {
+        expect(',');
+        children.push_back(parse_call());
+      }
+      return all(std::move(children));
+    }
+    if (name == "window") {
+      const int lo = parse_int();
+      expect(',');
+      const int hi = parse_int();
+      expect(',');
+      return window(lo, hi, parse_call());
+    }
+    if (name == "eventually") return eventually(parse_call());
+    fail(cat("unknown spec function '", name, "'"));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Spec parse_spec(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace rrfd::ho

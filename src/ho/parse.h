@@ -1,0 +1,31 @@
+// Text syntax for operational specifications.
+//
+// The concrete syntax mirrors the factory helpers in ho/spec.h:
+//
+//   spec  := name '(' args ')'
+//   args  := (arg (',' arg)*)?
+//   arg   := INT | spec | key '=' set
+//   set   := '{' INT (',' INT)* '}'
+//
+// e.g. "all(loss_cap(1),no_partition())",
+//      "window(2,0,crash_only())",
+//      "partition(src={0},dst={1,2})".
+//
+// Whitespace is allowed between tokens. Parsing is strict: unknown
+// names, wrong arities, trailing input, and out-of-range parameters all
+// throw rrfd::ContractViolation with a position-carrying message, so a
+// bad spec fails loudly instead of compiling to the wrong model.
+// to_text() output parses back to the same spec (round-trip tested).
+#pragma once
+
+#include <string>
+
+#include "ho/spec.h"
+
+namespace rrfd::ho {
+
+/// Parses and validates a spec. Throws rrfd::ContractViolation on any
+/// syntax or validation error.
+Spec parse_spec(const std::string& text);
+
+}  // namespace rrfd::ho

@@ -1,0 +1,245 @@
+#include "ho/spec.h"
+
+#include <bit>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace rrfd::ho {
+
+namespace {
+
+Spec leaf(SpecKind kind, int a = 0) {
+  Spec s;
+  s.kind = kind;
+  s.a = a;
+  return s;
+}
+
+/// Renders a partition-side mask as "{0,2,5}".
+std::string mask_to_text(std::uint64_t mask) {
+  std::string out = "{";
+  bool first = true;
+  for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+    if (!first) out += ',';
+    out += std::to_string(std::countr_zero(m));
+    first = false;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+Spec loss_cap(int f) { return leaf(SpecKind::kLossCap, f); }
+Spec mobile(int f) { return leaf(SpecKind::kMobileCap, f); }
+Spec self_delivery() { return leaf(SpecKind::kSelfDelivery); }
+Spec no_partition() { return leaf(SpecKind::kNoPartition); }
+
+Spec partition(std::uint64_t src, std::uint64_t dst) {
+  Spec s = leaf(SpecKind::kPartition);
+  s.src = src;
+  s.dst = dst;
+  return s;
+}
+
+Spec link_budget(int c) { return leaf(SpecKind::kLinkBudget, c); }
+Spec crash_only() { return leaf(SpecKind::kCrashOnly); }
+Spec faulty(int f) { return leaf(SpecKind::kFaultyCap, f); }
+Spec kernel(int k) { return leaf(SpecKind::kKernel, k); }
+Spec delay(int d) { return leaf(SpecKind::kDelayCap, d); }
+
+Spec all(std::vector<Spec> children) {
+  Spec s;
+  s.kind = SpecKind::kAll;
+  s.children = std::move(children);
+  return s;
+}
+
+Spec window(core::Round lo, core::Round hi, Spec child) {
+  Spec s;
+  s.kind = SpecKind::kWindow;
+  s.a = lo;
+  s.b = hi;
+  s.children.push_back(std::move(child));
+  return s;
+}
+
+Spec eventually(Spec child) {
+  Spec s;
+  s.kind = SpecKind::kEventually;
+  s.children.push_back(std::move(child));
+  return s;
+}
+
+bool round_local(const Spec& spec) {
+  switch (spec.kind) {
+    case SpecKind::kLossCap:
+    case SpecKind::kMobileCap:
+    case SpecKind::kSelfDelivery:
+    case SpecKind::kNoPartition:
+    case SpecKind::kPartition:
+      return true;
+    case SpecKind::kAll:
+      for (const Spec& c : spec.children) {
+        if (!round_local(c)) return false;
+      }
+      return true;
+    case SpecKind::kLinkBudget:
+    case SpecKind::kCrashOnly:
+    case SpecKind::kFaultyCap:
+    case SpecKind::kKernel:
+    case SpecKind::kDelayCap:
+    case SpecKind::kWindow:
+    case SpecKind::kEventually:
+      return false;
+  }
+  return false;  // unreachable; keeps -Wreturn-type quiet
+}
+
+Traits derive_traits(const Spec& spec) {
+  switch (spec.kind) {
+    case SpecKind::kPartition:
+      // Prefix-closed (a missing containment stays missing) but names
+      // concrete identifiers, so renaming processes changes its meaning.
+      return {/*prunable=*/true, /*symmetric=*/false};
+    case SpecKind::kLossCap:
+    case SpecKind::kMobileCap:
+    case SpecKind::kSelfDelivery:
+    case SpecKind::kNoPartition:
+    case SpecKind::kLinkBudget:
+    case SpecKind::kCrashOnly:
+    case SpecKind::kFaultyCap:
+    case SpecKind::kKernel:
+    case SpecKind::kDelayCap:
+      // Bad rounds and exceeded budgets never recover: violations are
+      // stable under extension. No primitive mentions identifiers.
+      return {/*prunable=*/true, /*symmetric=*/true};
+    case SpecKind::kAll: {
+      Traits t{/*prunable=*/true, /*symmetric=*/true};
+      for (const Spec& c : spec.children) {
+        const Traits ct = derive_traits(c);
+        t.prunable = t.prunable && ct.prunable;
+        t.symmetric = t.symmetric && ct.symmetric;
+      }
+      return t;
+    }
+    case SpecKind::kWindow:
+      // A window restricts which rounds the child sees; once a
+      // constrained round is bad it stays in the sub-pattern, so the
+      // child's closure properties carry over unchanged.
+      return derive_traits(spec.children.front());
+    case SpecKind::kEventually: {
+      // A violated prefix (no good round yet) is repaired by any later
+      // good round: violations are NOT stable under extension.
+      Traits t = derive_traits(spec.children.front());
+      t.prunable = false;
+      return t;
+    }
+  }
+  return {};  // unreachable
+}
+
+void validate(const Spec& spec) {
+  switch (spec.kind) {
+    case SpecKind::kLossCap:
+    case SpecKind::kMobileCap:
+    case SpecKind::kFaultyCap:
+    case SpecKind::kLinkBudget:
+    case SpecKind::kDelayCap:
+      RRFD_REQUIRE_MSG(spec.a >= 0,
+                       cat(to_text(spec), ": bound must be >= 0"));
+      RRFD_REQUIRE(spec.children.empty());
+      return;
+    case SpecKind::kKernel:
+      RRFD_REQUIRE_MSG(spec.a >= 1,
+                       cat(to_text(spec), ": kernel size must be >= 1"));
+      RRFD_REQUIRE(spec.children.empty());
+      return;
+    case SpecKind::kSelfDelivery:
+    case SpecKind::kNoPartition:
+    case SpecKind::kCrashOnly:
+      RRFD_REQUIRE(spec.children.empty());
+      return;
+    case SpecKind::kPartition:
+      RRFD_REQUIRE_MSG(spec.src != 0 && spec.dst != 0,
+                       "partition(): src and dst must be non-empty");
+      RRFD_REQUIRE(spec.children.empty());
+      return;
+    case SpecKind::kAll:
+      RRFD_REQUIRE_MSG(!spec.children.empty(),
+                       "all(): needs at least one sub-spec");
+      for (const Spec& c : spec.children) validate(c);
+      return;
+    case SpecKind::kWindow:
+      RRFD_REQUIRE_MSG(spec.a >= 1, "window(): lo must be >= 1");
+      RRFD_REQUIRE_MSG(spec.b == 0 || spec.b >= spec.a,
+                       "window(): hi must be 0 (open) or >= lo");
+      RRFD_REQUIRE(spec.children.size() == 1);
+      validate(spec.children.front());
+      return;
+    case SpecKind::kEventually:
+      RRFD_REQUIRE(spec.children.size() == 1);
+      RRFD_REQUIRE_MSG(round_local(spec.children.front()),
+                       "eventually(): body must be round-local");
+      validate(spec.children.front());
+      return;
+  }
+  RRFD_REQUIRE_MSG(false, "unknown spec kind");
+}
+
+int max_process_id(const Spec& spec) {
+  int max_id = -1;
+  if (spec.kind == SpecKind::kPartition) {
+    const std::uint64_t named = spec.src | spec.dst;
+    if (named != 0) max_id = 63 - std::countl_zero(named);
+  }
+  for (const Spec& c : spec.children) {
+    const int child_max = max_process_id(c);
+    if (child_max > max_id) max_id = child_max;
+  }
+  return max_id;
+}
+
+std::string to_text(const Spec& spec) {
+  switch (spec.kind) {
+    case SpecKind::kLossCap:
+      return cat("loss_cap(", spec.a, ")");
+    case SpecKind::kMobileCap:
+      return cat("mobile(", spec.a, ")");
+    case SpecKind::kSelfDelivery:
+      return "self_delivery()";
+    case SpecKind::kNoPartition:
+      return "no_partition()";
+    case SpecKind::kPartition:
+      return cat("partition(src=", mask_to_text(spec.src),
+                       ",dst=", mask_to_text(spec.dst), ")");
+    case SpecKind::kLinkBudget:
+      return cat("link_budget(", spec.a, ")");
+    case SpecKind::kCrashOnly:
+      return "crash_only()";
+    case SpecKind::kFaultyCap:
+      return cat("faulty(", spec.a, ")");
+    case SpecKind::kKernel:
+      return cat("kernel(", spec.a, ")");
+    case SpecKind::kDelayCap:
+      return cat("delay(", spec.a, ")");
+    case SpecKind::kAll: {
+      std::string out = "all(";
+      for (std::size_t i = 0; i < spec.children.size(); ++i) {
+        if (i > 0) out += ',';
+        out += to_text(spec.children[i]);
+      }
+      out += ')';
+      return out;
+    }
+    case SpecKind::kWindow:
+      return cat("window(", spec.a, ",", spec.b, ",",
+                       to_text(spec.children.front()), ")");
+    case SpecKind::kEventually:
+      return cat("eventually(", to_text(spec.children.front()), ")");
+  }
+  return "?";  // unreachable
+}
+
+}  // namespace rrfd::ho

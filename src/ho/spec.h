@@ -1,0 +1,149 @@
+// Operational fault specifications: the input language of the Heard-Of
+// bridge.
+//
+// The paper treats a model as a predicate over {D(i,r)}; the Heard-Of
+// line of work (Shimi-Hurault-Queinnec) shows that whole message-passing
+// models can be *derived* by composing elementary operational behaviors
+// (message loss, bounded delay, crashes, partitions) instead of
+// hand-writing the predicate. A Spec is the AST of such a composition:
+// leaves are operational primitives with an exact lowering to a
+// constraint over fault announcements (HO(i,r) = S \ D(i,r)), interior
+// nodes are combinators (conjunction, round windows, eventual variants).
+// src/ho/compile.h lowers a Spec to a core::Predicate implementing the
+// full incremental-evaluator contract; the traits the exhaustive engine
+// relies on (prunable / symmetric) are derived here from the primitives'
+// closure properties, so a composed model never claims a licence its
+// parts cannot justify.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace rrfd::ho {
+
+/// Node kinds of the operational algebra. Each primitive documents its
+/// exact lowering to a constraint over the fault pattern; `r` ranges over
+/// the rounds the node is applied to (the whole pattern at top level, a
+/// contiguous sub-range under window()).
+enum class SpecKind {
+  // -- Round-local primitives (each round checked in isolation) --------
+  /// loss_cap(f): every announcement is small, |D(i,r)| <= f for all i.
+  /// Lowering of "at most f messages to any single receiver are lost per
+  /// round"; loss_cap(f) recovers the zoo's PerRoundFaultBound(f).
+  kLossCap,
+  /// mobile(f): |U_i D(i,r)| <= f. At most f senders are suspected
+  /// anywhere in a round, but *which* senders may change every round --
+  /// the classic mobile-fault adversary. mobile(0) is a lossless round.
+  kMobileCap,
+  /// self_delivery(): i is never in D(i,r) -- a process always hears from
+  /// itself (local delivery cannot be lost).
+  kSelfDelivery,
+  /// no_partition(): U_i D(i,r) != S -- some process is heard by
+  /// everybody in every round (no total split of the system).
+  kNoPartition,
+  /// partition(src, dst): every destination misses every source,
+  /// src <= D(i,r) for all i in dst. An *asymmetric* primitive: it names
+  /// concrete identifiers, so it is deliberately not symmetric().
+  kPartition,
+  // -- Stateful primitives (constraint spans rounds) --------------------
+  /// link_budget(c): each ordered link (j -> i) drops at most c times
+  /// across the rounds in scope, #{r : j in D(i,r)} <= c.
+  kLinkBudget,
+  /// crash_only(): announcements are monotone, D(i,r) <= D(k,r+1) --
+  /// once suspected by anyone, suspected by everyone forever. This is
+  /// the zoo's CrashMonotonicity; faults behave like crash-stop.
+  kCrashOnly,
+  /// faulty(f): |U_r U_i D(i,r)| <= f -- at most f distinct processes
+  /// are ever suspected (the cumulative fault bound).
+  kFaultyCap,
+  /// kernel(k): at least k processes are *never* suspected by anyone,
+  /// |U_r U_i D(i,r)| <= n - k. kernel(1) is the zoo's ImmortalProcess.
+  kKernel,
+  /// delay(d): no link stays down longer than d consecutive rounds --
+  /// j in D(i,r) for at most d successive r per ordered link (j -> i).
+  /// A lost message is "delayed"; it must get through within d+1 rounds.
+  kDelayCap,
+  // -- Combinators -------------------------------------------------------
+  /// all(s1, ..., sk): conjunction over the same rounds.
+  kAll,
+  /// window(lo, hi, s): s applies to rounds lo..hi of the current scope
+  /// (1-based, relative; hi == 0 means "to the end"). The sub-range is
+  /// re-numbered 1..k for s, so stateful primitives treat it as their
+  /// whole pattern.
+  kWindow,
+  /// eventually(s): some round in scope satisfies the round-local body s.
+  /// Violations are NOT stable under extension (a later good round can
+  /// repair a bad prefix), so any spec containing eventually() compiles
+  /// to a non-prunable predicate.
+  kEventually,
+};
+
+/// A composed operational specification. Plain data: `a`/`b` hold the
+/// integer parameters (f, c, d, k, lo, hi), `src`/`dst` the partition
+/// masks, `children` the sub-specs of combinators.
+struct Spec {
+  SpecKind kind;
+  int a = 0;
+  int b = 0;
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  std::vector<Spec> children;
+};
+
+/// Factory helpers (each validates its parameters; see validate()).
+Spec loss_cap(int f);
+Spec mobile(int f);
+Spec self_delivery();
+Spec no_partition();
+Spec partition(std::uint64_t src, std::uint64_t dst);
+Spec link_budget(int c);
+Spec crash_only();
+Spec faulty(int f);
+Spec kernel(int k);
+Spec delay(int d);
+Spec all(std::vector<Spec> children);
+Spec window(core::Round lo, core::Round hi, Spec child);
+Spec eventually(Spec child);
+
+/// Evaluator traits the exhaustive engine consumes, derived from the
+/// spec's structure (see derive_traits()).
+struct Traits {
+  /// Violations stable under extension -- kViolatedForever licences a cut.
+  bool prunable = false;
+  /// Invariant under process renaming -- licences symmetry reduction.
+  bool symmetric = false;
+};
+
+/// True iff the spec constrains each round in isolation (primitives
+/// minus the stateful ones, closed under all()). eventually() requires a
+/// round-local body: "some round is quiet" is meaningful, "some suffix
+/// respects a link budget" is not expressible round-by-round.
+bool round_local(const Spec& spec);
+
+/// Derives honest evaluator traits:
+///  - every primitive's violations are stable under extension (a bad
+///    round / exceeded budget stays bad), so primitives are prunable;
+///    eventually() is the exception and poisons prunability upward.
+///  - every primitive except partition() is permutation-invariant;
+///    symmetry is the AND over the composition.
+Traits derive_traits(const Spec& spec);
+
+/// Checks structural well-formedness (parameter ranges, arities,
+/// round-local eventually() bodies, non-empty partition sides). Throws
+/// rrfd::ContractViolation on the first problem.
+void validate(const Spec& spec);
+
+/// Largest process identifier the spec names explicitly (partition
+/// masks), or -1 if it names none. Compiled predicates REQUIRE
+/// max_process_id(spec) < n at evaluation time.
+int max_process_id(const Spec& spec);
+
+/// Canonical rendering, e.g. "all(loss_cap(1),no_partition())". Parsing
+/// the result (ho/parse.h) reproduces the spec; to_text(parse_spec(t))
+/// is a fixed point for canonical t.
+std::string to_text(const Spec& spec);
+
+}  // namespace rrfd::ho

@@ -132,6 +132,101 @@ TEST(DifferentialOracle, EvaluatorWordAndSetVerdictsMatchOnRandomWalks) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Custom predicates exercise the materializing push_round_words default:
+// a predicate that overrides only holds() gets the whole-pattern fallback
+// evaluator, whose word entry point must bridge to the set entry point
+// with identical three-valued verdicts.
+// ---------------------------------------------------------------------------
+
+/// Not prefix-closed: the parity of total suspicions flips per miss, so a
+/// violated prefix recovers one push later.
+class EvenTotalMisses final : public Predicate {
+ public:
+  std::string name() const override { return "even-total-misses"; }
+  std::string description() const override {
+    return "sum over rounds and processes of |D(i,r)| is even";
+  }
+  bool holds(const FaultPattern& p) const override {
+    int total = 0;
+    for (Round r = 1; r <= p.rounds(); ++r) {
+      for (ProcId i = 0; i < p.n(); ++i) total += p.d(i, r).size();
+    }
+    return total % 2 == 0;
+  }
+};
+
+/// Asymmetric: process 0 is distinguished, so renaming breaks it. Also
+/// prefix-closed in truth but deliberately left with default traits.
+class Pinned final : public Predicate {
+ public:
+  std::string name() const override { return "pinned-zero"; }
+  std::string description() const override {
+    return "process 0 is never suspected";
+  }
+  bool holds(const FaultPattern& p) const override {
+    for (Round r = 1; r <= p.rounds(); ++r) {
+      if (p.round_union(r).contains(0)) return false;
+    }
+    return true;
+  }
+};
+
+TEST(DifferentialOracle, DefaultWordBridgeMatchesSetPathOnCustomPredicates) {
+  // Same three-evaluator seeded walk as the zoo sweep above, but over
+  // predicates that never wrote a word core -- the default bridge must
+  // materialize each round and reproduce push_round verdicts exactly,
+  // including verdict streams that recover after kViolatedForever.
+  std::vector<NamedPredicate> customs;
+  customs.push_back({"even_total_misses", std::make_shared<EvenTotalMisses>()});
+  customs.push_back({"pinned_zero", std::make_shared<Pinned>()});
+  for (int n : {1, 2, 3, 5, 16, 63, 64}) {
+    for (std::uint64_t seed : {7u, 5151u}) {
+      for (const NamedPredicate& entry : customs) {
+        Rng rng(seed * 1000003u + static_cast<std::uint64_t>(n));
+        std::unique_ptr<StepEvaluator> set_eval = entry.pred->evaluator();
+        std::unique_ptr<StepEvaluator> word_eval = entry.pred->evaluator();
+        std::unique_ptr<StepEvaluator> mixed_eval = entry.pred->evaluator();
+        const Round horizon = 10;
+        set_eval->begin(n, horizon);
+        word_eval->begin(n, horizon);
+        mixed_eval->begin(n, horizon);
+        FaultPattern prefix(n);
+        for (int step = 0; step < 64; ++step) {
+          if (prefix.rounds() > 0 &&
+              (prefix.rounds() >= horizon || rng.below(4) == 0)) {
+            set_eval->pop_round();
+            word_eval->pop_round();
+            mixed_eval->pop_round();
+            prefix.pop_round();
+            continue;
+          }
+          const std::vector<std::uint64_t> d = random_round_words(rng, n);
+          const RoundFaults round = materialize(d, n);
+          const StepVerdict vs = set_eval->push_round(round);
+          const StepVerdict vw = word_eval->push_round_words(d.data(), n);
+          const StepVerdict vm =
+              step % 2 == 0 ? mixed_eval->push_round_words(d.data(), n)
+                            : mixed_eval->push_round(round);
+          prefix.append(round);
+          EXPECT_EQ(static_cast<int>(vs), static_cast<int>(vw))
+              << entry.name << " n=" << n << " seed=" << seed
+              << " step=" << step;
+          EXPECT_EQ(static_cast<int>(vs), static_cast<int>(vm))
+              << entry.name << " (mixed) n=" << n << " seed=" << seed
+              << " step=" << step;
+          // The fallback evaluator stays exact even past violations, so
+          // no backtrack-on-terminal here: non-prunable predicates must
+          // keep reporting correct verdicts below a violated prefix.
+          EXPECT_EQ(vs != StepVerdict::kViolatedForever,
+                    entry.pred->holds(prefix))
+              << entry.name << " n=" << n << " seed=" << seed;
+        }
+      }
+    }
+  }
+}
+
 void expect_same_search(const ImplicationResult& word,
                         const ImplicationResult& set,
                         const std::string& what) {
@@ -150,6 +245,36 @@ void expect_same_search(const ImplicationResult& word,
   EXPECT_EQ(word.stats.total_roots, set.stats.total_roots) << what;
   EXPECT_EQ(word.stats.symmetry_used, set.stats.symmetry_used) << what;
   EXPECT_EQ(word.stats.shards, set.stats.shards) << what;
+}
+
+TEST(DifferentialOracle, SubmodelSearchMatchesAcrossPathsOnCustomPredicates) {
+  // The DFS drives custom predicates through the bridge on the word path
+  // (default traits: no pruning, no symmetry folding) -- searches must
+  // agree counter-for-counter with the set path.
+  const auto even = std::make_shared<EvenTotalMisses>();
+  const auto pinned = std::make_shared<Pinned>();
+  const auto never = std::make_shared<NeverFaulty>();
+  const int n = 3;
+  const Round rounds = 2;
+  const std::vector<std::pair<PredicatePtr, PredicatePtr>> pairs = {
+      {even, never},  {never, even},   {pinned, even},
+      {even, pinned}, {pinned, never}, {never, pinned}};
+  for (const auto& [a, b] : pairs) {
+    EnumOptions options;
+    options.path = EnginePath::kWord;
+    const ImplicationResult word =
+        implies_exhaustive(*a, *b, n, rounds, options);
+    options.path = EnginePath::kSet;
+    const ImplicationResult set =
+        implies_exhaustive(*a, *b, n, rounds, options);
+    expect_same_search(word, set, a->name() + " => " + b->name());
+    // Refutations must be genuine on both paths.
+    if (!word.holds) {
+      ASSERT_TRUE(word.counterexample.has_value());
+      EXPECT_TRUE(a->holds(*word.counterexample));
+      EXPECT_FALSE(b->holds(*word.counterexample));
+    }
+  }
 }
 
 TEST(DifferentialOracle, SubmodelSearchMatchesAcrossPathsAndSymmetry) {

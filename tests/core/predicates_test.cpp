@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/adversaries.h"
+#include "core/submodel.h"
 
 namespace rrfd::core {
 namespace {
@@ -532,6 +533,90 @@ TEST(StepEvaluators, HoldsAllPrefixesSeesNonPrefixClosedViolations) {
   p.append(uniform_round(3, ProcessSet(3)));
   EXPECT_TRUE(pred.holds(p));
   EXPECT_FALSE(pred.holds_all_prefixes(p));
+}
+
+// ---------------------------------------------------------------------------
+// AndPredicate trait propagation
+// ---------------------------------------------------------------------------
+
+/// Not prefix-closed: a faulty prefix is repaired by a quiet final round.
+/// Also not symmetric in spirit -- but declares neither trait, which is
+/// exactly what a conjunction must respect.
+class LastRoundQuiet final : public Predicate {
+ public:
+  std::string name() const override { return "last-round-quiet"; }
+  std::string description() const override {
+    return "the final round suspects nobody";
+  }
+  bool holds(const FaultPattern& p) const override {
+    return p.rounds() == 0 || p.round_union(p.rounds()).empty();
+  }
+};
+
+TEST(AndPredicateTraits, ConjunctionIsOnlyAsStrongAsItsWeakestPart) {
+  // prunable()/symmetric() must be the AND over all conjuncts: one
+  // non-prefix-closed part poisons the whole conjunction. A conjunction
+  // that ignored the weak part would let the engine prune away patterns
+  // whose violations later repair.
+  auto weak = std::make_shared<LastRoundQuiet>();
+  ASSERT_FALSE(weak->prunable());
+  ASSERT_FALSE(weak->symmetric());
+
+  auto mixed = all_of("bound-and-quiet",
+                      {std::make_shared<PerRoundFaultBound>(1), weak});
+  EXPECT_FALSE(mixed->prunable());
+  EXPECT_FALSE(mixed->symmetric());
+
+  // Order must not matter.
+  auto flipped = all_of("quiet-and-bound",
+                        {weak, std::make_shared<PerRoundFaultBound>(1)});
+  EXPECT_FALSE(flipped->prunable());
+  EXPECT_FALSE(flipped->symmetric());
+
+  // All-strong conjunctions keep both traits.
+  auto strong = all_of("bound-and-immortal",
+                       {std::make_shared<PerRoundFaultBound>(1),
+                        std::make_shared<ImmortalProcess>()});
+  EXPECT_TRUE(strong->prunable());
+  EXPECT_TRUE(strong->symmetric());
+
+  // Nested conjunctions propagate transitively.
+  auto nested = all_of("nested", {strong, mixed});
+  EXPECT_FALSE(nested->prunable());
+  EXPECT_FALSE(nested->symmetric());
+}
+
+TEST(AndPredicateTraits, FallbackEvaluatorStaysExactForWeakConjunction) {
+  auto mixed = all_of("bound-and-quiet",
+                      {std::make_shared<PerRoundFaultBound>(1),
+                       std::make_shared<LastRoundQuiet>()});
+  check_evaluator_conformance(*mixed, 2, 3);
+  check_evaluator_conformance(*mixed, 3, 2);
+}
+
+TEST(AndPredicateTraits, EngineFindsViolationsBehindRepairedPrefixes) {
+  // Regression for unsound pruning: every 2-round pattern satisfying
+  // bound-and-quiet with a fault in round 1 violates NeverFaulty, and
+  // every such pattern has a violating (non-quiet) 1-round prefix. If
+  // the conjunction wrongly claimed prunable(), the engine would cut
+  // those subtrees after the prefix violation and "prove" the bogus
+  // implication bound-and-quiet => never-faulty.
+  auto mixed = all_of("bound-and-quiet",
+                      {std::make_shared<PerRoundFaultBound>(1),
+                       std::make_shared<LastRoundQuiet>()});
+  for (const EnginePath path : {EnginePath::kWord, EnginePath::kSet}) {
+    EnumOptions options;
+    options.path = path;
+    const ImplicationResult r =
+        implies_exhaustive(*mixed, *std::make_shared<NeverFaulty>(), 2, 2,
+                           options);
+    EXPECT_FALSE(r.holds);
+    ASSERT_TRUE(r.counterexample.has_value());
+    EXPECT_TRUE(mixed->holds(*r.counterexample));
+    EXPECT_FALSE(NeverFaulty().holds(*r.counterexample));
+    // The witness necessarily passes through a violated prefix.
+    EXPECT_FALSE(mixed->holds_all_prefixes(*r.counterexample));
+  }
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include "core/adversaries.h"
 #include "core/predicates.h"
+#include "core/words.h"
 
 namespace rrfd::core {
 namespace {
@@ -257,6 +258,108 @@ TEST(ExhaustiveBudget, ThrowsWhenNodeBudgetExceeded) {
   EXPECT_THROW(
       implies_exhaustive(*sync_crash(1), *sync_omission(1), 3, 2, tiny),
       ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Word-width boundary (n = 63, 64)
+// ---------------------------------------------------------------------------
+
+TEST(WordBoundary, ExhaustiveSearchRejectsUnrepresentableSpacesCleanly) {
+  // At n >= 63 the digit base 2^n - 1 itself overflows int64; the engine
+  // must refuse with a ContractViolation before any enumeration -- on
+  // both representations and through the equivalence wrapper. A missed
+  // guard here would be a shift-by-63/64 on the way to a bogus space
+  // count, so these throws are what UBSan holds clean.
+  NeverFaulty nf;
+  PerRoundFaultBound bound(1);
+  for (const int n : {63, 64}) {
+    for (const EnginePath path : {EnginePath::kWord, EnginePath::kSet}) {
+      EnumOptions options;
+      options.path = path;
+      EXPECT_THROW(implies_exhaustive(nf, bound, n, 1, options),
+                   ContractViolation)
+          << "n=" << n;
+      EXPECT_THROW(equivalent_exhaustive(nf, bound, n, 1, options),
+                   ContractViolation)
+          << "n=" << n;
+    }
+    EXPECT_THROW(
+        enumerate_patterns(n, 1, [](const FaultPattern&) { return true; }),
+        ContractViolation)
+        << "n=" << n;
+  }
+  // n = kMaxProcesses itself is in-contract for non-enumerative uses;
+  // only sizes beyond the word are malformed.
+  EXPECT_THROW(
+      enumerate_patterns(kMaxProcesses + 1, 1,
+                         [](const FaultPattern&) { return true; }),
+      ContractViolation);
+}
+
+TEST(WordBoundary, MaskRoundsRoundTripsFullWordPatterns) {
+  // Bit 63 live everywhere: D(i,r) = S \ {i} is the largest legal mask at
+  // n = 64 (full_mask - one bit). from_fault_pattern and to_fault_pattern
+  // must be exact inverses on such patterns.
+  const int n = 64;
+  const std::uint64_t full = full_mask(n);
+  EXPECT_EQ(full, ~std::uint64_t{0});
+  FaultPattern p(n);
+  for (Round r = 1; r <= 3; ++r) {
+    RoundFaults round;
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t bits =
+          r == 2 ? 0 : full & ~(std::uint64_t{1} << i);
+      round.push_back(ProcessSet::from_bits(n, bits));
+    }
+    p.append(std::move(round));
+  }
+  MaskRounds m = MaskRounds::from_fault_pattern(p);
+  EXPECT_EQ(m.n(), n);
+  EXPECT_EQ(m.rounds(), 3);
+  EXPECT_EQ(m.round(1)[63], full & ~(std::uint64_t{1} << 63));
+  EXPECT_EQ(m.round_or(1), full);   // everyone suspected by someone
+  EXPECT_EQ(m.round_and(1), 0u);    // nobody suspected by all
+  EXPECT_EQ(m.round_or(2), 0u);
+  EXPECT_EQ(m.to_fault_pattern(), p);
+
+  // Push/pop keeps the word layout consistent at full width.
+  std::uint64_t* d = m.push_round();
+  for (int i = 0; i < n; ++i) d[i] = std::uint64_t{1} << 63;
+  EXPECT_EQ(m.rounds(), 4);
+  EXPECT_EQ(m.round_or(4), std::uint64_t{1} << 63);
+  m.pop_round();
+  EXPECT_EQ(m.to_fault_pattern(), p);
+}
+
+TEST(WordBoundary, ZooEvaluatorsHandleFullWordRounds) {
+  // Zoo word cores at n = 64 (and 63, the last guarded size): suspect
+  // everyone-but-self, which trips per-round bounds but not self-
+  // suspicion, with bit 63 set in most words.
+  for (const int n : {63, 64}) {
+    std::vector<std::uint64_t> words(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      words[static_cast<std::size_t>(i)] =
+          full_mask(n) & ~(std::uint64_t{1} << i);
+    }
+    NoSelfSuspicion no_self;
+    auto self_eval = no_self.evaluator();
+    self_eval->begin(n, 2);
+    EXPECT_EQ(self_eval->push_round_words(words.data(), n),
+              StepVerdict::kSatisfiedSoFar)
+        << "n=" << n;
+    PerRoundFaultBound bound(1);
+    auto bound_eval = bound.evaluator();
+    bound_eval->begin(n, 2);
+    EXPECT_EQ(bound_eval->push_round_words(words.data(), n),
+              StepVerdict::kViolatedForever)
+        << "n=" << n;
+    SomeoneHeardByAll heard;
+    auto heard_eval = heard.evaluator();
+    heard_eval->begin(n, 2);
+    EXPECT_EQ(heard_eval->push_round_words(words.data(), n),
+              StepVerdict::kViolatedForever)  // union is all of S
+        << "n=" << n;
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,311 @@
+// Evaluator conformance for every compiler-derived predicate: exact
+// per-prefix verdicts against whole-pattern holds(), on the set path,
+// the word path, and a mixed walk -- plus honesty checks on the derived
+// traits (a dishonest prunable()/symmetric() would make the exhaustive
+// engine cut or fold subtrees unsoundly).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/fault_pattern.h"
+#include "core/predicate.h"
+#include "core/process_set.h"
+#include "core/words.h"
+#include "ho/catalog.h"
+#include "ho/compile.h"
+#include "ho/parse.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rrfd;
+using core::FaultPattern;
+using core::ProcessSet;
+using core::ProcId;
+using core::Round;
+using core::RoundFaults;
+using core::StepVerdict;
+using core::full_mask;
+
+/// How prefixes are fed to the evaluator under test.
+enum class PushPath {
+  kSet,    ///< push_round only
+  kWord,   ///< push_round_words only
+  kMixed,  ///< alternate per depth -- the contract says they interleave
+};
+
+/// Specs under conformance: the standard catalog plus compositions that
+/// stress every combinator corner (closed/nested/out-of-range windows,
+/// eventual bodies with conjunctions, asymmetric primitives, zero and
+/// saturating budgets).
+std::vector<std::string> conformance_specs() {
+  std::vector<std::string> specs;
+  for (const auto& entry : ho::standard_catalog()) specs.push_back(entry.spec);
+  const std::vector<std::string> extra = {
+      "faulty(0)",
+      "kernel(2)",
+      "kernel(3)",
+      "mobile(2)",
+      "loss_cap(0)",
+      "delay(2)",
+      "link_budget(2)",
+      "window(1,1,mobile(0))",
+      "window(2,3,loss_cap(1))",
+      "window(3,0,crash_only())",
+      "window(4,6,mobile(0))",
+      "window(2,0,window(2,0,crash_only()))",
+      "window(2,2,eventually(mobile(0)))",
+      "eventually(all(self_delivery(),no_partition()))",
+      "eventually(partition(src={0},dst={1}))",
+      "all(window(2,0,crash_only()),eventually(mobile(0)))",
+      "all(loss_cap(1),link_budget(1),delay(1))",
+      "partition(src={0},dst={1})",
+      "all(partition(src={1},dst={0}),faulty(2))",
+  };
+  specs.insert(specs.end(), extra.begin(), extra.end());
+  return specs;
+}
+
+/// Exhaustive DFS over every pattern of (n, rounds): after each push the
+/// verdict must match holds() on the prefix-as-complete-pattern, a
+/// kSatisfiedForever promise must hold below, and -- when the predicate
+/// declares prunable() -- a violation must never recover below.
+void check_conformance(const core::Predicate& pred, int n, Round rounds,
+                       PushPath path) {
+  const std::uint64_t max_mask = full_mask(n) - 1;  // D != S
+  auto eval = pred.evaluator();
+  eval->begin(n, rounds);
+  FaultPattern prefix(n);
+
+  std::function<void(Round, bool, bool)> rec = [&](Round depth,
+                                                   bool forever_above,
+                                                   bool violated_above) {
+    std::vector<std::uint64_t> digits(static_cast<std::size_t>(n), 0);
+    for (;;) {
+      RoundFaults round;
+      for (int i = 0; i < n; ++i) {
+        round.push_back(
+            ProcessSet::from_bits(n, digits[static_cast<std::size_t>(i)]));
+      }
+      const bool use_words =
+          path == PushPath::kWord ||
+          (path == PushPath::kMixed && depth % 2 == 0);
+      const StepVerdict v = use_words
+                                ? eval->push_round_words(digits.data(), n)
+                                : eval->push_round(round);
+      prefix.append(round);
+      const bool sat = pred.holds(prefix);
+      EXPECT_EQ(v != StepVerdict::kViolatedForever, sat)
+          << pred.name() << " at depth " << depth << "\n"
+          << prefix.to_string();
+      if (forever_above) {
+        EXPECT_TRUE(sat) << pred.name()
+                         << ": kSatisfiedForever promise broken\n"
+                         << prefix.to_string();
+      }
+      if (violated_above && pred.prunable()) {
+        EXPECT_FALSE(sat) << pred.name()
+                          << ": prunable violation recovered\n"
+                          << prefix.to_string();
+      }
+      if (depth < rounds) {
+        rec(depth + 1, forever_above || v == StepVerdict::kSatisfiedForever,
+            violated_above || v == StepVerdict::kViolatedForever);
+      }
+      prefix.pop_round();
+      eval->pop_round();
+
+      int i = 0;
+      while (i < n && digits[static_cast<std::size_t>(i)] == max_mask) {
+        digits[static_cast<std::size_t>(i)] = 0;
+        ++i;
+      }
+      if (i == n) return;
+      ++digits[static_cast<std::size_t>(i)];
+    }
+  };
+  rec(1, false, false);
+}
+
+/// True when the spec fits a system of n processes (partition masks may
+/// name ids that require a larger n).
+bool fits(const std::string& spec, int n) {
+  return ho::max_process_id(ho::parse_spec(spec)) < n;
+}
+
+TEST(HoConformance, EveryDerivedPredicateConformsOnBothPathsN2) {
+  for (const std::string& spec : conformance_specs()) {
+    if (!fits(spec, 2)) continue;
+    const auto pred = ho::compile_text(spec);
+    for (const PushPath path :
+         {PushPath::kSet, PushPath::kWord, PushPath::kMixed}) {
+      check_conformance(*pred, 2, 3, path);  // 9 + 81 + 729 prefixes
+    }
+  }
+}
+
+TEST(HoConformance, EveryDerivedPredicateConformsOnBothPathsN3) {
+  for (const std::string& spec : conformance_specs()) {
+    if (!fits(spec, 3)) continue;
+    const auto pred = ho::compile_text(spec);
+    check_conformance(*pred, 3, 2, PushPath::kSet);  // 343 + 117649
+    check_conformance(*pred, 3, 2, PushPath::kWord);
+  }
+}
+
+TEST(HoConformance, DeepWindowsConformOverLongPatterns) {
+  // Windows that only open (or close) beyond depth 3 need longer
+  // patterns than the sweep above; n = 2 keeps 9^5 prefixes cheap.
+  for (const std::string& spec :
+       {std::string("window(4,6,mobile(0))"),
+        std::string("window(3,0,link_budget(1))"),
+        std::string("all(window(2,4,delay(1)),window(5,0,crash_only()))")}) {
+    const auto pred = ho::compile_text(spec);
+    check_conformance(*pred, 2, 5, PushPath::kMixed);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Trait honesty beyond prunability: claimed symmetry must be real
+// invariance under process renaming.
+// --------------------------------------------------------------------------
+
+/// Applies a renaming pi to a pattern: D'(pi(i), r) = pi(D(i, r)).
+FaultPattern permute(const FaultPattern& p, const std::vector<int>& pi) {
+  const int n = p.n();
+  FaultPattern out(n);
+  for (Round r = 1; r <= p.rounds(); ++r) {
+    RoundFaults round(static_cast<std::size_t>(n), ProcessSet(n));
+    for (ProcId i = 0; i < n; ++i) {
+      ProcessSet renamed(n);
+      for (ProcId j : p.d(i, r)) {
+        renamed.add(pi[static_cast<std::size_t>(j)]);
+      }
+      round[static_cast<std::size_t>(pi[static_cast<std::size_t>(i)])] =
+          renamed;
+    }
+    out.append(std::move(round));
+  }
+  return out;
+}
+
+TEST(HoConformance, ClaimedSymmetryIsRealInvariance) {
+  const std::vector<std::vector<int>> perms3 = {
+      {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  for (const std::string& spec : conformance_specs()) {
+    const auto pred = ho::compile_text(spec);
+    if (!pred->symmetric() || ho::max_process_id(ho::parse_spec(spec)) >= 0) {
+      continue;
+    }
+    // Exhaustive over single rounds at n = 3, all non-identity renamings.
+    const std::uint64_t full = full_mask(3);
+    FaultPattern p(3);
+    for (std::uint64_t d0 = 0; d0 < full; ++d0) {
+      for (std::uint64_t d1 = 0; d1 < full; ++d1) {
+        for (std::uint64_t d2 = 0; d2 < full; ++d2) {
+          RoundFaults round{ProcessSet::from_bits(3, d0),
+                            ProcessSet::from_bits(3, d1),
+                            ProcessSet::from_bits(3, d2)};
+          p.append(std::move(round));
+          const bool base = pred->holds(p);
+          for (const auto& pi : perms3) {
+            EXPECT_EQ(pred->holds(permute(p, pi)), base)
+                << spec << "\n" << p.to_string();
+          }
+          p.pop_round();
+        }
+      }
+    }
+  }
+}
+
+TEST(HoConformance, PartitionIsHonestlyAsymmetric) {
+  // The conservative symmetric() == false must be earned: swapping the
+  // two processes flips the verdict on a witness pattern.
+  const auto pred = ho::compile_text("partition(src={0},dst={1})");
+  FaultPattern p(2);
+  p.append({ProcessSet(2), ProcessSet::from_bits(2, 0b01)});
+  EXPECT_TRUE(pred->holds(p));
+  EXPECT_FALSE(pred->holds(permute(p, {1, 0})));
+}
+
+// --------------------------------------------------------------------------
+// Word-boundary walks: n = 63 / 64 masks with bit 63 live exercise the
+// evaluators' word cores where shift-by-n would be UB.
+// --------------------------------------------------------------------------
+
+TEST(HoConformance, WordAndSetVerdictsMatchAtTheWordBoundary) {
+  for (const std::string& spec : conformance_specs()) {
+    if (ho::max_process_id(ho::parse_spec(spec)) >= 0) continue;
+    const auto pred = ho::compile_text(spec);
+    for (const int n : {63, 64}) {
+      Rng rng(std::uint64_t{0x9e3779b97f4a7c15} ^
+              static_cast<std::uint64_t>(n));
+      auto set_eval = pred->evaluator();
+      auto word_eval = pred->evaluator();
+      const Round horizon = 8;
+      set_eval->begin(n, horizon);
+      word_eval->begin(n, horizon);
+      FaultPattern prefix(n);
+      for (int step = 0; step < 48; ++step) {
+        if (prefix.rounds() == horizon ||
+            (prefix.rounds() > 0 && rng.below(4) == 0)) {
+          prefix.pop_round();
+          set_eval->pop_round();
+          word_eval->pop_round();
+          continue;
+        }
+        std::vector<std::uint64_t> words(static_cast<std::size_t>(n));
+        RoundFaults round;
+        for (int i = 0; i < n; ++i) {
+          // below(full_mask) yields D != S; at n = 64 bit 63 is live in
+          // about half the draws.
+          const std::uint64_t bits = rng.below(full_mask(n));
+          words[static_cast<std::size_t>(i)] = bits;
+          round.push_back(ProcessSet::from_bits(n, bits));
+        }
+        const StepVerdict vs = set_eval->push_round(round);
+        const StepVerdict vw = word_eval->push_round_words(words.data(), n);
+        prefix.append(std::move(round));
+        EXPECT_EQ(vs, vw) << spec << " diverged at n=" << n << " depth "
+                          << prefix.rounds();
+        EXPECT_EQ(vs != StepVerdict::kViolatedForever, pred->holds(prefix))
+            << spec << " verdict vs holds() at n=" << n;
+      }
+    }
+  }
+}
+
+TEST(HoConformance, FullWordMasksFlowThroughEvaluators) {
+  // Deterministic corner: at n = 64 suspect everyone-but-self (bit 63
+  // set in 63 of 64 words), then a quiet round.
+  const int n = 64;
+  const auto pred = ho::compile_text("all(self_delivery(),loss_cap(63))");
+  auto eval = pred->evaluator();
+  eval->begin(n, 2);
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    words[static_cast<std::size_t>(i)] =
+        full_mask(n) & ~(std::uint64_t{1} << i);
+  }
+  EXPECT_EQ(eval->push_round_words(words.data(), n),
+            StepVerdict::kSatisfiedSoFar);
+  // Same round via the set path on a fresh evaluator.
+  RoundFaults round;
+  for (int i = 0; i < n; ++i) {
+    round.push_back(
+        ProcessSet::from_bits(n, words[static_cast<std::size_t>(i)]));
+  }
+  auto set_eval = pred->evaluator();
+  set_eval->begin(n, 2);
+  EXPECT_EQ(set_eval->push_round(round), StepVerdict::kSatisfiedSoFar);
+  // Violations at the boundary: process 63 suspecting itself.
+  words[63] = std::uint64_t{1} << 63;
+  EXPECT_EQ(eval->push_round_words(words.data(), n),
+            StepVerdict::kViolatedForever);
+}
+
+}  // namespace

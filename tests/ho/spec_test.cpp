@@ -1,0 +1,158 @@
+// Spec algebra: parser round-trips, strict errors, trait derivation.
+#include "ho/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ho/parse.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace rrfd;
+using ho::Spec;
+using ho::SpecKind;
+
+TEST(HoSpec, CanonicalTextRoundTripsThroughParser) {
+  const std::vector<std::string> canonical = {
+      "loss_cap(1)",
+      "mobile(0)",
+      "self_delivery()",
+      "no_partition()",
+      "partition(src={0},dst={1,2})",
+      "link_budget(2)",
+      "crash_only()",
+      "faulty(1)",
+      "kernel(1)",
+      "delay(3)",
+      "all(self_delivery(),faulty(1))",
+      "all(loss_cap(1),no_partition(),crash_only())",
+      "window(2,0,crash_only())",
+      "window(1,3,link_budget(1))",
+      "eventually(mobile(0))",
+      "eventually(all(self_delivery(),no_partition()))",
+      "all(window(2,4,loss_cap(1)),eventually(mobile(0)))",
+      "window(2,0,window(1,2,delay(1)))",
+  };
+  for (const std::string& text : canonical) {
+    const Spec spec = ho::parse_spec(text);
+    EXPECT_EQ(ho::to_text(spec), text);
+    // to_text o parse is a fixed point on canonical text.
+    EXPECT_EQ(ho::to_text(ho::parse_spec(ho::to_text(spec))), text);
+  }
+}
+
+TEST(HoSpec, ParserAcceptsWhitespaceAndNormalizes) {
+  const Spec spec =
+      ho::parse_spec("  all( loss_cap( 1 ) ,\n no_partition( ) )  ");
+  EXPECT_EQ(ho::to_text(spec), "all(loss_cap(1),no_partition())");
+  const Spec part = ho::parse_spec("partition( src = { 0 , 2 } , dst={1} )");
+  EXPECT_EQ(ho::to_text(part), "partition(src={0,2},dst={1})");
+}
+
+TEST(HoSpec, ParserRejectsMalformedSpecs) {
+  const std::vector<std::string> bad = {
+      "",                                 // no call at all
+      "nope(1)",                          // unknown function
+      "loss_cap",                         // missing argument list
+      "loss_cap()",                       // missing bound
+      "loss_cap(-1)",                     // negatives are not integers
+      "loss_cap(1",                       // unbalanced parens
+      "loss_cap(1))",                     // trailing input
+      "loss_cap(1) x",                    // trailing input
+      "loss_cap(crash_only())",           // spec where an int belongs
+      "kernel(0)",                        // kernel size must be >= 1
+      "all()",                            // empty conjunction
+      "all(1)",                           // int where a spec belongs
+      "window(0,0,crash_only())",         // lo must be >= 1
+      "window(3,2,crash_only())",         // hi < lo
+      "window(1,crash_only())",           // missing hi
+      "eventually(crash_only())",         // body must be round-local
+      "eventually(link_budget(1))",       // body must be round-local
+      "eventually(window(1,1,mobile(0)))",  // body must be round-local
+      "partition(src={},dst={0})",        // empty set literal
+      "partition(src={0})",               // missing dst
+      "partition(dst={0},src={1})",       // keywords in fixed order
+      "partition(src={0},dst={64})",      // id out of range
+      "partition(src=0,dst={1})",         // set braces required
+  };
+  for (const std::string& text : bad) {
+    EXPECT_THROW((void)ho::parse_spec(text), ContractViolation) << text;
+  }
+}
+
+TEST(HoSpec, IntegerParameterOverflowIsRejected) {
+  EXPECT_THROW((void)ho::parse_spec("loss_cap(99999999999999999999)"),
+               ContractViolation);
+}
+
+TEST(HoSpec, RoundLocalityIsStructural) {
+  EXPECT_TRUE(ho::round_local(ho::parse_spec("loss_cap(1)")));
+  EXPECT_TRUE(ho::round_local(
+      ho::parse_spec("all(self_delivery(),no_partition(),mobile(1))")));
+  EXPECT_FALSE(ho::round_local(ho::parse_spec("crash_only()")));
+  EXPECT_FALSE(ho::round_local(ho::parse_spec("faulty(1)")));
+  EXPECT_FALSE(
+      ho::round_local(ho::parse_spec("all(loss_cap(1),link_budget(1))")));
+  EXPECT_FALSE(ho::round_local(ho::parse_spec("window(1,1,mobile(0))")));
+  EXPECT_FALSE(ho::round_local(ho::parse_spec("eventually(mobile(0))")));
+}
+
+TEST(HoSpec, TraitDerivationFollowsClosureProperties) {
+  struct Case {
+    std::string text;
+    bool prunable;
+    bool symmetric;
+  };
+  const std::vector<Case> cases = {
+      {"loss_cap(1)", true, true},
+      {"crash_only()", true, true},
+      {"link_budget(1)", true, true},
+      {"delay(2)", true, true},
+      {"kernel(1)", true, true},
+      // partition names identifiers: prefix-closed but not symmetric.
+      {"partition(src={0},dst={1})", true, false},
+      // eventually(): a later good round repairs a bad prefix.
+      {"eventually(mobile(0))", false, true},
+      // Conjunction is the AND of its parts' traits.
+      {"all(loss_cap(1),partition(src={0},dst={1}))", true, false},
+      {"all(loss_cap(1),eventually(mobile(0)))", false, true},
+      {"all(partition(src={0},dst={1}),eventually(mobile(0)))", false, false},
+      // window() preserves the child's closure properties.
+      {"window(2,0,crash_only())", true, true},
+      {"window(1,2,eventually(partition(src={0},dst={1})))", false, false},
+  };
+  for (const Case& c : cases) {
+    const ho::Traits t = ho::derive_traits(ho::parse_spec(c.text));
+    EXPECT_EQ(t.prunable, c.prunable) << c.text;
+    EXPECT_EQ(t.symmetric, c.symmetric) << c.text;
+  }
+}
+
+TEST(HoSpec, MaxProcessIdTracksPartitionMasks) {
+  EXPECT_EQ(ho::max_process_id(ho::parse_spec("loss_cap(1)")), -1);
+  EXPECT_EQ(ho::max_process_id(ho::parse_spec("partition(src={0},dst={1})")),
+            1);
+  EXPECT_EQ(ho::max_process_id(ho::parse_spec(
+                "all(loss_cap(1),partition(src={2},dst={0,5}))")),
+            5);
+  EXPECT_EQ(ho::max_process_id(
+                ho::parse_spec("partition(src={63},dst={0})")),
+            63);
+}
+
+TEST(HoSpec, FactoryValidationMatchesParser) {
+  EXPECT_THROW((void)ho::validate(ho::kernel(0)), ContractViolation);
+  EXPECT_THROW((void)ho::validate(ho::loss_cap(-1)), ContractViolation);
+  EXPECT_THROW((void)ho::validate(ho::partition(0, 1)), ContractViolation);
+  EXPECT_THROW((void)ho::validate(ho::window(0, 0, ho::crash_only())),
+               ContractViolation);
+  EXPECT_THROW((void)ho::validate(ho::eventually(ho::crash_only())),
+               ContractViolation);
+  EXPECT_NO_THROW(ho::validate(ho::window(2, 2, ho::eventually(
+                                                    ho::self_delivery()))));
+}
+
+}  // namespace
