@@ -1,0 +1,78 @@
+#include "serve/queue.h"
+
+#include "util/check.h"
+
+namespace rrfd::serve {
+
+namespace {
+
+constexpr const char* kAdmissionNames[] = {
+    "accepted", "queue_full", "client_cap", "closed"};
+
+}  // namespace
+
+const char* admission_name(Admission admission) {
+  const auto idx = static_cast<std::size_t>(admission);
+  RRFD_REQUIRE(idx < std::size(kAdmissionNames));
+  return kAdmissionNames[idx];
+}
+
+AdmissionQueue::AdmissionQueue(Options options) : options_(options) {
+  RRFD_REQUIRE_MSG(options.depth > 0 && options.per_client > 0,
+                   "queue caps must be positive");
+}
+
+Admission AdmissionQueue::push(Ticket ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) {
+    ++stats_.shed_closed;
+    return Admission::kShedClosed;
+  }
+  if (queue_.size() >= options_.depth) {
+    ++stats_.shed_queue_full;
+    return Admission::kShedQueueFull;
+  }
+  std::size_t& in_queue = per_client_[ticket.client];
+  if (in_queue >= options_.per_client) {
+    ++stats_.shed_client_cap;
+    return Admission::kShedClientCap;
+  }
+  ++in_queue;
+  ++stats_.accepted;
+  queue_.push_back(std::move(ticket));
+  ready_.notify_one();
+  return Admission::kAccepted;
+}
+
+bool AdmissionQueue::pop(Ticket* out) {
+  RRFD_REQUIRE(out != nullptr);
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  ++stats_.popped;
+  auto it = per_client_.find(out->client);
+  RRFD_ENSURE_MSG(it != per_client_.end() && it->second > 0,
+                  "per-client admission accounting out of sync");
+  if (--it->second == 0) per_client_.erase(it);
+  return true;
+}
+
+void AdmissionQueue::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  ready_.notify_all();
+}
+
+AdmissionQueue::Stats AdmissionQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t AdmissionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace rrfd::serve

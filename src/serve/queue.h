@@ -1,0 +1,84 @@
+// Admission-controlled FIFO work queue for the job server.
+//
+// Admission happens at push time, synchronously, so a client learns the
+// fate of a submission before the next line is read: either the ticket
+// is queued (FIFO, popped by worker threads), or it is *shed* with a
+// named reason. Nothing is ever dropped silently -- the shed counters
+// plus the popped counter always account for every accepted push
+// (`server_test` stress-pins accepted == delivered + shed == submitted).
+//
+// Two caps, both fixed at construction:
+//   * `depth`      -- total tickets queued (backpressure for everyone);
+//   * `per_client` -- tickets queued per tenant, so one chatty client
+//                     cannot occupy the whole queue (multi-tenant
+//                     fairness; the per-client count is released when a
+//                     worker pops the ticket).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace rrfd::serve {
+
+/// One queued unit of work: the tenant it is accounted to plus the
+/// closure a worker runs.
+struct Ticket {
+  std::string client;
+  std::function<void()> work;
+};
+
+enum class Admission : std::uint8_t {
+  kAccepted,      ///< queued; a worker will run it
+  kShedQueueFull, ///< total depth cap hit
+  kShedClientCap, ///< this client's cap hit
+  kShedClosed,    ///< the queue is shutting down
+};
+
+const char* admission_name(Admission admission);
+
+class AdmissionQueue {
+ public:
+  struct Options {
+    std::size_t depth = 64;
+    std::size_t per_client = 8;
+  };
+
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t shed_queue_full = 0;
+    std::uint64_t shed_client_cap = 0;
+    std::uint64_t shed_closed = 0;
+    std::uint64_t popped = 0;
+  };
+
+  explicit AdmissionQueue(Options options);
+
+  /// Admits or sheds `ticket`; never blocks.
+  Admission push(Ticket ticket);
+
+  /// Blocks until a ticket is available or the queue is closed and
+  /// drained; returns false only in the latter case.
+  bool pop(Ticket* out);
+
+  /// Stops admitting; pending tickets still drain through pop().
+  void close();
+
+  Stats stats() const;
+  std::size_t size() const;
+
+ private:
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<Ticket> queue_;
+  std::map<std::string, std::size_t> per_client_;
+  Stats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace rrfd::serve

@@ -1,0 +1,89 @@
+// The multi-tenant deterministic job server.
+//
+// One Server owns an admission queue (queue.h), a result cache
+// (cache.h), and a pool of worker threads executing jobs (exec.h).
+// Transport is the caller's problem: submit_line() takes one
+// rrfd-job-v1 request line and a sink that receives the response lines
+// -- the sweep_serve CLI (tools/) frames stdin/stdout over it, and the
+// tests drive it in-process from many client threads at once.
+//
+// Response discipline (DESIGN.md "Job server"):
+//
+//   * Every request line produces exactly one *ack* line -- `accepted`
+//     (with the cache key and a source: execute | cache | joined |
+//     uncached), `shed` (named reason, queue.h), or `error` (named
+//     code, wire.h) -- and every accepted submission exactly one
+//     *terminal* line (`done` on success, `error` on execution
+//     failure), with its `row` lines in between. Nothing is dropped
+//     silently; the stress test pins acks == submissions.
+//   * The result stream (`row` payloads + `done` payload) is a pure
+//     function of (canonical form, seed): duplicate submissions --
+//     concurrent or later -- receive byte-identical result bytes while
+//     costing one execution (leader/join/hit dedup in cache.h).
+//   * A sink may be invoked from a worker thread (join deliveries run on
+//     the leader's worker); sinks must be internally synchronized if
+//     they share an output stream. Lines are handed over whole.
+//
+// Replay jobs attach the process-wide trace sink, so the server runs
+// them exclusively (a shared_mutex: sweeps/modelchecks share, replays
+// are exclusive) -- tracer state never leaks between jobs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "serve/cache.h"
+#include "serve/queue.h"
+
+namespace rrfd::serve {
+
+struct ServerOptions {
+  int workers = 2;               ///< worker threads executing jobs
+  AdmissionQueue::Options queue; ///< admission caps
+  int sweep_threads = 0;         ///< inner fan-out per job (0/1 = serial)
+  /// Revision stamped into cache keys. Empty selects the build's
+  /// RRFD_GIT_REV (trace::build_git_rev()); the literal "unknown"
+  /// disables caching entirely (see cache.h).
+  std::string git_rev;
+};
+
+struct ServerStats {
+  std::uint64_t requests = 0;     ///< lines submitted
+  std::uint64_t wire_errors = 0;  ///< lines rejected before admission
+  std::uint64_t executed = 0;     ///< jobs actually run by workers
+  AdmissionQueue::Stats queue;
+  ResultCache::Stats cache;
+};
+
+class Server {
+ public:
+  /// Receives one whole response line (no trailing newline).
+  using LineSink = std::function<void(const std::string&)>;
+
+  explicit Server(ServerOptions options = {});
+  ~Server();  ///< shutdown(): drains accepted work, joins workers
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Handles one request line; response lines go to `sink` (ack
+  /// synchronously; rows/terminal possibly later from a worker thread).
+  void submit_line(const std::string& line, const LineSink& sink);
+
+  /// Blocks until every accepted job has delivered its terminal line.
+  void drain();
+
+  /// Stops admitting, drains the queue, joins the workers. Idempotent.
+  void shutdown();
+
+  ServerStats stats() const;
+  const std::string& git_rev() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rrfd::serve

@@ -14,11 +14,31 @@ namespace rrfd::sweep {
 int threads_from_env() {
   const char* env = std::getenv("RRFD_SWEEP_THREADS");
   if (env == nullptr || *env == '\0') return 0;
-  char* end = nullptr;
-  const long v = std::strtol(env, &end, 10);
-  RRFD_REQUIRE_MSG(end != env && *end == '\0' && v >= 0 && v <= 4096,
-                   "RRFD_SWEEP_THREADS must be an integer in [0, 4096], got '" +
-                       std::string(env) + "'");
+  // Hand-rolled digits-only parse instead of strtol: strtol silently
+  // accepts leading whitespace and a '+' sign (" 8", "+8"), which the
+  // strict-knob contract forbids, and its overflow behaviour (LONG_MAX +
+  // errno) is easy to mishandle. Here every deviation -- sign,
+  // whitespace, hex, embedded garbage, or a value that would overflow
+  // any integer width -- is the same clean ContractViolation.
+  const std::string raw(env);
+  long v = 0;
+  bool ok = true;
+  for (char c : raw) {
+    if (c < '0' || c > '9') {
+      ok = false;
+      break;
+    }
+    v = v * 10 + (c - '0');
+    if (v > 4096) {  // caps the accumulator: no overflow for any input
+      ok = false;
+      break;
+    }
+  }
+  RRFD_REQUIRE_MSG(ok,
+                   "RRFD_SWEEP_THREADS must be an unsigned integer in "
+                   "[0, 4096] (digits only: no sign, whitespace, or base "
+                   "prefix), got '" +
+                       raw + "'");
   return static_cast<int>(v);
 }
 
@@ -43,29 +63,38 @@ void run_indexed(int n_jobs, int threads,
   std::mutex mu;
   int first_error_job = n_jobs;
   std::exception_ptr first_error;
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(threads));
-  for (int w = 0; w < threads; ++w) {
-    workers.emplace_back([&] {
-      for (;;) {
-        const int i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n_jobs) return;
-        try {
-          job(i);
-        } catch (...) {
-          // Keep running every job: jobs are claimed in index order, so
-          // by the time any job fails, all lower-indexed jobs have been
-          // claimed and will record their own (lower) failures -- the
-          // rethrown exception is deterministically the lowest-index one,
-          // matching what the serial loop surfaces first.
-          std::lock_guard<std::mutex> lock(mu);
-          if (i < first_error_job) {
-            first_error_job = i;
-            first_error = std::current_exception();
-          }
+  const auto drain = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n_jobs) return;
+      try {
+        job(i);
+      } catch (...) {
+        // Keep running every job: jobs are claimed in index order, so
+        // by the time any job fails, all lower-indexed jobs have been
+        // claimed and will record their own (lower) failures -- the
+        // rethrown exception is deterministically the lowest-index one,
+        // matching what the serial loop surfaces first.
+        std::lock_guard<std::mutex> lock(mu);
+        if (i < first_error_job) {
+          first_error_job = i;
+          first_error = std::current_exception();
         }
       }
-    });
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  try {
+    for (int w = 0; w < threads; ++w) workers.emplace_back(drain);
+  } catch (...) {
+    // Thread creation failed (resource exhaustion). Without this guard
+    // the joinable threads already in `workers` would std::terminate at
+    // unwind, and with zero workers started no job would ever run --
+    // leaving callers (sweep::run) with unfilled result slots. Degrade
+    // instead: the calling thread drains the same claim counter, so
+    // every job still runs exactly once and the results are complete.
+    drain();
   }
   for (auto& t : workers) t.join();
   if (first_error) std::rethrow_exception(first_error);

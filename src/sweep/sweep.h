@@ -79,7 +79,15 @@ auto run(int n_trials, std::uint64_t seed, Fn&& fn,
   });
   std::vector<R> results;
   results.reserve(slots.size());
-  for (auto& slot : slots) results.push_back(std::move(*slot));
+  for (auto& slot : slots) {
+    // run_indexed only returns normally when every job ran to completion
+    // (a throwing trial is rethrown above). A disengaged slot here would
+    // therefore be a scheduler bug -- surface it as a ContractViolation
+    // rather than dereferencing an empty optional (UB).
+    RRFD_ENSURE_MSG(slot.has_value(),
+                    "sweep::run: trial slot left empty after run_indexed");
+    results.push_back(std::move(*slot));
+  }
   return results;
 }
 

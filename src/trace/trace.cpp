@@ -50,6 +50,8 @@ std::string json_escape(const std::string& s) {
 
 }  // namespace
 
+const char* build_git_rev() { return RRFD_GIT_REV; }
+
 const char* kind_name(EventKind kind) {
   const auto idx = static_cast<std::size_t>(kind);
   RRFD_REQUIRE(idx < std::size(kKindNames));

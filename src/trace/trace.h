@@ -67,6 +67,14 @@ enum class Substrate : std::uint8_t {
 const char* kind_name(EventKind kind);
 const char* substrate_name(Substrate substrate);
 
+/// The git revision compiled into this binary (the RRFD_GIT_REV stamp
+/// every JsonlWriter meta line carries), or "unknown" when the build
+/// ran outside git. Consumers that key long-lived artifacts on the
+/// revision -- the job server's result cache above all -- must treat
+/// "unknown" as *uncacheable*: two different builds would otherwise
+/// share every key (see src/serve/cache.h).
+const char* build_git_rev();
+
 /// One structural event. Fixed-size and trivially copyable so the ring
 /// recorder is a memcpy and the off-path cost is a branch. Field meaning
 /// depends on `kind` (the canonical table, also in DESIGN.md §3):

@@ -87,7 +87,10 @@ inline std::atomic<ContractContextProvider>& contract_context_provider() {
   } while (0)
 
 #ifdef NDEBUG
-#define RRFD_ASSERT(expr) ((void)0)
+// sizeof keeps `expr` as an unevaluated operand: no code is generated,
+// but variables that appear only in assertions still count as used
+// (otherwise Release -Werror flags them as unused parameters).
+#define RRFD_ASSERT(expr) ((void)sizeof((expr) ? 1 : 0))
 #else
 #define RRFD_ASSERT(expr)                                                  \
   do {                                                                     \

@@ -1,0 +1,136 @@
+// Admission-queue contract: FIFO order, both caps shed with named
+// reasons, nothing is lost silently (accepted == popped after a drain),
+// and close() stops admission without dropping queued tickets.
+#include "serve/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rrfd::serve {
+namespace {
+
+Ticket noop(const std::string& client) {
+  return Ticket{client, [] {}};
+}
+
+TEST(ServeQueue, FifoOrderAndAccounting) {
+  AdmissionQueue q({.depth = 8, .per_client = 8});
+  std::vector<int> ran;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(q.push({"c", [&ran, i] { ran.push_back(i); }}),
+              Admission::kAccepted);
+  }
+  Ticket t;
+  while (q.size() > 0) {
+    ASSERT_TRUE(q.pop(&t));
+    t.work();
+  }
+  EXPECT_EQ(ran, (std::vector<int>{0, 1, 2, 3, 4}));
+  const auto stats = q.stats();
+  EXPECT_EQ(stats.accepted, 5u);
+  EXPECT_EQ(stats.popped, 5u);
+  EXPECT_EQ(stats.shed_queue_full, 0u);
+  EXPECT_EQ(stats.shed_client_cap, 0u);
+}
+
+TEST(ServeQueue, QueueFullShedsByName) {
+  AdmissionQueue q({.depth = 3, .per_client = 8});
+  EXPECT_EQ(q.push(noop("a")), Admission::kAccepted);
+  EXPECT_EQ(q.push(noop("b")), Admission::kAccepted);
+  EXPECT_EQ(q.push(noop("c")), Admission::kAccepted);
+  EXPECT_EQ(q.push(noop("d")), Admission::kShedQueueFull);
+  EXPECT_STREQ(admission_name(Admission::kShedQueueFull), "queue_full");
+  // Shed is accounted, not silent.
+  EXPECT_EQ(q.stats().shed_queue_full, 1u);
+  // Popping one frees one slot.
+  Ticket t;
+  ASSERT_TRUE(q.pop(&t));
+  EXPECT_EQ(q.push(noop("d")), Admission::kAccepted);
+}
+
+TEST(ServeQueue, PerClientCapShedsOnlyTheNoisyTenant) {
+  AdmissionQueue q({.depth = 16, .per_client = 2});
+  EXPECT_EQ(q.push(noop("noisy")), Admission::kAccepted);
+  EXPECT_EQ(q.push(noop("noisy")), Admission::kAccepted);
+  EXPECT_EQ(q.push(noop("noisy")), Admission::kShedClientCap);
+  EXPECT_STREQ(admission_name(Admission::kShedClientCap), "client_cap");
+  // A different tenant is unaffected by the noisy one's cap.
+  EXPECT_EQ(q.push(noop("quiet")), Admission::kAccepted);
+  // The cap releases when the ticket is popped (occupancy, not rate).
+  Ticket t;
+  ASSERT_TRUE(q.pop(&t));
+  EXPECT_EQ(q.push(noop("noisy")), Admission::kAccepted);
+  EXPECT_EQ(q.stats().shed_client_cap, 1u);
+}
+
+TEST(ServeQueue, CloseStopsAdmissionButDrainsQueuedTickets) {
+  AdmissionQueue q({.depth = 8, .per_client = 8});
+  EXPECT_EQ(q.push(noop("a")), Admission::kAccepted);
+  EXPECT_EQ(q.push(noop("b")), Admission::kAccepted);
+  q.close();
+  EXPECT_EQ(q.push(noop("c")), Admission::kShedClosed);
+  Ticket t;
+  EXPECT_TRUE(q.pop(&t));   // queued work still drains...
+  EXPECT_TRUE(q.pop(&t));
+  EXPECT_FALSE(q.pop(&t));  // ...then pop reports shutdown
+}
+
+TEST(ServeQueue, PopBlocksUntilPushOrClose) {
+  AdmissionQueue q({.depth = 4, .per_client = 4});
+  std::vector<std::string> popped;
+  std::thread consumer([&q, &popped] {
+    Ticket t;
+    while (q.pop(&t)) popped.push_back(t.client);
+  });
+  EXPECT_EQ(q.push(noop("x")), Admission::kAccepted);
+  EXPECT_EQ(q.push(noop("y")), Admission::kAccepted);
+  q.close();
+  consumer.join();
+  EXPECT_EQ(popped, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(ServeQueue, ConcurrentPushersNeverLoseTickets) {
+  // Accounting holds under contention: accepted + shed == attempted,
+  // and every accepted ticket is popped exactly once.
+  AdmissionQueue q({.depth = 32, .per_client = 1000});
+  constexpr int kPushers = 4;
+  constexpr int kPerPusher = 250;
+  std::atomic<int> executed{0};
+  std::vector<std::thread> threads;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&q, &executed] {
+      Ticket t;
+      while (q.pop(&t)) {
+        t.work();
+        ++executed;
+      }
+    });
+  }
+  std::atomic<int> shed{0};
+  for (int p = 0; p < kPushers; ++p) {
+    threads.emplace_back([&q, &shed, p] {
+      for (int i = 0; i < kPerPusher; ++i) {
+        if (q.push(noop("client-" + std::to_string(p))) !=
+            Admission::kAccepted) {
+          ++shed;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  const auto stats = q.stats();
+  EXPECT_EQ(stats.accepted + stats.shed_queue_full, kPushers * kPerPusher);
+  EXPECT_EQ(stats.popped, stats.accepted);
+  EXPECT_EQ(executed.load(), static_cast<int>(stats.accepted));
+  EXPECT_EQ(shed.load(), static_cast<int>(stats.shed_queue_full));
+}
+
+}  // namespace
+}  // namespace rrfd::serve

@@ -1,0 +1,187 @@
+// Strictness of the rrfd-job-v1 request parser: every malformed line
+// maps to a *named* rejection (wire.h ErrorCode) -- torn lines, wrong
+// schema versions, unknown ops/kinds/fields, duplicates, range
+// violations -- and canonical forms are stable under formatting and
+// spec-sugar differences (they are the cache key's first component).
+#include "serve/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rrfd::serve {
+namespace {
+
+ErrorCode code_of(const std::string& line) {
+  try {
+    (void)parse_request(line);
+  } catch (const WireError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "expected a WireError for: " << line;
+  return ErrorCode::kParseError;
+}
+
+const std::string kSweep =
+    R"({"schema":"rrfd-job-v1","op":"submit","client":"c1","id":"j1",)"
+    R"("kind":"sweep","n":6,"k":2,"trials":10,"seed":7})";
+
+TEST(ServeWire, ParsesAWellFormedSweepSubmission) {
+  const Request req = parse_request(kSweep);
+  EXPECT_EQ(req.op, Op::kSubmit);
+  EXPECT_EQ(req.client, "c1");
+  EXPECT_EQ(req.id, "j1");
+  EXPECT_EQ(req.kind, JobKind::kSweep);
+  EXPECT_EQ(req.n, 6);
+  EXPECT_EQ(req.k, 2);
+  EXPECT_EQ(req.trials, 10);
+  EXPECT_EQ(req.seed, 7u);
+  EXPECT_EQ(req.canonical(), "sweep(n=6,k=2,trials=10)");
+}
+
+TEST(ServeWire, InterTokenWhitespaceIsTolerated) {
+  // json.dumps-style ": " / ", " separators are legal JSON formatting,
+  // not content; strictness applies to fields and values, not spacing.
+  const Request req = parse_request(
+      R"({"schema": "rrfd-job-v1", "op": "submit", "client": "c1",)"
+      R"( "id": "j1", "kind": "sweep", "n": 6, "k": 2, "trials": 10,)"
+      R"( "seed": 7})");
+  EXPECT_EQ(req.canonical(), "sweep(n=6,k=2,trials=10)");
+  EXPECT_EQ(req.seed, 7u);
+}
+
+TEST(ServeWire, FieldOrderDoesNotMatter) {
+  const Request req = parse_request(
+      R"({"seed":7,"trials":10,"k":2,"n":6,"kind":"sweep","id":"j1",)"
+      R"("client":"c1","op":"submit","schema":"rrfd-job-v1"})");
+  EXPECT_EQ(req.canonical(), "sweep(n=6,k=2,trials=10)");
+}
+
+TEST(ServeWire, TornLinesAreNamed) {
+  // A request cut mid-write must be reported as framing damage, not as
+  // a generic parse error: the client needs to know bytes were lost.
+  EXPECT_EQ(code_of(kSweep.substr(0, kSweep.size() - 1)),
+            ErrorCode::kTornLine);
+  EXPECT_EQ(code_of(kSweep.substr(0, 25)), ErrorCode::kTornLine);
+  EXPECT_EQ(code_of(""), ErrorCode::kTornLine);
+  // Trailing carriage returns / spaces are transport artifacts, not tears.
+  EXPECT_NO_THROW(parse_request(kSweep + "\r"));
+  EXPECT_NO_THROW(parse_request(kSweep + "  "));
+}
+
+TEST(ServeWire, SchemaIsMandatoryAndVersioned) {
+  EXPECT_EQ(code_of(R"({"op":"stats"})"), ErrorCode::kBadVersion);
+  EXPECT_EQ(code_of(R"({"schema":"rrfd-job-v2","op":"stats"})"),
+            ErrorCode::kBadVersion);
+  EXPECT_EQ(code_of(R"({"schema":"rrfd-trace-v1","op":"stats"})"),
+            ErrorCode::kBadVersion);
+}
+
+TEST(ServeWire, UnknownOpsAndKindsAreNamed) {
+  EXPECT_EQ(code_of(R"({"schema":"rrfd-job-v1","op":"cancel"})"),
+            ErrorCode::kUnknownOp);
+  EXPECT_EQ(
+      code_of(R"({"schema":"rrfd-job-v1","op":"submit","client":"c",)"
+              R"("id":"j","kind":"bench"})"),
+      ErrorCode::kUnknownKind);
+}
+
+TEST(ServeWire, UnknownFieldsAreRejected) {
+  // A field the kind does not define is a contract violation, not
+  // something to ignore: silently dropped fields hide client bugs and
+  // would split the cache key from the client's intent.
+  EXPECT_EQ(code_of(
+                R"({"schema":"rrfd-job-v1","op":"submit","client":"c1",)"
+                R"("id":"j1","kind":"sweep","n":6,"k":2,"trials":10,)"
+                R"("seed":7,"nice":1})"),
+            ErrorCode::kUnknownField);
+  // A modelcheck-only field on a sweep submission is just as unknown.
+  EXPECT_EQ(code_of(
+                R"({"schema":"rrfd-job-v1","op":"submit","client":"c1",)"
+                R"("id":"j1","kind":"sweep","n":6,"k":2,"trials":10,)"
+                R"("seed":7,"rounds":1})"),
+            ErrorCode::kUnknownField);
+}
+
+TEST(ServeWire, DuplicateAndMissingFieldsAreNamed) {
+  EXPECT_EQ(code_of(
+                R"({"schema":"rrfd-job-v1","op":"submit","client":"c1",)"
+                R"("client":"c2","id":"j1","kind":"sweep","n":6,"k":2,)"
+                R"("trials":10,"seed":7})"),
+            ErrorCode::kDuplicateField);
+  EXPECT_EQ(code_of(
+                R"({"schema":"rrfd-job-v1","op":"submit","client":"c1",)"
+                R"("id":"j1","kind":"sweep","n":6,"k":2,"trials":10})"),
+            ErrorCode::kMissingField);
+}
+
+TEST(ServeWire, RangeViolationsAreNamed) {
+  for (const char* bad : {
+           // n beyond the word-arena bound
+           R"({"schema":"rrfd-job-v1","op":"submit","client":"c","id":"j",)"
+           R"("kind":"sweep","n":65,"k":2,"trials":10,"seed":7})",
+           // k > n
+           R"({"schema":"rrfd-job-v1","op":"submit","client":"c","id":"j",)"
+           R"("kind":"sweep","n":4,"k":5,"trials":10,"seed":7})",
+           // zero trials
+           R"({"schema":"rrfd-job-v1","op":"submit","client":"c","id":"j",)"
+           R"("kind":"sweep","n":4,"k":2,"trials":0,"seed":7})",
+           // negative integer
+           R"({"schema":"rrfd-job-v1","op":"submit","client":"c","id":"j",)"
+           R"("kind":"sweep","n":-4,"k":2,"trials":10,"seed":7})",
+           // empty client
+           R"({"schema":"rrfd-job-v1","op":"submit","client":"","id":"j",)"
+           R"("kind":"sweep","n":4,"k":2,"trials":10,"seed":7})",
+           // malformed HO spec, caught at admission
+           R"x({"schema":"rrfd-job-v1","op":"submit","client":"c","id":"j",)x"
+           R"x("kind":"modelcheck","n":3,"rounds":1,"spec_a":"loss_cap(",)x"
+           R"x("spec_b":"mobile(1)"})x",
+           // embedded trace that does not parse
+           R"({"schema":"rrfd-job-v1","op":"submit","client":"c","id":"j",)"
+           R"("kind":"replay","protocol":"flood_min","f":2,"trace":"nope"})",
+       }) {
+    EXPECT_EQ(code_of(bad), ErrorCode::kBadValue) << bad;
+  }
+}
+
+TEST(ServeWire, IntegerOverflowIsABadValueNotWraparound) {
+  EXPECT_EQ(code_of(
+                R"({"schema":"rrfd-job-v1","op":"submit","client":"c1",)"
+                R"("id":"j1","kind":"sweep","n":6,"k":2,"trials":10,)"
+                R"("seed":99999999999999999999999})"),
+            ErrorCode::kBadValue);
+}
+
+TEST(ServeWire, CanonicalFormNormalizesSpecSugar) {
+  const auto canon = [](const std::string& a, const std::string& b) {
+    Request req = parse_request(
+        R"({"schema":"rrfd-job-v1","op":"submit","client":"c","id":"j",)"
+        R"("kind":"modelcheck","n":3,"rounds":1,"spec_a":")" +
+        a + R"(","spec_b":")" + b + R"("})");
+    return req.canonical();
+  };
+  // Whitespace inside a spec must not split the cache key.
+  EXPECT_EQ(canon("loss_cap(1)", "mobile(1)"),
+            canon("loss_cap( 1 )", "mobile( 1 )"));
+  EXPECT_NE(canon("loss_cap(1)", "mobile(1)"),
+            canon("loss_cap(2)", "mobile(1)"));
+}
+
+TEST(ServeWire, StatsOpIsMinimal) {
+  const Request req = parse_request(R"({"schema":"rrfd-job-v1","op":"stats"})");
+  EXPECT_EQ(req.op, Op::kStats);
+  EXPECT_EQ(code_of(R"({"schema":"rrfd-job-v1","op":"stats","id":"x"})"),
+            ErrorCode::kUnknownField);
+}
+
+TEST(ServeWire, EscapedStringsRoundTrip) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd\te\x01"), "a\\\"b\\\\c\\nd\\te\\u0001");
+  const Request req = parse_request(
+      R"({"schema":"rrfd-job-v1","op":"submit","client":"c\n1","id":"j\"1",)"
+      R"("kind":"sweep","n":6,"k":2,"trials":10,"seed":7})");
+  EXPECT_EQ(req.client, "c\n1");
+  EXPECT_EQ(req.id, "j\"1");
+}
+
+}  // namespace
+}  // namespace rrfd::serve

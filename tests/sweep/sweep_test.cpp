@@ -130,6 +130,69 @@ TEST(Sweep, ThreadsFromEnvParsesStrictly) {
   EXPECT_EQ(threads_from_env(), 0);
 }
 
+TEST(Sweep, ThreadsFromEnvRejectsEveryNonDigitForm) {
+  // Golden regression for the strtol-era holes: leading whitespace and a
+  // '+' prefix used to parse as valid, and values past INT_MAX depended
+  // on strtol's clamping. The contract is digits-only in [0, 4096]; every
+  // deviation is one clean ContractViolation, never a silent fallback.
+  for (const char* bad : {
+           " 8",                      // leading whitespace (strtol accepted)
+           "8 ",                      // trailing whitespace
+           "+8",                      // sign prefix (strtol accepted)
+           "-0",                      // signed zero is still signed
+           "4097",                    // above the documented cap
+           "99999999999999999999",    // would overflow long long
+           "2147483648",              // INT_MAX + 1 (strtol clamps to LONG_MAX)
+           "0x8",                     // hex is not digits-only
+           "8\n",                     // stray control character
+       }) {
+    // rrfd-lint: allow(no-env-sideband) -- this test exercises the hook itself
+    ASSERT_EQ(setenv("RRFD_SWEEP_THREADS", bad, 1), 0);
+    EXPECT_THROW(threads_from_env(), ContractViolation)
+        << "accepted RRFD_SWEEP_THREADS=\"" << bad << '"';
+  }
+  // The boundary itself is valid.
+  // rrfd-lint: allow(no-env-sideband) -- this test exercises the hook itself
+  ASSERT_EQ(setenv("RRFD_SWEEP_THREADS", "4096", 1), 0);
+  EXPECT_EQ(threads_from_env(), 4096);
+  // rrfd-lint: allow(no-env-sideband) -- this test exercises the hook itself
+  ASSERT_EQ(unsetenv("RRFD_SWEEP_THREADS"), 0);
+}
+
+TEST(Sweep, ConcurrentThrowsLeaveNoEmptySlot) {
+  // Regression for the empty-slot hazard in run(): when many trials
+  // throw at once from different workers, the surviving results must
+  // still fill every non-throwing slot, the lowest failing trial must
+  // win the rethrow race, and no worker may touch an unfilled slot
+  // (run under TSan in CI; the ENSURE in run() guards the Release path).
+  auto fn = [](int trial, Rng&) -> int {
+    if (trial % 3 == 0) {
+      throw std::runtime_error("trial " + std::to_string(trial));
+    }
+    return trial;
+  };
+  for (int threads : {2, 4, 8}) {
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      try {
+        run(64, 0, fn, threads);
+        FAIL() << "expected a throw at " << threads << " threads";
+      } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "trial 0");
+      }
+    }
+  }
+  // All-throwing sweeps exercise the path where *every* slot is empty.
+  auto always = [](int trial, Rng&) -> int {
+    throw std::runtime_error("trial " + std::to_string(trial));
+  };
+  try {
+    run(32, 0, always, /*threads=*/8);
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "trial 0");
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Sharded exhaustive exploration.
 // ---------------------------------------------------------------------------

@@ -1,0 +1,111 @@
+// sweep_serve: the deterministic job server over a stdin/stdout pipe
+// pair.
+//
+// Reads one rrfd-job-v1 request per stdin line, writes response lines
+// to stdout (README "Job server" quickstart; protocol in
+// src/serve/wire.h, semantics in DESIGN.md). Exits after stdin closes
+// and every accepted job has delivered its terminal line, so
+//
+//   sweep_serve < jobs.jsonl > results.jsonl
+//
+// is a complete, self-draining batch run -- and two runs of the same
+// job file produce byte-identical result streams (the cached
+// resubmission check in CI diffs exactly that).
+//
+// Usage:
+//   sweep_serve [--workers N] [--queue-depth N] [--client-cap N]
+//               [--sweep-threads N] [--rev REV]
+//
+//   --workers        worker threads executing jobs        (default 2)
+//   --queue-depth    admission cap, total queued jobs     (default 64)
+//   --client-cap     admission cap per client             (default 8)
+//   --sweep-threads  inner fan-out per job, 0 = serial    (default 0)
+//   --rev            override the cache revision stamp (testing only;
+//                    "unknown" disables caching, see src/serve/cache.h)
+//
+// Exit codes: 0 ok (all lines answered, including rejections), 1 fatal
+// server error, 2 usage error.
+#include <iostream>
+#include <mutex>
+#include <string>
+
+#include "serve/server.h"
+#include "util/check.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--workers N] [--queue-depth N] [--client-cap N]\n"
+               "                  [--sweep-threads N] [--rev REV]\n"
+               "Reads rrfd-job-v1 request lines on stdin, writes response "
+               "lines on stdout.\n";
+  return 2;
+}
+
+bool parse_int_arg(const std::string& value, int min, int* out) {
+  try {
+    *out = std::stoi(value);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return *out >= min;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rrfd::serve::ServerOptions options;
+  std::string rev;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    int parsed = 0;
+    if (arg == "--workers" && value && parse_int_arg(value, 1, &parsed)) {
+      options.workers = parsed;
+      ++i;
+    } else if (arg == "--queue-depth" && value &&
+               parse_int_arg(value, 1, &parsed)) {
+      options.queue.depth = static_cast<std::size_t>(parsed);
+      ++i;
+    } else if (arg == "--client-cap" && value &&
+               parse_int_arg(value, 1, &parsed)) {
+      options.queue.per_client = static_cast<std::size_t>(parsed);
+      ++i;
+    } else if (arg == "--sweep-threads" && value &&
+               parse_int_arg(value, 0, &parsed)) {
+      options.sweep_threads = parsed;
+      ++i;
+    } else if (arg == "--rev" && value && *value != '\0') {
+      options.git_rev = value;
+      ++i;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    rrfd::serve::Server server(std::move(options));
+    // Response lines may arrive from worker threads; hand whole lines to
+    // stdout under one lock so concurrent jobs never tear each other's
+    // output (the torn-line guard on the other side of the pipe is a
+    // named error, not a recovery mechanism).
+    std::mutex out_mu;
+    const auto sink = [&out_mu](const std::string& line) {
+      std::lock_guard<std::mutex> lock(out_mu);
+      std::cout << line << '\n';
+      std::cout.flush();
+    };
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      server.submit_line(line, sink);
+    }
+    server.drain();
+    server.shutdown();
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "sweep_serve: " << error.what() << "\n";
+    return 1;
+  }
+}
