@@ -40,11 +40,25 @@ core::EnginePath bench_engine_path() {
   return v == "set" ? core::EnginePath::kSet : core::EnginePath::kWord;
 }
 
+// RRFD_SUBMODEL_MEMO=on|off|auto selects the suffix-memoization policy
+// (default auto), so one binary records the E17 pre-memo/post-memo rows
+// and the E21 equivalence row against the same build.
+core::Memo bench_memo() {
+  const char* env = std::getenv("RRFD_SUBMODEL_MEMO");
+  if (env == nullptr || *env == '\0') return core::Memo::kAuto;
+  const std::string_view v(env);
+  RRFD_REQUIRE_MSG(v == "on" || v == "off" || v == "auto",
+                   "RRFD_SUBMODEL_MEMO must be 'on', 'off', or 'auto'");
+  if (v == "on") return core::Memo::kOn;
+  return v == "off" ? core::Memo::kOff : core::Memo::kAuto;
+}
+
 core::EnumOptions mode_options(bool prune, core::Symmetry sym, int threads) {
   core::EnumOptions o;
   o.prune = prune;
   o.symmetry = sym;
   o.path = bench_engine_path();
+  o.memo = bench_memo();
   if (threads > 0) o.runner = sweep::shard_runner(threads);
   return o;
 }
@@ -58,7 +72,10 @@ bool same_result(const core::ImplicationResult& a,
          a.stats.nodes == b.stats.nodes && a.stats.leaves == b.stats.leaves &&
          a.stats.pruned_subtrees == b.stats.pruned_subtrees &&
          a.stats.patterns_decided == b.stats.patterns_decided &&
-         a.stats.expanded_roots == b.stats.expanded_roots;
+         a.stats.expanded_roots == b.stats.expanded_roots &&
+         a.stats.memo_hits == b.stats.memo_hits &&
+         a.stats.memo_misses == b.stats.memo_misses &&
+         a.stats.memo_entries == b.stats.memo_entries;
 }
 
 std::string rate_str(double per_s) {
@@ -124,6 +141,7 @@ void summary() {
   for (const int threads : {1, 2, 4, 8}) {
     core::EnumOptions path_opts;
     path_opts.path = bench_engine_path();
+    path_opts.memo = bench_memo();
     const auto t0 = Clock::now();
     auto r = sweep::implies_exhaustive(immortal, bound, 4, 2, threads, path_opts);
     const double s = std::chrono::duration<double>(Clock::now() - t0).count();
@@ -160,6 +178,14 @@ void report_counters(benchmark::State& state,
   state.counters["symmetry_factor"] =
       static_cast<double>(r.stats.total_roots) /
       static_cast<double>(r.stats.expanded_roots);
+  state.counters["memo_hits"] = static_cast<double>(r.stats.memo_hits);
+  state.counters["memo_misses"] = static_cast<double>(r.stats.memo_misses);
+  state.counters["memo_entries"] = static_cast<double>(r.stats.memo_entries);
+  // Absolute (time-independent) counts, so memo-on and memo-off runs of
+  // the same workload can be diffed structurally: memoization must not
+  // change either value. Both stay far below 2^53, so double is exact.
+  state.counters["decided"] = static_cast<double>(r.patterns_checked);
+  state.counters["nodes"] = static_cast<double>(r.stats.nodes);
 }
 
 /// Workload 1 under one enumeration mode: 0 = baseline, 1 = pruned,
@@ -188,6 +214,7 @@ void bm_submodel_sharded_n4r2(benchmark::State& state) {
   static bool have_reference = false;
   core::EnumOptions path_opts;
   path_opts.path = bench_engine_path();
+  path_opts.memo = bench_memo();
   core::ImplicationResult r;
   for (auto _ : state) {
     r = sweep::implies_exhaustive(immortal, bound, 4, 2, threads, path_opts);
@@ -224,6 +251,75 @@ BENCHMARK(bm_submodel_sharded_n4r2)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()
     ->Iterations(3);
+
+/// Workload 2 with the memoization policy as the argument (0 = off,
+/// 1 = on), serial, so one run records the memo speedup head-to-head.
+/// The env knob is deliberately ignored here -- this benchmark *is* the
+/// on/off comparison.
+void bm_submodel_memo_n4r2(benchmark::State& state) {
+  const core::ImmortalProcess immortal;
+  const core::CumulativeFaultBound bound(3);
+  core::EnumOptions opts;
+  opts.path = bench_engine_path();
+  opts.memo = state.range(0) != 0 ? core::Memo::kOn : core::Memo::kOff;
+  core::ImplicationResult r;
+  for (auto _ : state) {
+    r = core::implies_exhaustive(immortal, bound, 4, 2, opts);
+    benchmark::DoNotOptimize(r.holds);
+  }
+  report_counters(state, r);
+}
+BENCHMARK(bm_submodel_memo_n4r2)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("memo")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(3);
+
+/// E21 -- the 3-round equivalence detector-S <=> cumulative(3) at n = 4:
+/// 15^12 = 129746337890625 patterns per direction, decidable in minutes
+/// only through the transposition tables (the seed pass plus the inner
+/// remaining-rounds tables collapse both the depth-1 and depth-2 state
+/// repeats). Unmemoized this is ~50625x workload 2 -- hours -- so the
+/// benchmark refuses to run with RRFD_SUBMODEL_MEMO=off rather than hang
+/// a smoke job. full_space == 1 certifies that every pattern in both
+/// directions was decided.
+void bm_submodel_equiv_n4r3(benchmark::State& state) {
+  if (bench_memo() == core::Memo::kOff) {
+    state.SkipWithError(
+        "RRFD_SUBMODEL_MEMO=off: 15^12 patterns per direction is not "
+        "feasible unmemoized");
+    return;
+  }
+  const core::ImmortalProcess immortal;
+  const core::CumulativeFaultBound bound(3);
+  core::EnumOptions opts;
+  opts.path = bench_engine_path();
+  opts.memo = core::Memo::kOn;
+  // Memo hits account the replayed subtree's full node mass, so the
+  // budget must cover the *unmemoized* work profile -- that is the point
+  // of the exact-stats contract. 1e15 > 7 * 15^12 bounds any 3-round
+  // n = 4 search.
+  opts.node_budget = std::int64_t{1'000'000'000'000'000};
+  core::EquivalenceResult r;
+  for (auto _ : state) {
+    r = core::equivalent_exhaustive(immortal, bound, 4, 3, opts);
+    benchmark::DoNotOptimize(r.forward.holds);
+  }
+  report_counters(state, r.forward);
+  const std::int64_t space = 129746337890625;  // 15^12
+  state.counters["equivalent"] = r.equivalent() ? 1.0 : 0.0;
+  state.counters["full_space"] =
+      (r.forward.stats.patterns_decided == space &&
+       r.backward.stats.patterns_decided == space)
+          ? 1.0
+          : 0.0;
+}
+BENCHMARK(bm_submodel_equiv_n4r3)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
 
 }  // namespace
 

@@ -62,6 +62,25 @@ class AndEvaluator final : public StepEvaluator {
         [d, n](StepEvaluator& e) { return e.push_round_words(d, n); });
   }
 
+  bool state_bytes(std::vector<std::uint8_t>& out) const override {
+    // A retired child (kSatisfiedForever promise in force) is absorbing:
+    // it sees no pushes below this depth and always counts as satisfied,
+    // so one tag byte stands in for whatever state it froze at. Live
+    // children contribute their own key, length-prefixed because child
+    // keys vary in length and concatenation must stay unambiguous.
+    for (const Child& c : children_) {
+      if (c.forever_at >= 0) {
+        statekey::append_u8(out, 0xFF);
+        continue;
+      }
+      statekey::append_u8(out, 0x01);
+      const std::size_t pos = statekey::begin_length_prefix(out);
+      if (!c.eval->state_bytes(out)) return false;
+      statekey::end_length_prefix(out, pos);
+    }
+    return true;
+  }
+
   void pop_round() override {
     for (Child& c : children_) {
       if (c.forever_at < 0) {
@@ -107,6 +126,16 @@ class AndEvaluator final : public StepEvaluator {
 };
 
 }  // namespace
+
+bool StepEvaluator::state_bytes(std::vector<std::uint8_t>& /*out*/) const {
+  return false;  // no bounded canonical key unless an override says so
+}
+
+std::optional<std::vector<std::uint8_t>> StepEvaluator::state_key() const {
+  std::vector<std::uint8_t> out;
+  if (!state_bytes(out)) return std::nullopt;
+  return out;
+}
 
 StepVerdict StepEvaluator::push_round_words(const std::uint64_t* d, int n) {
   RoundFaults round;

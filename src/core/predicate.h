@@ -16,12 +16,54 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/fault_pattern.h"
 
 namespace rrfd::core {
+
+/// Byte-append helpers for StepEvaluator::state_bytes implementations.
+/// Fixed-width little-endian encodings keep keys canonical across
+/// platforms; length prefixes make variable-length child keys
+/// self-delimiting inside composite folds.
+namespace statekey {
+
+inline void append_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+inline void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+/// Reserves a u32 length slot and returns its position; pair with
+/// end_length_prefix after appending the variable-length payload.
+inline std::size_t begin_length_prefix(std::vector<std::uint8_t>& out) {
+  const std::size_t pos = out.size();
+  append_u32(out, 0);
+  return pos;
+}
+
+inline void end_length_prefix(std::vector<std::uint8_t>& out,
+                              std::size_t pos) {
+  const auto len = static_cast<std::uint32_t>(out.size() - pos - 4);
+  for (int i = 0; i < 4; ++i) {
+    out[pos + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(len >> (8 * i));
+  }
+}
+
+}  // namespace statekey
 
 /// Verdict of a StepEvaluator after one more round has been pushed.
 enum class StepVerdict {
@@ -81,6 +123,33 @@ class StepEvaluator {
 
   /// Retracts the most recently pushed round.
   virtual void pop_round() = 0;
+
+  /// Appends a canonical fingerprint of the evaluator's current state to
+  /// `out` and returns true, or returns false when the evaluator has no
+  /// bounded canonical key (the default, inherited by the whole-pattern
+  /// fallback, whose state is the entire pushed prefix).
+  ///
+  /// Contract (what the suffix-memoization engine relies on; see
+  /// "Suffix memoization" in DESIGN.md):
+  ///  * Canonical: two evaluators of the *same predicate* -- same class,
+  ///    same construction parameters, begun with the same n -- that
+  ///    append equal bytes behave identically under every future LIFO
+  ///    push/pop sequence that never pops below the current depth.
+  ///    Equal bytes must imply equal behaviour across instances, not
+  ///    just within one instance.
+  ///  * Keyability is structural: an evaluator either always returns
+  ///    true or always returns false over its whole lifetime; callers
+  ///    probe once after begin().
+  ///  * On a false return the contents of `out` are unspecified.
+  ///
+  /// Implementations should canonicalize absorbing states (e.g. collapse
+  /// every violated-forever state to one tag byte) so that behaviourally
+  /// identical states share one memo entry.
+  virtual bool state_bytes(std::vector<std::uint8_t>& out) const;
+
+  /// Convenience wrapper over state_bytes: the full key from an empty
+  /// buffer, or nullopt for keyless evaluators.
+  std::optional<std::vector<std::uint8_t>> state_key() const;
 };
 
 /// An RRFD model, i.e. a predicate over fault patterns.

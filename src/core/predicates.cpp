@@ -57,6 +57,13 @@ class PerRoundEvaluator : public StepEvaluator {
 
   void pop_round() override { viol_.pop_back(); }
 
+  bool state_bytes(std::vector<std::uint8_t>& out) const override {
+    // The only state is the sticky violated bit; vacuity is a constant
+    // of (parameters, n) and needs no bytes.
+    statekey::append_u8(out, viol_.back() != 0 ? 0xFF : 0x00);
+    return true;
+  }
+
  protected:
   virtual bool violates(const RoundFaults& round) const = 0;
 
@@ -129,6 +136,20 @@ class NoSelfSuspicionEvaluator final : public StepEvaluator {
 
   void pop_round() override { states_.pop_back(); }
 
+  bool state_bytes(std::vector<std::uint8_t>& out) const override {
+    // Violation is sticky, so every violated state collapses to one tag.
+    // The announced set only matters under the exemption; without it the
+    // future depends on nothing but the violated bit.
+    const State& s = states_.back();
+    if (s.violated) {
+      statekey::append_u8(out, 0xFF);
+    } else {
+      statekey::append_u8(out, 0x00);
+      if (exempt_) statekey::append_u64(out, s.announced.bits());
+    }
+    return true;
+  }
+
  private:
   struct State {
     ProcessSet announced;  ///< cumulative union of the pushed rounds
@@ -169,6 +190,19 @@ class CumulativeFaultBoundEvaluator final : public StepEvaluator {
   }
 
   void pop_round() override { cums_.pop_back(); }
+
+  bool state_bytes(std::vector<std::uint8_t>& out) const override {
+    // The cumulative union only grows along a suffix, so an over-budget
+    // union is absorbing and collapses to one tag.
+    const ProcessSet& cum = cums_.back();
+    if (cum.size() > f_) {
+      statekey::append_u8(out, 0xFF);
+    } else {
+      statekey::append_u8(out, 0x00);
+      statekey::append_u64(out, cum.bits());
+    }
+    return true;
+  }
 
  private:
   int f_;
@@ -221,6 +255,17 @@ class CrashMonotonicityEvaluator final : public StepEvaluator {
   }
 
   void pop_round() override { states_.pop_back(); }
+
+  bool state_bytes(std::vector<std::uint8_t>& out) const override {
+    const State& s = states_.back();
+    if (s.violated) {
+      statekey::append_u8(out, 0xFF);  // sticky
+    } else {
+      statekey::append_u8(out, 0x00);
+      statekey::append_u64(out, s.round_union.bits());
+    }
+    return true;
+  }
 
  private:
   struct State {
@@ -342,6 +387,17 @@ class ImmortalProcessEvaluator final : public StepEvaluator {
   }
 
   void pop_round() override { cums_.pop_back(); }
+
+  bool state_bytes(std::vector<std::uint8_t>& out) const override {
+    const ProcessSet& cum = cums_.back();
+    if (cum.size() >= n_) {
+      statekey::append_u8(out, 0xFF);  // everyone announced: sticky
+    } else {
+      statekey::append_u8(out, 0x00);
+      statekey::append_u64(out, cum.bits());
+    }
+    return true;
+  }
 
  private:
   int n_ = 0;

@@ -4,6 +4,9 @@
 #include <atomic>
 #include <limits>
 #include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"
@@ -127,6 +130,48 @@ std::vector<PermTable> build_perm_tables(int n) {
 }
 
 // ---------------------------------------------------------------------------
+// Suffix-count memoization
+// ---------------------------------------------------------------------------
+
+/// Exact work profile of one completed suffix subtree: how many nodes,
+/// leaves, and pruned inner nodes the plain DFS spends below a node in
+/// that evaluator state. The deltas are orbit-independent (orbit weights
+/// only scale patterns_decided, which a hit recomputes from leaves_below),
+/// so one entry serves every node that reaches the same state. Entries
+/// exist *only* for subtrees the DFS completed without finding a
+/// counterexample or exhausting the budget -- a hit therefore also proves
+/// "no counterexample below", which is what keeps refutation order and
+/// budget reporting identical to the unmemoized search.
+struct MemoEntry {
+  std::int64_t nodes;
+  std::int64_t leaves;
+  std::int64_t pruned_subtrees;
+};
+
+/// FNV-1a over the canonical key bytes.
+struct MemoKeyHash {
+  std::size_t operator()(const std::vector<std::uint8_t>& key) const noexcept {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const std::uint8_t byte : key) {
+      h ^= byte;
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+using MemoTable =
+    std::unordered_map<std::vector<std::uint8_t>, MemoEntry, MemoKeyHash>;
+using MemoKeySet = std::unordered_set<std::vector<std::uint8_t>, MemoKeyHash>;
+
+/// States below this many distinct depth-1 entries are worth seeding
+/// serially before the shards run (see ShardWorker::run_seed).
+constexpr std::int64_t kMaxSeedEntries = 4096;
+/// Seed pass root-count gate: walking every root serially must stay a
+/// negligible fraction of the total work.
+constexpr std::int64_t kMaxSeedRoots = std::int64_t{1} << 20;
+
+// ---------------------------------------------------------------------------
 // Pruned, sharded DFS
 // ---------------------------------------------------------------------------
 
@@ -146,6 +191,13 @@ struct SearchSpec {
   /// depth-d node.
   std::vector<std::int64_t> leaves_below;
   std::vector<PermTable> perms;  ///< empty unless use_symmetry
+  /// Suffix-count memoization requested (Memo::kAuto/kOn with rounds >=
+  /// 2). Each worker still probes evaluator keyability and quietly runs
+  /// the plain DFS when either evaluator is keyless.
+  bool use_memo = false;
+  /// Depth-1 entries shared by all shards, filled by the serial seed
+  /// pass; null when seeding was skipped or produced nothing.
+  const MemoTable* seed = nullptr;
 };
 
 /// What one shard reports back; merged strictly in shard order.
@@ -185,6 +237,7 @@ class ShardWorker {
   void run(std::int64_t first, std::int64_t stride, std::int64_t total) {
     a_eval_->begin(spec_.n, spec_.rounds);
     b_eval_->begin(spec_.n, spec_.rounds);
+    init_memo();
     for (std::int64_t k = first; k < total; k += stride) {
       std::int64_t rem = k;
       for (int i = 0; i < spec_.n; ++i) {
@@ -208,6 +261,52 @@ class ShardWorker {
     out_.counterexample = std::move(counterexample_);
     out_.budget_exceeded = budget_exceeded_;
     out_.ran = true;
+  }
+
+  /// Serial seed pass, run once before the shards: walks every root in
+  /// index order and explores each *distinct* depth-1 evaluator state's
+  /// subtree exactly once, publishing the resulting entries into `seed`
+  /// for all shards to share. Root-level states repeat across shards
+  /// (each shard sees only a strided slice of the repeats), so per-shard
+  /// tables alone leave most of the redundancy on the table -- this pass
+  /// is what makes the repeated-state workloads collapse. Purely an
+  /// optimization: every published entry holds the exact unmemoized work
+  /// profile, so shard statistics are unchanged. A subtree holding a
+  /// counterexample or exceeding the node budget is *not* published (the
+  /// key is poisoned instead): the owning shard replays it with the plain
+  /// DFS and reports the event with exactly the unmemoized order, partial
+  /// counts, and shard attribution. All seed-pass statistics, events, and
+  /// evaluator state are contained here and discarded.
+  void run_seed(MemoTable& seed, std::int64_t total) {
+    a_eval_->begin(spec_.n, spec_.rounds);
+    b_eval_->begin(spec_.n, spec_.rounds);
+    init_memo();
+    if (!memo_on_) return;
+    seeding_ = true;
+    seed_out_ = &seed;
+    for (std::int64_t k = 0; k < total; ++k) {
+      std::int64_t rem = k;
+      for (int i = 0; i < spec_.n; ++i) {
+        const std::int64_t digit = rem % spec_.v;
+        rem /= spec_.v;
+        digits_[1][static_cast<std::size_t>(i)] = digit;
+        if (!spec_.word_mode) {
+          buf_[1][static_cast<std::size_t>(i)] = ProcessSet::from_bits(
+              spec_.n, static_cast<std::uint64_t>(digit));
+        }
+      }
+      std::int64_t orbit = 1;
+      if (spec_.use_symmetry) {
+        orbit = orbit_if_canonical();
+        if (orbit == 0) continue;
+      }
+      // Fresh counters per root: the budget window and any recorded
+      // events must not leak from one probed subtree into the next.
+      stats_ = EnumStats{};
+      budget_exceeded_ = false;
+      counterexample_.reset();
+      descend(1, orbit);
+    }
   }
 
  private:
@@ -340,7 +439,7 @@ class ShardWorker {
       // B holds for every extension: no counterexample below.
       count_subtree(depth, orbit, /*at_leaf=*/false);
     } else {
-      keep_going = enumerate_level(depth + 1, orbit);
+      keep_going = explore_below(depth, orbit);
     }
 
     if (b_pushed) {
@@ -352,6 +451,125 @@ class ShardWorker {
       if (a_forever_at_ == depth) a_forever_at_ = -1;
     }
     return keep_going;
+  }
+
+  /// Probes evaluator keyability once, at the empty state. Keyability is
+  /// structural (constant over an evaluator's lifetime -- see the
+  /// state_bytes contract), so one probe decides it for the whole search.
+  void init_memo() {
+    memo_on_ = false;
+    if (!spec_.use_memo) return;
+    key_.clear();
+    if (!a_eval_->state_bytes(key_)) return;
+    key_.clear();
+    if (!b_eval_->state_bytes(key_)) return;
+    memo_on_ = true;
+    memo_.assign(static_cast<std::size_t>(spec_.rounds), MemoTable{});
+  }
+
+  /// Writes the joint evaluator state into key_. An evaluator retired by
+  /// a kSatisfiedForever promise above is absorbing -- it sees no pushes
+  /// below this depth -- so a tag byte replaces whatever state it froze
+  /// at. A's part is length-prefixed so the concatenation with B's stays
+  /// unambiguous; B's runs to the end of the buffer. Rounds remaining is
+  /// *not* part of the key: tables are indexed by it instead.
+  bool compose_key() {
+    key_.clear();
+    if (a_forever_at_ >= 0) {
+      statekey::append_u8(key_, 0xFF);
+    } else {
+      statekey::append_u8(key_, 0x01);
+      const std::size_t pos = statekey::begin_length_prefix(key_);
+      if (!a_eval_->state_bytes(key_)) return false;
+      statekey::end_length_prefix(key_, pos);
+    }
+    if (b_forever_at_ >= 0) {
+      statekey::append_u8(key_, 0xFF);
+    } else {
+      statekey::append_u8(key_, 0x01);
+      if (!b_eval_->state_bytes(key_)) return false;
+    }
+    return true;
+  }
+
+  /// Enumerates the whole subtree below the inner node at `depth` (whose
+  /// evaluator pushes descend already performed), through the
+  /// transposition tables when they are on. A hit replays the stored
+  /// subtree's exact work profile; a miss explores and, if the subtree
+  /// completes, stores it. Equal keys imply identical evaluator behaviour
+  /// below (the state_bytes contract), hence identical subtree profiles
+  /// -- so every statistic except the memo_* counters matches the plain
+  /// DFS exactly.
+  bool explore_below(Round depth, std::int64_t orbit) {
+    if (!memo_on_) return enumerate_level(depth + 1, orbit);
+    if (!compose_key()) return enumerate_level(depth + 1, orbit);
+    const Round remaining = spec_.rounds - depth;
+    if (seeding_ && remaining == spec_.rounds - 1) {
+      return seed_subtree(depth, orbit);
+    }
+    MemoTable& table = memo_[static_cast<std::size_t>(remaining)];
+    const MemoEntry* entry = nullptr;
+    if (const auto it = table.find(key_); it != table.end()) {
+      entry = &it->second;
+    } else if (spec_.seed != nullptr && remaining == spec_.rounds - 1) {
+      if (const auto sit = spec_.seed->find(key_); sit != spec_.seed->end()) {
+        entry = &sit->second;
+      }
+    }
+    if (entry != nullptr) {
+      ++stats_.memo_hits;
+      stats_.nodes += entry->nodes;
+      stats_.leaves += entry->leaves;
+      stats_.pruned_subtrees += entry->pruned_subtrees;
+      // A stored subtree completed, deciding every leaf below its root.
+      stats_.patterns_decided +=
+          orbit * spec_.leaves_below[static_cast<std::size_t>(depth)];
+      if (stats_.nodes > spec_.node_budget) {
+        budget_exceeded_ = true;
+        return false;
+      }
+      return true;
+    }
+    ++stats_.memo_misses;
+    std::vector<std::uint8_t> key = key_;  // recursion reuses the scratch
+    const std::int64_t nodes0 = stats_.nodes;
+    const std::int64_t leaves0 = stats_.leaves;
+    const std::int64_t pruned0 = stats_.pruned_subtrees;
+    if (!enumerate_level(depth + 1, orbit)) return false;
+    table.emplace(std::move(key),
+                  MemoEntry{stats_.nodes - nodes0, stats_.leaves - leaves0,
+                            stats_.pruned_subtrees - pruned0});
+    ++stats_.memo_entries;
+    return true;
+  }
+
+  /// Seed-pass handler for depth-1 subtrees: explores the state's
+  /// subtree iff it is new, with a fresh budget window, and publishes it
+  /// only on clean completion. compose_key has already filled key_.
+  bool seed_subtree(Round depth, std::int64_t orbit) {
+    MemoTable& seed = *seed_out_;
+    if (seed.find(key_) != seed.end() ||
+        poisoned_.find(key_) != poisoned_.end()) {
+      return true;  // state already resolved; skip the repeat
+    }
+    if (static_cast<std::int64_t>(seed.size()) >= kMaxSeedEntries) {
+      return true;  // state-rich workload: stop seeding, shards take over
+    }
+    std::vector<std::uint8_t> key = key_;
+    stats_ = EnumStats{};  // per-subtree budget window; discarded
+    if (!enumerate_level(depth + 1, orbit)) {
+      // Counterexample or budget exhaustion below: shards must replay
+      // this subtree themselves -- in their own deterministic order, with
+      // the exact partial counts -- so it must never become a hit.
+      poisoned_.insert(std::move(key));
+      counterexample_.reset();
+      budget_exceeded_ = false;
+      return true;
+    }
+    seed.emplace(std::move(key),
+                 MemoEntry{stats_.nodes, stats_.leaves,
+                           stats_.pruned_subtrees});
+    return true;
   }
 
   /// In-place odometer over all v^n round assignments at `depth`,
@@ -399,6 +617,13 @@ class ShardWorker {
   bool budget_exceeded_ = false;
   std::vector<RoundFaults> buf_;                 ///< [1..rounds] in-place
   std::vector<std::vector<std::int64_t>> digits_;  ///< mask per (depth, proc)
+  // --- suffix-count memoization (all idle unless memo_on_) ---
+  bool memo_on_ = false;               ///< requested and both evaluators keyed
+  std::vector<MemoTable> memo_;        ///< indexed by rounds remaining
+  std::vector<std::uint8_t> key_;      ///< compose_key scratch
+  bool seeding_ = false;               ///< run_seed mode
+  MemoTable* seed_out_ = nullptr;      ///< seed pass output table
+  MemoKeySet poisoned_;                ///< seed states with a contained event
 };
 
 ImplicationResult run_search(const Predicate& a, const Predicate& b, int n,
@@ -441,6 +666,26 @@ ImplicationResult run_search(const Predicate& a, const Predicate& b, int n,
   }
 
   const std::int64_t total_roots = *checked_space(n, n);
+
+  // With a single round every inner node is a root, so there is no
+  // suffix to memoize; kAuto and kOn agree on when memoization is sound.
+  spec.use_memo = options.memo != Memo::kOff && rounds >= 2;
+
+  // Seed pass: depth-1 states repeat *across* shards, so per-shard
+  // tables alone cannot collapse that redundancy. When walking the roots
+  // serially is cheap relative to the search, do it once up front and
+  // hand every shard the shared depth-1 table. Runs before any shard, on
+  // this thread: deterministic by construction.
+  MemoTable seed;
+  std::int64_t seed_entries = 0;
+  if (spec.use_memo && total_roots <= kMaxSeedRoots) {
+    ShardOutcome scratch;
+    ShardWorker seeder(spec, scratch);
+    seeder.run_seed(seed, total_roots);
+    seed_entries = static_cast<std::int64_t>(seed.size());
+    if (seed_entries > 0) spec.seed = &seed;
+  }
+
   // Fixed shard count, independent of how many threads the runner uses:
   // the merge below walks shards in index order, so the result is
   // byte-identical for any execution schedule.
@@ -484,6 +729,9 @@ ImplicationResult run_search(const Predicate& a, const Predicate& b, int n,
     result.stats.pruned_subtrees += o.stats.pruned_subtrees;
     result.stats.patterns_decided += o.stats.patterns_decided;
     result.stats.expanded_roots += o.stats.expanded_roots;
+    result.stats.memo_hits += o.stats.memo_hits;
+    result.stats.memo_misses += o.stats.memo_misses;
+    result.stats.memo_entries += o.stats.memo_entries;
     RRFD_REQUIRE_MSG(!o.budget_exceeded,
                      "exhaustive check exceeded the per-shard node budget; "
                      "raise EnumOptions::node_budget or shrink the system");
@@ -493,6 +741,10 @@ ImplicationResult run_search(const Predicate& a, const Predicate& b, int n,
       break;
     }
   }
+  // Seed entries are search-wide, counted once (shard-local insertions
+  // were merged above). Deterministic like everything else here: the
+  // seed pass is serial and runs before any shard.
+  result.stats.memo_entries += seed_entries;
   result.patterns_checked = result.stats.patterns_decided;
   return result;
 }

@@ -67,6 +67,29 @@ enum class Symmetry {
   kOn,
 };
 
+/// Suffix-count memoization policy for the exact checks. When enabled,
+/// each shard keeps a transposition table keyed by (canonical evaluator
+/// state of A, of B, rounds remaining) whose value is the exact work
+/// profile of the whole suffix subtree, so a repeated state is decided
+/// in O(1) instead of re-enumerating up to (2^n - 1)^(n * remaining)
+/// patterns. Sound only through StepEvaluator::state_bytes; evaluators
+/// without a canonical key (the whole-pattern fallback, custom
+/// predicates) silently fall back to the plain DFS. Memoization never
+/// changes any result or statistic other than the memo_* counters: the
+/// counts, counterexample, budget behaviour, and sharded byte-identity
+/// are exactly those of the unmemoized search. See "Suffix memoization"
+/// in DESIGN.md.
+enum class Memo {
+  /// Memoize whenever sound and useful (both evaluators keyed, at least
+  /// two rounds). The default.
+  kAuto,
+  /// Never memoize.
+  kOff,
+  /// Memoize whenever sound (same conditions as kAuto today; kept
+  /// distinct so kAuto may grow cost heuristics without a knob change).
+  kOn,
+};
+
 /// Executes `job(0) .. job(n_jobs - 1)`, each exactly once, in any order
 /// and on any threads. The default (a null runner) is a serial loop;
 /// sweep/submodel_parallel.h supplies a pool-backed one. Results do not
@@ -94,6 +117,9 @@ struct EnumOptions {
   /// RoundFaults path, kept as the equivalence oracle. Same verdicts,
   /// counts, and counterexamples either way.
   EnginePath path = EnginePath::kWord;
+  /// Suffix-count memoization over canonical evaluator states. Like
+  /// every other knob: only changes how fast, never which answer.
+  Memo memo = Memo::kAuto;
 };
 
 /// Work accounting for one exact check.
@@ -109,6 +135,17 @@ struct EnumStats {
   std::int64_t total_roots = 0;     ///< (2^n - 1)^n
   bool symmetry_used = false;
   int shards = 0;
+  /// Suffix-memoization accounting (all zero when memoization is off or
+  /// the evaluators are keyless). Deterministic at any thread count,
+  /// like every other field: tables are per-shard plus a seed table
+  /// filled serially before the shards run. memo_entries counts seed
+  /// entries once plus every shard-local insertion; a memo hit's
+  /// decided-pattern mass is included in patterns_decided, and its
+  /// subtree's nodes/leaves/pruned_subtrees are included in those
+  /// fields, so all non-memo statistics equal the unmemoized run's.
+  std::int64_t memo_hits = 0;
+  std::int64_t memo_misses = 0;
+  std::int64_t memo_entries = 0;
 };
 
 /// Result of an implication check.

@@ -25,6 +25,7 @@ using core::Round;
 using core::RoundFaults;
 using core::StepVerdict;
 using core::full_mask;
+namespace statekey = core::statekey;
 
 // --------------------------------------------------------------------------
 // Round-local primitive checks.
@@ -252,6 +253,13 @@ class Node {
   virtual void push_words(const std::uint64_t* d) = 0;
   virtual void pop() = 0;
   virtual StepVerdict current() const = 0;
+  /// Canonical state fingerprint under the StepEvaluator::state_bytes
+  /// contract (every node below implements it -- the spec algebra only
+  /// admits bounded state -- but the conservative default keeps future
+  /// nodes sound until they opt in).
+  virtual bool state_bytes(std::vector<std::uint8_t>& /*out*/) const {
+    return false;
+  }
 };
 
 std::unique_ptr<Node> build_node(const Spec& spec);
@@ -279,6 +287,11 @@ class PerRoundNode final : public Node {
     }
     return vacuous_ ? StepVerdict::kSatisfiedForever
                     : StepVerdict::kSatisfiedSoFar;
+  }
+  bool state_bytes(std::vector<std::uint8_t>& out) const override {
+    const bool violated = !violated_.empty() && violated_.back() != 0;
+    statekey::append_u8(out, violated ? 0xFF : 0x00);
+    return true;
   }
 
  private:
@@ -317,6 +330,11 @@ class EventuallyNode final : public Node {
     // A good round can never be un-seen, so satisfaction is permanent.
     return seen ? StepVerdict::kSatisfiedForever
                 : StepVerdict::kViolatedForever;
+  }
+  bool state_bytes(std::vector<std::uint8_t>& out) const override {
+    const bool seen = !seen_.empty() && seen_.back() != 0;
+    statekey::append_u8(out, seen ? 0x01 : 0x00);
+    return true;
   }
 
  private:
@@ -359,6 +377,16 @@ class AllNode final : public Node {
     return all_forever ? StepVerdict::kSatisfiedForever
                        : StepVerdict::kSatisfiedSoFar;
   }
+  bool state_bytes(std::vector<std::uint8_t>& out) const override {
+    // Children are a fixed list, but their keys vary in length, so each
+    // is length-prefixed to keep the concatenation unambiguous.
+    for (const auto& c : children_) {
+      const std::size_t pos = statekey::begin_length_prefix(out);
+      if (!c->state_bytes(out)) return false;
+      statekey::end_length_prefix(out, pos);
+    }
+    return true;
+  }
 
  private:
   std::vector<std::unique_ptr<Node>> children_;
@@ -396,6 +424,16 @@ class WindowNode final : public Node {
       return StepVerdict::kSatisfiedForever;
     }
     return v;
+  }
+  bool state_bytes(std::vector<std::uint8_t>& out) const override {
+    // Future behaviour depends on how far the scope has advanced
+    // relative to the window bounds, canonicalized: past a closed
+    // window every depth is equivalent, and once an unbounded window
+    // has opened the exact depth no longer matters.
+    const Round canon = (hi_ != 0) ? std::min(depth_, hi_)
+                                   : std::min(depth_, lo_);
+    statekey::append_u32(out, static_cast<std::uint32_t>(canon));
+    return child_->state_bytes(out);
   }
 
  private:
@@ -466,6 +504,20 @@ class LinkBudgetNode final : public Node {
     return vacuous_ ? StepVerdict::kSatisfiedForever
                     : StepVerdict::kSatisfiedSoFar;
   }
+  bool state_bytes(std::vector<std::uint8_t>& out) const override {
+    // An over-budget link can only stay over along a suffix: absorbing.
+    // Otherwise the full drop matrix is the state (each count is at most
+    // the budget here, but future drops depend on the exact values).
+    if (over_.back() > 0) {
+      statekey::append_u8(out, 0xFF);
+      return true;
+    }
+    statekey::append_u8(out, 0x00);
+    for (const int drops : drops_) {
+      statekey::append_u32(out, static_cast<std::uint32_t>(drops));
+    }
+    return true;
+  }
 
  private:
   int budget_;
@@ -510,6 +562,16 @@ class CrashOnlyNode final : public Node {
     return state_.back().violated ? StepVerdict::kViolatedForever
                                   : StepVerdict::kSatisfiedSoFar;
   }
+  bool state_bytes(std::vector<std::uint8_t>& out) const override {
+    const State& s = state_.back();
+    if (s.violated) {
+      statekey::append_u8(out, 0xFF);  // a broken adjacency stays broken
+      return true;
+    }
+    statekey::append_u8(out, state_.size() > 1 ? 0x01 : 0x00);
+    statekey::append_u64(out, s.prev_union);
+    return true;
+  }
 
  private:
   struct State {
@@ -549,6 +611,16 @@ class CumulativeCapNode final : public Node {
     // cap >= n: even the full S stays within the cap.
     return cap_ >= n_ ? StepVerdict::kSatisfiedForever
                       : StepVerdict::kSatisfiedSoFar;
+  }
+  bool state_bytes(std::vector<std::uint8_t>& out) const override {
+    const std::uint64_t u = unions_.back();
+    if (std::popcount(u) > cap_) {
+      statekey::append_u8(out, 0xFF);  // the union only grows: sticky
+    } else {
+      statekey::append_u8(out, 0x00);
+      statekey::append_u64(out, u);
+    }
+    return true;
   }
 
  private:
@@ -612,6 +684,17 @@ class DelayCapNode final : public Node {
     return vacuous_ ? StepVerdict::kSatisfiedForever
                     : StepVerdict::kSatisfiedSoFar;
   }
+  bool state_bytes(std::vector<std::uint8_t>& out) const override {
+    if (violated_.back() != 0) {
+      statekey::append_u8(out, 0xFF);  // an exceeded run is permanent
+      return true;
+    }
+    statekey::append_u8(out, 0x00);
+    for (const int run : runs_.back()) {
+      statekey::append_u32(out, static_cast<std::uint32_t>(run));
+    }
+    return true;
+  }
 
  private:
   int cap_;
@@ -673,6 +756,9 @@ class HoEvaluator final : public core::StepEvaluator {
     return root_->current();
   }
   void pop_round() override { root_->pop(); }
+  bool state_bytes(std::vector<std::uint8_t>& out) const override {
+    return root_->state_bytes(out);
+  }
 
  private:
   std::unique_ptr<Node> root_;

@@ -436,7 +436,8 @@ class NoEnvSideband final : public Rule {
   std::string_view name() const override { return "no-env-sideband"; }
   std::string_view description() const override {
     return "getenv is restricted to the documented hooks (RRFD_TRACE, "
-           "RRFD_BENCH_*, RRFD_SWEEP_THREADS); setenv/putenv are banned";
+           "RRFD_BENCH_*, RRFD_SWEEP_THREADS, RRFD_SUBMODEL_MEMO); "
+           "setenv/putenv are banned";
   }
   void check(const FileContext& file, std::vector<Finding>& out) const override {
     const auto& toks = file.lexed.tokens;
@@ -469,7 +470,7 @@ class NoEnvSideband final : public Rule {
  private:
   static bool allowed(const std::string& var) {
     return var == "RRFD_TRACE" || var == "RRFD_SWEEP_THREADS" ||
-           starts_with(var, "RRFD_BENCH_");
+           var == "RRFD_SUBMODEL_MEMO" || starts_with(var, "RRFD_BENCH_");
   }
 };
 

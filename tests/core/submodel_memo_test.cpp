@@ -1,0 +1,440 @@
+// Suffix-count memoization held against the plain DFS and the naive
+// odometer (DESIGN.md "Suffix memoization").
+//
+// The memo contract is that transposition tables are *unobservable*
+// except through the memo_* counters: every other statistic, the holds
+// verdict, the counterexample, and the budget behaviour must be exactly
+// those of the unmemoized search, on both engine paths, under both
+// symmetry modes, at any thread count. These suites enforce that
+// differentially across the whole zoo and the compiled Heard-Of catalog,
+// and separately test the state_bytes canonicality contract the tables
+// rest on: equal keys must imply identical verdict behaviour under any
+// common suffix, including across evaluator instances and across
+// prefixes of different depths.
+#include "core/submodel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/predicates.h"
+#include "core/words.h"
+#include "ho/catalog.h"
+#include "sweep/submodel_parallel.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace rrfd::core {
+namespace {
+
+struct NamedPredicate {
+  std::string name;
+  PredicatePtr pred;
+};
+
+/// Every zoo factory, parameterized to be satisfiable at size n.
+std::vector<NamedPredicate> zoo(int n) {
+  const int f = n > 2 ? n / 2 : 1;
+  std::vector<NamedPredicate> out;
+  out.push_back({"sync_omission", sync_omission(f)});
+  out.push_back({"sync_crash", sync_crash(f)});
+  out.push_back({"async_message_passing", async_message_passing(f)});
+  out.push_back({"swmr_shared_memory", swmr_shared_memory(f)});
+  out.push_back({"swmr_shared_memory_alt", swmr_shared_memory_alt(f)});
+  out.push_back({"atomic_snapshot", atomic_snapshot(f)});
+  out.push_back({"detector_s", detector_s()});
+  out.push_back({"k_uncertainty", k_uncertainty(f)});
+  out.push_back({"equal_announcements", equal_announcements()});
+  out.push_back({"quorum_skew", quorum_skew(f + 1, f)});
+  return out;
+}
+
+EnumOptions opts_with(Memo memo, EnginePath path, Symmetry sym,
+                      int threads = 0) {
+  EnumOptions o;
+  o.memo = memo;
+  o.path = path;
+  o.symmetry = sym;
+  if (threads > 0) o.runner = sweep::shard_runner(threads);
+  return o;
+}
+
+/// Full-result equality, including every statistic. Memoization promises
+/// that everything except the memo_* counters matches the unmemoized
+/// run; when `include_memo` the counters themselves must match too
+/// (memo-vs-memo comparisons across thread counts).
+void expect_same(const ImplicationResult& ref, const ImplicationResult& got,
+                 bool include_memo, const std::string& what) {
+  EXPECT_EQ(ref.holds, got.holds) << what;
+  EXPECT_EQ(ref.patterns_checked, got.patterns_checked) << what;
+  ASSERT_EQ(ref.counterexample.has_value(), got.counterexample.has_value())
+      << what;
+  if (ref.counterexample.has_value()) {
+    EXPECT_EQ(*ref.counterexample, *got.counterexample) << what;
+  }
+  EXPECT_EQ(ref.stats.nodes, got.stats.nodes) << what;
+  EXPECT_EQ(ref.stats.leaves, got.stats.leaves) << what;
+  EXPECT_EQ(ref.stats.pruned_subtrees, got.stats.pruned_subtrees) << what;
+  EXPECT_EQ(ref.stats.patterns_decided, got.stats.patterns_decided) << what;
+  EXPECT_EQ(ref.stats.expanded_roots, got.stats.expanded_roots) << what;
+  EXPECT_EQ(ref.stats.total_roots, got.stats.total_roots) << what;
+  EXPECT_EQ(ref.stats.symmetry_used, got.stats.symmetry_used) << what;
+  if (include_memo) {
+    EXPECT_EQ(ref.stats.memo_hits, got.stats.memo_hits) << what;
+    EXPECT_EQ(ref.stats.memo_misses, got.stats.memo_misses) << what;
+    EXPECT_EQ(ref.stats.memo_entries, got.stats.memo_entries) << what;
+  }
+}
+
+TEST(SubmodelMemo, MatchesPlainDfsAcrossZooPairs) {
+  // Every ordered pair from a zoo slice, n = 3, 2 rounds: memo-on must
+  // reproduce the memo-off run stat-for-stat on both engine paths and
+  // under both symmetry modes. The slice keeps the pair sweep fast but
+  // spans the distinct evaluator families (per-round cores, cumulative
+  // masks, conjunctions, the immortal/cumulative pair).
+  const auto all = zoo(3);
+  const std::vector<std::size_t> picks = {0, 2, 5, 6, 7};
+  for (const std::size_t ia : picks) {
+    for (const std::size_t ib : picks) {
+      for (const EnginePath path : {EnginePath::kWord, EnginePath::kSet}) {
+        for (const Symmetry sym : {Symmetry::kOff, Symmetry::kAuto}) {
+          const auto off = implies_exhaustive(
+              *all[ia].pred, *all[ib].pred, 3, 2,
+              opts_with(Memo::kOff, path, sym));
+          const auto on = implies_exhaustive(
+              *all[ia].pred, *all[ib].pred, 3, 2,
+              opts_with(Memo::kOn, path, sym));
+          expect_same(off, on, /*include_memo=*/false,
+                      all[ia].name + " => " + all[ib].name);
+          EXPECT_EQ(off.stats.memo_hits, 0);
+          EXPECT_EQ(off.stats.memo_entries, 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(SubmodelMemo, MatchesPlainDfsAtThreeRounds) {
+  // Deeper tables: n = 2 keeps 3 rounds cheap enough to sweep the whole
+  // zoo pairwise. Three rounds exercise entries at two distinct
+  // remaining-round levels plus the seed table.
+  const auto all = zoo(2);
+  for (const auto& a : all) {
+    for (const auto& b : all) {
+      for (const Symmetry sym : {Symmetry::kOff, Symmetry::kAuto}) {
+        const auto off = implies_exhaustive(
+            *a.pred, *b.pred, 2, 3, opts_with(Memo::kOff, EnginePath::kWord,
+                                              sym));
+        const auto on = implies_exhaustive(
+            *a.pred, *b.pred, 2, 3, opts_with(Memo::kOn, EnginePath::kWord,
+                                              sym));
+        expect_same(off, on, /*include_memo=*/false,
+                    a.name + " => " + b.name + " r=3");
+      }
+    }
+  }
+}
+
+TEST(SubmodelMemo, MatchesPlainDfsAcrossStandardCatalog) {
+  // The compiled Heard-Of evaluators key through the structural fold in
+  // ho/compile.cpp -- a different state_bytes implementation family than
+  // the zoo's, so they get their own differential sweep.
+  const auto catalog = ho::standard_catalog();
+  ASSERT_FALSE(catalog.empty());
+  const auto ref = detector_s();
+  for (const auto& m : catalog) {
+    for (const EnginePath path : {EnginePath::kWord, EnginePath::kSet}) {
+      const auto off = implies_exhaustive(
+          *m.pred, *ref, 3, 2, opts_with(Memo::kOff, path, Symmetry::kAuto));
+      const auto on = implies_exhaustive(
+          *m.pred, *ref, 3, 2, opts_with(Memo::kOn, path, Symmetry::kAuto));
+      expect_same(off, on, /*include_memo=*/false, m.name + " => detector_s");
+      const auto off_b = implies_exhaustive(
+          *ref, *m.pred, 3, 2, opts_with(Memo::kOff, path, Symmetry::kAuto));
+      const auto on_b = implies_exhaustive(
+          *ref, *m.pred, 3, 2, opts_with(Memo::kOn, path, Symmetry::kAuto));
+      expect_same(off_b, on_b, /*include_memo=*/false,
+                  "detector_s => " + m.name);
+    }
+  }
+}
+
+TEST(SubmodelMemo, MatchesNaiveOdometer) {
+  // Ground truth below both engines: the unpruned odometer. The engine's
+  // holds verdict must agree with a literal scan for counterexamples,
+  // and a holding implication must decide the entire space.
+  struct Case {
+    PredicatePtr a;
+    PredicatePtr b;
+    int n;
+    Round rounds;
+  };
+  const std::vector<Case> cases = {
+      {std::make_shared<ImmortalProcess>(),
+       std::make_shared<CumulativeFaultBound>(2), 3, 2},
+      {k_uncertainty(2), k_uncertainty(1), 2, 3},
+      {sync_omission(1), async_message_passing(1), 2, 3},
+  };
+  for (const auto& c : cases) {
+    std::int64_t violations = 0;
+    const std::int64_t space = enumerate_patterns(
+        c.n, c.rounds, [&](const FaultPattern& p) {
+          if (c.a->holds(p) && !c.b->holds(p)) ++violations;
+          return true;
+        });
+    for (const Memo memo : {Memo::kOff, Memo::kOn}) {
+      const auto r = implies_exhaustive(
+          *c.a, *c.b, c.n, c.rounds,
+          opts_with(memo, EnginePath::kWord, Symmetry::kOff));
+      EXPECT_EQ(r.holds, violations == 0);
+      if (r.holds) {
+        EXPECT_EQ(r.stats.patterns_decided, space);
+      } else {
+        ASSERT_TRUE(r.counterexample.has_value());
+        EXPECT_TRUE(c.a->holds(*r.counterexample));
+        EXPECT_FALSE(c.b->holds(*r.counterexample));
+      }
+    }
+  }
+}
+
+TEST(SubmodelMemo, ResultsIdenticalAtAnyThreadCount) {
+  // The repeated-state workload (detector-S <=> cumulative bound at the
+  // critical f) where memoization actually fires: the sharded runs must
+  // be byte-identical to the serial one *including* the memo counters --
+  // tables are per-shard plus the serial seed table, so hit/miss/entry
+  // totals are fixed by the shard layout, never by the schedule.
+  const ImmortalProcess immortal;
+  const CumulativeFaultBound bound(2);
+  const auto serial = implies_exhaustive(
+      immortal, bound, 3, 2,
+      opts_with(Memo::kOn, EnginePath::kWord, Symmetry::kAuto));
+  EXPECT_GT(serial.stats.memo_hits, 0);
+  EXPECT_GT(serial.stats.memo_entries, 0);
+  for (const int threads : {1, 2, 4, 8}) {
+    const auto sharded = implies_exhaustive(
+        immortal, bound, 3, 2,
+        opts_with(Memo::kOn, EnginePath::kWord, Symmetry::kAuto, threads));
+    expect_same(serial, sharded, /*include_memo=*/true,
+                "threads=" + std::to_string(threads));
+  }
+}
+
+TEST(SubmodelMemo, CounterexampleIdenticalWithAndWithoutMemo) {
+  // A refuted implication: 2-uncertainty does not imply 1-uncertainty.
+  // The first counterexample in deterministic engine order must be the
+  // same pattern whether or not subtrees were skipped via the tables
+  // (entries are only ever created for counterexample-free subtrees).
+  const auto a = k_uncertainty(2);
+  const auto b = k_uncertainty(1);
+  for (const Symmetry sym : {Symmetry::kOff, Symmetry::kAuto}) {
+    for (const int threads : {0, 4}) {
+      const auto off = implies_exhaustive(
+          *a, *b, 3, 2, opts_with(Memo::kOff, EnginePath::kWord, sym,
+                                  threads));
+      const auto on = implies_exhaustive(
+          *a, *b, 3, 2, opts_with(Memo::kOn, EnginePath::kWord, sym,
+                                  threads));
+      ASSERT_FALSE(off.holds);
+      expect_same(off, on, /*include_memo=*/false, "counterexample order");
+    }
+  }
+}
+
+TEST(SubmodelMemo, BudgetExceededIdenticalWithAndWithoutMemo) {
+  // Memo hits account the replayed subtree's full node mass, so a search
+  // that exhausts the budget unmemoized exhausts it memoized too (and
+  // vice versa) -- the ContractViolation must fire either way.
+  const ImmortalProcess immortal;
+  const CumulativeFaultBound bound(2);
+  for (const Memo memo : {Memo::kOff, Memo::kOn}) {
+    auto o = opts_with(memo, EnginePath::kWord, Symmetry::kOff);
+    o.node_budget = 50;
+    EXPECT_THROW(implies_exhaustive(immortal, bound, 3, 2, o),
+                 ContractViolation);
+  }
+}
+
+TEST(SubmodelMemo, CountersOffWhenDisabledOrUseless) {
+  const ImmortalProcess immortal;
+  const CumulativeFaultBound bound(2);
+  // kOff: tables never consulted.
+  const auto off = implies_exhaustive(
+      immortal, bound, 3, 2,
+      opts_with(Memo::kOff, EnginePath::kWord, Symmetry::kAuto));
+  EXPECT_EQ(off.stats.memo_hits, 0);
+  EXPECT_EQ(off.stats.memo_misses, 0);
+  EXPECT_EQ(off.stats.memo_entries, 0);
+  // One round: every inner node is a root; nothing to memoize even kOn.
+  const auto r1 = implies_exhaustive(
+      immortal, bound, 3, 1,
+      opts_with(Memo::kOn, EnginePath::kWord, Symmetry::kAuto));
+  EXPECT_EQ(r1.stats.memo_hits, 0);
+  EXPECT_EQ(r1.stats.memo_entries, 0);
+  // kAuto == kOn wherever both are sound.
+  const auto on = implies_exhaustive(
+      immortal, bound, 3, 2,
+      opts_with(Memo::kOn, EnginePath::kWord, Symmetry::kAuto));
+  const auto aut = implies_exhaustive(
+      immortal, bound, 3, 2,
+      opts_with(Memo::kAuto, EnginePath::kWord, Symmetry::kAuto));
+  expect_same(on, aut, /*include_memo=*/true, "kAuto == kOn");
+}
+
+/// Overrides only holds(): gets the whole-pattern fallback evaluator,
+/// which has unbounded state and therefore no key.
+class ParityPredicate final : public Predicate {
+ public:
+  std::string name() const override { return "parity"; }
+  std::string description() const override {
+    return "total announced-set size over all rounds is even";
+  }
+  bool holds(const FaultPattern& p) const override {
+    int total = 0;
+    for (Round r = 1; r <= p.rounds(); ++r) {
+      for (ProcId i = 0; i < p.n(); ++i) total += p.d(i, r).size();
+    }
+    return total % 2 == 0;
+  }
+};
+
+TEST(SubmodelMemo, KeylessEvaluatorsFallBackToPlainDfs) {
+  // A predicate on the whole-pattern fallback cannot be keyed; Memo::kOn
+  // must quietly run the plain DFS (zero memo counters), not misbehave.
+  const ParityPredicate parity;
+  EXPECT_FALSE(parity.evaluator()->state_key().has_value());
+  const CumulativeFaultBound bound(1);
+  const auto off = implies_exhaustive(
+      parity, bound, 2, 2, opts_with(Memo::kOff, EnginePath::kWord,
+                                     Symmetry::kOff));
+  const auto on = implies_exhaustive(
+      parity, bound, 2, 2, opts_with(Memo::kOn, EnginePath::kWord,
+                                     Symmetry::kOff));
+  expect_same(off, on, /*include_memo=*/true, "keyless fallback");
+  EXPECT_EQ(on.stats.memo_hits, 0);
+  EXPECT_EQ(on.stats.memo_entries, 0);
+}
+
+// ---------------------------------------------------------------------------
+// The state_bytes canonicality contract (core/predicate.h): equal keys
+// must imply identical verdict behaviour under any common suffix that
+// never pops below the keyed depth -- across instances and across
+// prefixes of different depths. Memo soundness is exactly this property.
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint64_t> random_round_words(Rng& rng, int n) {
+  std::vector<std::uint64_t> d(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    d[static_cast<std::size_t>(i)] = rng.below(full_mask(n));
+  }
+  return d;
+}
+
+/// All predicates whose evaluators claim a key: the zoo plus the
+/// immortal/cumulative/monotonicity cores plus the compiled catalog.
+std::vector<NamedPredicate> keyed_predicates(int n) {
+  std::vector<NamedPredicate> out = zoo(n);
+  out.push_back({"immortal", std::make_shared<ImmortalProcess>()});
+  out.push_back({"cumulative_1", std::make_shared<CumulativeFaultBound>(1)});
+  out.push_back({"crash_monotonicity", std::make_shared<CrashMonotonicity>()});
+  out.push_back(
+      {"no_self_suspicion_exempt", std::make_shared<NoSelfSuspicion>(true)});
+  for (auto& m : ho::standard_catalog()) {
+    out.push_back({"ho_" + m.name, m.pred});
+  }
+  return out;
+}
+
+TEST(SubmodelStateKey, WholeZooAndCatalogAreKeyable) {
+  // The memo's reach: if one of these quietly loses its key, memoization
+  // silently degrades to the plain DFS and nobody notices until a bench
+  // regresses. Pin keyability itself.
+  for (const auto& entry : keyed_predicates(3)) {
+    const auto eval = entry.pred->evaluator();
+    eval->begin(3, 4);
+    EXPECT_TRUE(eval->state_key().has_value()) << entry.name;
+  }
+}
+
+TEST(SubmodelStateKey, EqualKeysImplyEqualSuffixBehaviour) {
+  // Random prefix walks are bucketed by key; any two prefixes sharing a
+  // key are replayed on fresh instances and driven through common random
+  // suffixes, which must produce identical verdict streams. This is the
+  // property the transposition tables assume, tested with no engine in
+  // the loop.
+  const int n = 3;
+  const Round horizon = 8;
+  const int kPrefixes = 48;
+  for (const auto& entry : keyed_predicates(n)) {
+    Rng rng(0x5eedu + static_cast<std::uint64_t>(entry.name.size()));
+    // Key (as a byte string) -> list of prefixes (as digit rounds)
+    // reaching it.
+    std::map<std::string,
+             std::vector<std::vector<std::vector<std::uint64_t>>>> buckets;
+    for (int p = 0; p < kPrefixes; ++p) {
+      const int depth = static_cast<int>(rng.below(5));
+      std::vector<std::vector<std::uint64_t>> prefix;
+      const auto eval = entry.pred->evaluator();
+      eval->begin(n, horizon);
+      for (int d = 0; d < depth; ++d) {
+        prefix.push_back(random_round_words(rng, n));
+        eval->push_round_words(prefix.back().data(), n);
+      }
+      const auto key = eval->state_key();
+      ASSERT_TRUE(key.has_value()) << entry.name;
+      buckets[std::string(key->begin(), key->end())].push_back(
+          std::move(prefix));
+    }
+    for (const auto& [key, prefixes] : buckets) {
+      if (prefixes.size() < 2) continue;
+      for (std::size_t j = 1; j < std::min<std::size_t>(prefixes.size(), 4);
+           ++j) {
+        // Fresh instances at the two keyed states.
+        const auto e1 = entry.pred->evaluator();
+        const auto e2 = entry.pred->evaluator();
+        e1->begin(n, horizon);
+        e2->begin(n, horizon);
+        for (const auto& round : prefixes[0]) {
+          e1->push_round_words(round.data(), n);
+        }
+        for (const auto& round : prefixes[j]) {
+          e2->push_round_words(round.data(), n);
+        }
+        // A common suffix walk, never popping below the prefixes.
+        int suffix_depth = 0;
+        const int base = static_cast<int>(
+            std::max(prefixes[0].size(), prefixes[j].size()));
+        for (int step = 0; step < 24; ++step) {
+          const bool can_push = base + suffix_depth < horizon;
+          if (suffix_depth > 0 && (!can_push || rng.below(4) == 0)) {
+            e1->pop_round();
+            e2->pop_round();
+            --suffix_depth;
+            continue;
+          }
+          if (!can_push) break;
+          const auto d = random_round_words(rng, n);
+          const StepVerdict v1 = e1->push_round_words(d.data(), n);
+          const StepVerdict v2 = e2->push_round_words(d.data(), n);
+          ++suffix_depth;
+          ASSERT_EQ(static_cast<int>(v1), static_cast<int>(v2))
+              << entry.name << " step=" << step;
+          if (v1 != StepVerdict::kSatisfiedSoFar) {
+            // Backtrack off terminal verdicts, as the search would.
+            e1->pop_round();
+            e2->pop_round();
+            --suffix_depth;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rrfd::core
