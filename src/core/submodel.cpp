@@ -698,13 +698,18 @@ ImplicationResult run_search(const Predicate& a, const Predicate& b, int n,
   // there), so workers may skip them -- purely an optimization.
   std::atomic<std::int64_t> event_floor{n_shards};
   const auto job = [&](int s) {
+    // rrfd-lint: allow(atomic-justified) -- pairs with the release CAS: a
+    // floor observed here implies that shard's outcome is fully written
     if (s > event_floor.load(std::memory_order_acquire)) return;
     ShardOutcome& out = outcomes[static_cast<std::size_t>(s)];
     ShardWorker worker(spec, out);
     worker.run(s, n_shards, total_roots);
     if (out.counterexample.has_value() || out.budget_exceeded) {
+      // rrfd-lint: allow(atomic-justified) -- CAS loop seed; re-read on failure
       std::int64_t cur = event_floor.load(std::memory_order_relaxed);
       while (s < cur && !event_floor.compare_exchange_weak(
+                            // rrfd-lint: allow(atomic-justified) -- release
+                            // publishes this shard's outcome to acquirers
                             cur, s, std::memory_order_release)) {
       }
     }

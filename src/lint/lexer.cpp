@@ -86,13 +86,29 @@ class Lexer {
     lex_punct();
   }
 
+  // A `//` comment extends across backslash-newline splices, exactly as
+  // translation phase 2 dictates: `// text \` swallows the next line into
+  // the comment. Missing this is a real false-positive source -- the next
+  // line is comment text, not code, and must never reach the rules.
   void lex_line_comment() {
     int line = cur_.line();
     cur_.advance();  // '/'
     cur_.advance();  // '/'
     std::string text;
-    while (!cur_.done() && cur_.peek() != '\n') text += cur_.advance();
-    out_.comments.push_back({trim(text), line});
+    while (!cur_.done()) {
+      if (cur_.peek() == '\\' && (cur_.peek(1) == '\n' ||
+                                  (cur_.peek(1) == '\r' &&
+                                   cur_.peek(2) == '\n'))) {
+        cur_.advance();                        // backslash
+        if (cur_.peek() == '\r') cur_.advance();
+        if (!cur_.done()) cur_.advance();      // newline: comment continues
+        text += ' ';
+        continue;
+      }
+      if (cur_.peek() == '\n') break;
+      text += cur_.advance();
+    }
+    out_.comments.push_back({trim(text), line, cur_.line()});
   }
 
   void lex_block_comment() {
@@ -108,7 +124,7 @@ class Lexer {
       }
       text += cur_.advance();
     }
-    out_.comments.push_back({trim(text), line});
+    out_.comments.push_back({trim(text), line, cur_.line()});
     // A block comment does not interrupt a directive-start position, but
     // tracking that costs more than it buys; treat it as ordinary code.
     at_line_start_ = false;
@@ -144,14 +160,16 @@ class Lexer {
     // String/char literal prefixes: R"(..)", u8"..", L'c', and friends.
     const std::string& id = tok.text;
     if (cur_.peek() == '"') {
-      if (id == "R" || id == "u8R" || id == "uR" || id == "LR") {
+      if (id == "R" || id == "u8R" || id == "uR" || id == "UR" ||
+          id == "LR") {
         return lex_string(/*raw=*/true);
       }
-      if (id == "u8" || id == "u" || id == "L") {
+      if (id == "u8" || id == "u" || id == "U" || id == "L") {
         return lex_string(/*raw=*/false);
       }
     }
-    if (cur_.peek() == '\'' && (id == "u8" || id == "u" || id == "L")) {
+    if (cur_.peek() == '\'' &&
+        (id == "u8" || id == "u" || id == "U" || id == "L")) {
       return lex_char();
     }
     out_.tokens.push_back(std::move(tok));

@@ -37,6 +37,7 @@ struct Token {
 struct Comment {
   std::string text;  // without the // or /* */ markers, trimmed
   int line = 0;      // line the comment starts on
+  int end_line = 0;  // line it ends on (block comments, spliced // lines)
 };
 
 struct LexResult {

@@ -44,6 +44,7 @@ bool is_header_path(const std::string& path) {
 struct Suppression {
   std::vector<std::string> rules;
   int line = 0;        // line the comment starts on
+  int anchor_end = 0;  // last line of the comment block it heads
   bool justified = false;
   bool used = false;
 };
@@ -51,8 +52,11 @@ struct Suppression {
 /// Extracts suppressions from the file's comments. A comment that
 /// mentions "rrfd-lint:" but does not parse as a well-formed allow()
 /// yields an unjustified suppression (rules empty), which the caller
-/// reports as bad-suppression.
-std::vector<Suppression> parse_suppressions(const LexResult& lexed) {
+/// reports as bad-suppression. A justification may continue over the
+/// comment lines that immediately follow; the suppression then anchors
+/// to the first code line after the whole block (`anchor_end + 1`).
+std::vector<Suppression> parse_suppressions(
+    const LexResult& lexed, const std::vector<std::string>& lines) {
   std::vector<Suppression> result;
   const std::string kTag = "rrfd-lint:";
   for (const Comment& c : lexed.comments) {
@@ -61,6 +65,7 @@ std::vector<Suppression> parse_suppressions(const LexResult& lexed) {
     if (c.text.compare(0, kTag.size(), kTag) != 0) continue;
     Suppression sup;
     sup.line = c.line;
+    sup.anchor_end = c.end_line > 0 ? c.end_line : c.line;
     std::string rest = trim(c.text.substr(kTag.size()));
     const std::string kAllow = "allow(";
     if (rest.compare(0, kAllow.size(), kAllow) != 0) {
@@ -91,6 +96,24 @@ std::vector<Suppression> parse_suppressions(const LexResult& lexed) {
     }
     sup.justified = !sup.rules.empty() && !just.empty();
     result.push_back(std::move(sup));
+  }
+  // Extend each anchor through the comment-only lines directly below the
+  // allow(): a justification too long for one line wraps onto further
+  // `//` lines, and the suppression still guards the code line after the
+  // block. A line that starts a new rrfd-lint tag ends the block.
+  for (Suppression& sup : result) {
+    while (sup.anchor_end >= 1 &&
+           sup.anchor_end < static_cast<int>(lines.size())) {
+      std::string next = trim(lines[static_cast<std::size_t>(sup.anchor_end)]);
+      if (next.compare(0, 2, "//") != 0) break;
+      std::string body = next.substr(2);
+      std::size_t b = body.find_first_not_of("/ \t");
+      if (b != std::string::npos &&
+          body.compare(b, kTag.size(), kTag) == 0) {
+        break;
+      }
+      ++sup.anchor_end;
+    }
   }
   return result;
 }
@@ -211,13 +234,14 @@ LintedFile lint_source(const std::string& path, const std::string& source) {
                      return a.col < b.col;
                    });
 
-  std::vector<Suppression> sups = parse_suppressions(file.lexed);
+  std::vector<Suppression> sups = parse_suppressions(file.lexed, file.lines);
   LintedFile out;
   for (Finding& f : raw) {
     Suppression* hit = nullptr;
     for (Suppression& s : sups) {
-      // Same line or the line immediately above the finding.
-      if (s.line != f.line && s.line + 1 != f.line) continue;
+      // Same line as the allow(), or the first code line after its
+      // comment block (single-line comments: the line directly below).
+      if (s.line != f.line && s.anchor_end + 1 != f.line) continue;
       if (std::find(s.rules.begin(), s.rules.end(), f.rule) == s.rules.end()) {
         continue;
       }
@@ -239,8 +263,8 @@ LintedFile lint_source(const std::string& path, const std::string& source) {
     } else if (!s.justified) {
       message = "suppression without a justification (add '-- <why>')";
     } else if (!s.used) {
-      message = "suppression matches no finding on this or the next line; "
-                "remove it";
+      message = "suppression matches no finding on its own line or on the "
+                "line after its comment block; remove it";
     } else {
       continue;
     }
@@ -338,6 +362,67 @@ std::string render_json(const RunResult& result) {
      << ",\"stale_baseline\":" << result.stale_baseline.size()
      << ",\"malformed_baseline\":" << result.malformed_baseline.size()
      << ",\"ok\":" << (result.ok() ? "true" : "false") << "}\n";
+  return os.str();
+}
+
+namespace {
+
+/// One SARIF result object. `suppression_kind` empty means the finding is
+/// live; "inSource" / "external" mark allow()-silenced and baselined
+/// findings so code scanning shows them as dismissed, not open.
+void append_sarif_result(std::ostringstream& os, const Finding& f,
+                         std::string_view level,
+                         std::string_view suppression_kind, bool first) {
+  if (!first) os << ",";
+  os << "{\"ruleId\":\"" << json_escape(f.rule) << "\",\"level\":\"" << level
+     << "\",\"message\":{\"text\":\"" << json_escape(f.message)
+     << "\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":"
+        "{\"uri\":\""
+     << json_escape(f.path)
+     << "\",\"uriBaseId\":\"SRCROOT\"},\"region\":{\"startLine\":"
+     << (f.line > 0 ? f.line : 1) << ",\"startColumn\":"
+     << (f.col > 0 ? f.col : 1)
+     << "}}}],\"partialFingerprints\":{\"rrfdLintFingerprint/v1\":\""
+     << hex16(finding_fingerprint(f)) << "\"}";
+  if (!suppression_kind.empty()) {
+    os << ",\"suppressions\":[{\"kind\":\"" << suppression_kind << "\"}]";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string render_sarif(const RunResult& result) {
+  std::ostringstream os;
+  os << "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/"
+        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\","
+        "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+        "\"name\":\"rrfd_lint\",\"rules\":[";
+  bool first = true;
+  for (const Rule* rule : all_rules()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"id\":\"" << json_escape(std::string(rule->name()))
+       << "\",\"shortDescription\":{\"text\":\""
+       << json_escape(std::string(rule->description())) << "\"}}";
+  }
+  os << ",{\"id\":\"" << kBadSuppressionRule
+     << "\",\"shortDescription\":{\"text\":\"defective or unused "
+        "rrfd-lint allow() comment\"}}]}},\"results\":[";
+  first = true;
+  for (const Finding& f : result.unsuppressed) {
+    append_sarif_result(os, f, "error", "", first);
+    first = false;
+  }
+  for (const Finding& f : result.suppressed) {
+    append_sarif_result(os, f, "note", "inSource", first);
+    first = false;
+  }
+  for (const Finding& f : result.baselined) {
+    append_sarif_result(os, f, "note", "external", first);
+    first = false;
+  }
+  os << "]}]}\n";
   return os.str();
 }
 

@@ -7,7 +7,10 @@
 //
 // The justification after the dash is mandatory; an allow() without one is
 // itself a finding (rule "bad-suppression"), as is an allow() that no
-// longer matches anything. Findings can also be parked in a checked-in
+// longer matches anything. A justification may wrap onto the comment
+// lines that immediately follow the allow(); the suppression then guards
+// the first code line after the whole block. Findings can also be parked
+// in a checked-in
 // baseline file, which CI only allows to shrink: an entry with no matching
 // live finding is stale and fails the run.
 #pragma once
@@ -81,5 +84,10 @@ std::string render_text(const RunResult& result);
 /// JSONL report, one record per finding plus a trailing summary record,
 /// schema "rrfd-lint-v1" (same discipline as BENCH_rrfd.json).
 std::string render_json(const RunResult& result);
+
+/// SARIF 2.1.0 report (one run, one result per unsuppressed finding,
+/// suppressed/baselined findings carried with a suppression record) for
+/// code-scanning upload.
+std::string render_sarif(const RunResult& result);
 
 }  // namespace rrfd::lint

@@ -605,6 +605,358 @@ class ContractHygiene final : public Rule {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Shared helpers for the concurrency-contract rules (PR 10): the mutex
+// type vocabulary and the declared-name collector the flow-aware rules
+// resolve against. Single-file resolution only, same stance as
+// no-unordered-iteration: a name declared in another header is invisible,
+// and the rule fails open.
+
+/// Capability types: the annotated wrappers plus the std primitives they
+/// wrap (which survive only inside src/util/mutex.h).
+const std::set<std::string, std::less<>>& mutex_types() {
+  static const std::set<std::string, std::less<>> kTypes = {
+      "mutex",          "shared_mutex",       "recursive_mutex",
+      "timed_mutex",    "shared_timed_mutex", "recursive_timed_mutex",
+      "Mutex",          "SharedMutex"};
+  return kTypes;
+}
+
+/// Names declared (anywhere in this file) with a type from `types`,
+/// including members, locals, and parameters, with cv/ref/ptr decoration
+/// and comma declarator lists.
+std::set<std::string, std::less<>> declared_names(
+    const std::vector<Token>& toks,
+    const std::set<std::string, std::less<>>& types) {
+  std::set<std::string, std::less<>> names;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || types.count(toks[i].text) == 0) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j < toks.size() && is_punct(toks[j], "<")) {
+      std::size_t past = scan_template_args(toks, j);
+      if (past == j) continue;  // unbalanced; not a declaration
+      j = past;
+    }
+    while (j < toks.size()) {
+      while (j < toks.size() &&
+             (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
+              is_ident(toks[j], "const"))) {
+        ++j;
+      }
+      if (j >= toks.size() || toks[j].kind != TokKind::kIdent) break;
+      names.insert(toks[j].text);
+      ++j;
+      if (j < toks.size() && is_punct(toks[j], ",")) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// guarded-member
+
+class GuardedMember final : public Rule {
+ public:
+  std::string_view name() const override { return "guarded-member"; }
+  std::string_view description() const override {
+    return "a class holding a mutex must annotate every other mutable "
+           "data member with RRFD_GUARDED_BY (or carry a justified "
+           "suppression naming the external invariant)";
+  }
+  void check(const FileContext& file, std::vector<Finding>& out) const override {
+    const auto& toks = file.lexed.tokens;
+
+    struct Ctx {
+      bool is_class = false;
+      std::vector<Span> spans;
+      std::size_t span_begin = 0;
+      bool span_braced = false;
+    };
+    std::vector<Ctx> stack;
+    bool pending_class = false;   // saw class/struct/union, awaiting '{'
+    int pending_parens = 0;
+
+    const auto top_is_class = [&] {
+      return !stack.empty() && stack.back().is_class;
+    };
+    const auto finalize_span = [&](std::size_t end, bool braced) {
+      Ctx& c = stack.back();
+      if (end > c.span_begin) c.spans.push_back({c.span_begin, end, braced});
+      c.span_begin = end + 1;
+      c.span_braced = false;
+    };
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind == TokKind::kPreproc) continue;
+      // template <...> parameter lists spell `class T`; skip them whole.
+      if (is_ident(t, "template") && i + 1 < toks.size() &&
+          is_punct(toks[i + 1], "<")) {
+        std::size_t past = scan_template_args(toks, i + 1);
+        if (past != i + 1) {
+          i = past - 1;
+          continue;
+        }
+      }
+      if ((is_ident(t, "class") || is_ident(t, "struct") ||
+           is_ident(t, "union")) &&
+          !is_ident(tok_at(toks, static_cast<std::ptrdiff_t>(i) - 1),
+                    "enum")) {
+        pending_class = true;
+        pending_parens = 0;
+        continue;
+      }
+      if (pending_class) {
+        if (is_punct(t, "(")) ++pending_parens;
+        if (is_punct(t, ")")) --pending_parens;
+        if (is_punct(t, ";") && pending_parens == 0) {
+          pending_class = false;  // forward declaration
+          continue;
+        }
+      }
+      if (is_punct(t, "{")) {
+        Ctx ctx;
+        ctx.is_class = pending_class;
+        ctx.span_begin = i + 1;
+        stack.push_back(ctx);
+        pending_class = false;
+        continue;
+      }
+      if (is_punct(t, "}")) {
+        if (stack.empty()) continue;
+        Ctx closed = std::move(stack.back());
+        stack.pop_back();
+        if (closed.is_class) {
+          if (closed.span_begin < i) {
+            closed.spans.push_back({closed.span_begin, i, false});
+          }
+          evaluate_class(file, toks, closed.spans, out);
+        }
+        // Back inside a class: the group we just closed ends the member
+        // declaration it belongs to (function body / nested type).
+        if (top_is_class()) finalize_span(i, /*braced=*/true);
+        continue;
+      }
+      if (!top_is_class()) continue;
+      if (is_punct(t, ";")) {
+        finalize_span(i, /*braced=*/false);
+        continue;
+      }
+      if (t.kind == TokKind::kIdent &&
+          (t.text == "public" || t.text == "private" ||
+           t.text == "protected") &&
+          is_punct(tok_at(toks, static_cast<std::ptrdiff_t>(i) + 1), ":")) {
+        stack.back().span_begin = i + 2;
+        stack.back().span_braced = false;
+        ++i;
+        continue;
+      }
+    }
+  }
+
+ private:
+  /// One declaration span inside a class body: [begin, end) token
+  /// indices, `braced` when the span was closed by a {...} group (a
+  /// function definition, nested type, or brace initializer) rather
+  /// than by ';'. Braced spans are never judged -- the rule fails open.
+  struct Span {
+    std::size_t begin, end;
+    bool braced;
+  };
+
+  /// Idents that make a span exempt wherever they appear at top level:
+  /// internally synchronized or immutable members need no guard.
+  static bool exempt_ident(const std::string& text) {
+    static const std::set<std::string, std::less<>> kExempt = {
+        "atomic",       "atomic_flag",
+        "condition_variable", "condition_variable_any",
+        "CondVar",      "once_flag",
+        "static",       "constexpr",
+        "const",        "friend",
+        "using",        "typedef",
+        "operator",     "enum",
+        "class",        "struct",
+        "union",        "template"};
+    return kExempt.count(text) > 0;
+  }
+
+  void evaluate_class(const FileContext& file, const std::vector<Token>& toks,
+                      const std::vector<Span>& spans,
+                      std::vector<Finding>& out) const {
+    // Does any unbraced span declare a mutex member? (Braced spans are
+    // method bodies; a local mutex inside one is not a class capability.)
+    bool has_mutex = false;
+    for (const Span& s : spans) {
+      if (s.braced) continue;
+      for (std::size_t i = s.begin; i < s.end; ++i) {
+        if (toks[i].kind == TokKind::kIdent &&
+            mutex_types().count(toks[i].text) > 0) {
+          has_mutex = true;
+          break;
+        }
+      }
+      if (has_mutex) break;
+    }
+    if (!has_mutex) return;
+
+    for (const Span& s : spans) {
+      if (s.braced || s.end <= s.begin) continue;
+      const Token* name_tok = nullptr;
+      bool annotated = false, exempt = false, function = false;
+      for (std::size_t i = s.begin; i < s.end; ++i) {
+        const Token& t = toks[i];
+        if (is_punct(t, "<")) {
+          std::size_t past = scan_template_args(toks, i);
+          if (past != i) {
+            i = past - 1;
+            continue;
+          }
+        }
+        if (is_punct(t, "=")) break;  // default initializer: decl is done
+        if (t.kind != TokKind::kIdent) {
+          if (is_punct(t, "~")) function = true;  // destructor decl
+          continue;
+        }
+        if (t.text == "RRFD_GUARDED_BY" || t.text == "RRFD_PT_GUARDED_BY") {
+          annotated = true;
+          break;
+        }
+        if (exempt_ident(t.text) || mutex_types().count(t.text) > 0) {
+          exempt = true;
+          break;
+        }
+        if (is_punct(tok_at(toks, static_cast<std::ptrdiff_t>(i) + 1), "(")) {
+          function = true;  // declarator followed by a parameter list
+          break;
+        }
+        name_tok = &t;
+      }
+      if (annotated || exempt || function || name_tok == nullptr) continue;
+      add(out, *this, file, *name_tok,
+          "member '" + name_tok->text +
+              "' of a mutex-holding class has no RRFD_GUARDED_BY "
+              "annotation");
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// raw-lock-call
+
+class RawLockCall final : public Rule {
+ public:
+  std::string_view name() const override { return "raw-lock-call"; }
+  std::string_view description() const override {
+    return "naked .lock()/.unlock() on a declared mutex is banned: use "
+           "scoped guards (MutexLock/WriterLock/ReaderLock) so no early "
+           "return or exception can leak a hold";
+  }
+  bool applies_to(std::string_view path) const override {
+    // The annotated wrappers are the one sanctioned implementation site.
+    return path != "src/util/mutex.h";
+  }
+  void check(const FileContext& file, std::vector<Finding>& out) const override {
+    const auto& toks = file.lexed.tokens;
+    const auto names = declared_names(toks, mutex_types());
+    if (names.empty()) return;
+    static const std::set<std::string, std::less<>> kLockCalls = {
+        "lock",        "unlock",        "try_lock",
+        "lock_shared", "unlock_shared", "try_lock_shared"};
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent || kLockCalls.count(t.text) == 0) {
+        continue;
+      }
+      std::ptrdiff_t p = static_cast<std::ptrdiff_t>(i);
+      if (!is_punct(tok_at(toks, p + 1), "(")) continue;
+      const Token& access = tok_at(toks, p - 1);
+      if (!is_punct(access, ".") && !is_punct(access, "->")) continue;
+      const Token& recv = tok_at(toks, p - 2);
+      if (recv.kind != TokKind::kIdent || names.count(recv.text) == 0) {
+        continue;
+      }
+      add(out, *this, file, t,
+          "naked " + recv.text + "." + t.text +
+              "(): hold mutexes through a scoped guard");
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// no-detached-thread
+
+class NoDetachedThread final : public Rule {
+ public:
+  std::string_view name() const override { return "no-detached-thread"; }
+  std::string_view description() const override {
+    return "detached threads outlive every invariant silently: each "
+           "std::thread must be joined or owned by a pool that joins it";
+  }
+  void check(const FileContext& file, std::vector<Finding>& out) const override {
+    const auto& toks = file.lexed.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!is_ident(toks[i], "detach")) continue;
+      std::ptrdiff_t p = static_cast<std::ptrdiff_t>(i);
+      if (!is_punct(tok_at(toks, p + 1), "(")) continue;
+      const Token& access = tok_at(toks, p - 1);
+      if (!is_punct(access, ".") && !is_punct(access, "->")) continue;
+      add(out, *this, file, toks[i],
+          "detach() abandons the thread: join it or hand it to a pool");
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// atomic-justified
+
+class AtomicJustified final : public Rule {
+ public:
+  std::string_view name() const override { return "atomic-justified"; }
+  std::string_view description() const override {
+    return "non-default memory orders need a justified 'rrfd-lint: "
+           "allow(atomic-justified)' stating why the weaker ordering is "
+           "sound";
+  }
+  void check(const FileContext& file, std::vector<Finding>& out) const override {
+    static const std::set<std::string, std::less<>> kWeakOrders = {
+        "memory_order_relaxed", "memory_order_consume",
+        "memory_order_acquire", "memory_order_release",
+        "memory_order_acq_rel"};
+    static const std::set<std::string, std::less<>> kWeakSuffixes = {
+        "relaxed", "consume", "acquire", "release", "acq_rel"};
+    const auto& toks = file.lexed.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent) continue;
+      std::string spelled;
+      if (kWeakOrders.count(t.text) > 0) {
+        spelled = t.text;
+      } else if (t.text == "memory_order") {
+        // C++20 scoped spelling: memory_order::relaxed.
+        std::ptrdiff_t p = static_cast<std::ptrdiff_t>(i);
+        const Token& suffix = tok_at(toks, p + 2);
+        if (!is_punct(tok_at(toks, p + 1), "::") ||
+            suffix.kind != TokKind::kIdent ||
+            kWeakSuffixes.count(suffix.text) == 0) {
+          continue;
+        }
+        spelled = "memory_order::" + suffix.text;
+      } else {
+        continue;
+      }
+      add(out, *this, file, t,
+          "explicit weak ordering " + spelled +
+              ": justify why it is sound (seq_cst is the default)");
+    }
+  }
+};
+
 }  // namespace
 
 std::string FileContext::snippet(int line) const {
@@ -623,9 +975,15 @@ const std::vector<const Rule*>& all_rules() {
   static const NoPointerOrder pointer_order;
   static const NoEnvSideband env_sideband;
   static const ContractHygiene contract_hygiene;
+  static const GuardedMember guarded_member;
+  static const RawLockCall raw_lock_call;
+  static const NoDetachedThread no_detached_thread;
+  static const AtomicJustified atomic_justified;
   static const std::vector<const Rule*> rules = {
-      &wall_clock,    &raw_random,   &unordered_iteration,
-      &pointer_order, &env_sideband, &contract_hygiene};
+      &wall_clock,     &raw_random,    &unordered_iteration,
+      &pointer_order,  &env_sideband,  &contract_hygiene,
+      &guarded_member, &raw_lock_call, &no_detached_thread,
+      &atomic_justified};
   return rules;
 }
 

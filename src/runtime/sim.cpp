@@ -32,12 +32,12 @@ Simulation::~Simulation() {
   // everything still pending and join.
   if (started_) {
     for (std::size_t i = 0; i < bodies_.size(); ++i) {
-      std::unique_lock<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       if (finished_[i]) continue;
       crash_flags_[i] = true;
       turn_ = static_cast<ProcId>(i);
       cv_.notify_all();
-      cv_.wait(lk, [&] { return turn_ == -1; });
+      while (turn_ != -1) cv_.wait(mu_);
     }
   }
   for (std::thread& t : threads_) {
@@ -50,9 +50,9 @@ void Simulation::process_main(ProcId id) {
   try {
     // Initial wait: do not run any body code until first granted a step.
     {
-      std::unique_lock<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       states_[static_cast<std::size_t>(id)] = State::kBlocked;
-      cv_.wait(lk, [&] { return turn_ == id; });
+      while (turn_ != id) cv_.wait(mu_);
       if (crash_flags_[static_cast<std::size_t>(id)]) throw Crashed{};
       states_[static_cast<std::size_t>(id)] = State::kRunning;
     }
@@ -60,10 +60,10 @@ void Simulation::process_main(ProcId id) {
   } catch (const Crashed&) {
     // Normal crash unwinding; nothing to record here (the scheduler knows).
   } catch (...) {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (!first_error_) first_error_ = std::current_exception();
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   states_[static_cast<std::size_t>(id)] = State::kDone;
   finished_[static_cast<std::size_t>(id)] = true;
   turn_ = -1;
@@ -71,22 +71,22 @@ void Simulation::process_main(ProcId id) {
 }
 
 void Simulation::process_step(ProcId id) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   // Yield the baton back to the scheduler...
   states_[static_cast<std::size_t>(id)] = State::kBlocked;
   turn_ = -1;
   cv_.notify_all();
   // ...and wait to be granted the next step.
-  cv_.wait(lk, [&] { return turn_ == id; });
+  while (turn_ != id) cv_.wait(mu_);
   if (crash_flags_[static_cast<std::size_t>(id)]) throw Crashed{};
   states_[static_cast<std::size_t>(id)] = State::kRunning;
 }
 
 void Simulation::grant(ProcId id) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   turn_ = id;
   cv_.notify_all();
-  cv_.wait(lk, [&] { return turn_ == -1; });
+  while (turn_ != -1) cv_.wait(mu_);
 }
 
 SimOutcome Simulation::run(Scheduler& scheduler, int max_steps) {
@@ -132,7 +132,7 @@ SimOutcome Simulation::run(Scheduler& scheduler, int max_steps) {
                       outcome.steps);
       }
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         crash_flags_[static_cast<std::size_t>(choice.next)] = true;
       }
       grant(choice.next);  // wakes it; its pending step() throws Crashed
@@ -151,7 +151,7 @@ SimOutcome Simulation::run(Scheduler& scheduler, int max_steps) {
 
     bool done;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       done = finished_[static_cast<std::size_t>(choice.next)];
     }
     if (done) {
@@ -165,7 +165,14 @@ SimOutcome Simulation::run(Scheduler& scheduler, int max_steps) {
   for (std::thread& t : threads_) t.join();
   threads_.clear();
 
-  if (first_error_) std::rethrow_exception(first_error_);
+  std::exception_ptr err;
+  {
+    // The joins above already order every process write before this read;
+    // taking the lock keeps the access inside the annotated discipline.
+    MutexLock lk(mu_);
+    err = first_error_;
+  }
+  if (err) std::rethrow_exception(err);
   if (tracing) {
     trace::record(trace::EventKind::kRunEnd, kSub, -1, outcome.steps,
                   outcome.completed.bits(), outcome.crashed.bits());
@@ -177,7 +184,7 @@ void Simulation::crash_all_remaining(ProcessSet remaining,
                                      SimOutcome& outcome) {
   for (ProcId p : remaining.members()) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       if (finished_[static_cast<std::size_t>(p)]) continue;
       crash_flags_[static_cast<std::size_t>(p)] = true;
     }

@@ -15,10 +15,8 @@
 // exactly like a crash in the asynchronous shared-memory model.
 #pragma once
 
-#include <condition_variable>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -26,6 +24,8 @@
 
 #include "core/process_set.h"
 #include "core/types.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rrfd::runtime {
 
@@ -127,16 +127,20 @@ class Simulation {
   void await_yield();
   void crash_all_remaining(ProcessSet remaining, SimOutcome& outcome);
 
+  // rrfd-lint: allow(guarded-member) -- ctor-written, read-only afterwards
   std::vector<Body> bodies_;
+  // rrfd-lint: allow(guarded-member) -- scheduler-thread-only (single-use)
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  ProcId turn_ = -1;  // -1: scheduler's turn
-  std::vector<State> states_;
-  std::vector<bool> crash_flags_;
-  std::vector<bool> finished_;  // done (completed or crashed)
-  std::exception_ptr first_error_;
+  rrfd::Mutex mu_;
+  rrfd::CondVar cv_;
+  ProcId turn_ RRFD_GUARDED_BY(mu_) = -1;  // -1: scheduler's turn
+  std::vector<State> states_ RRFD_GUARDED_BY(mu_);
+  std::vector<bool> crash_flags_ RRFD_GUARDED_BY(mu_);
+  /// done (completed or crashed)
+  std::vector<bool> finished_ RRFD_GUARDED_BY(mu_);
+  std::exception_ptr first_error_ RRFD_GUARDED_BY(mu_);
+  // rrfd-lint: allow(guarded-member) -- scheduler-thread-only (single-use)
   bool started_ = false;
 };
 

@@ -20,7 +20,7 @@ ResultCache::Outcome ResultCache::submit(const std::string& key,
                                          Delivery delivery,
                                          std::shared_ptr<const JobResult>* hit) {
   RRFD_REQUIRE(hit != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!caching_enabled()) {
     // Refusal path: results stamped `unknown` would collide across
     // builds, so nothing is stored and nothing is deduped.
@@ -47,7 +47,7 @@ void ResultCache::publish(const std::string& key, JobResult result) {
   auto stored = std::make_shared<const JobResult>(std::move(result));
   std::vector<Delivery> waiters;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = entries_.find(key);
     RRFD_REQUIRE_MSG(it != entries_.end() && !it->second.done,
                      "publish() without a leading submit(): " + key);
@@ -62,7 +62,7 @@ void ResultCache::fail(const std::string& key, JobResult error) {
   RRFD_REQUIRE_MSG(error.failed, "fail() requires a failed result");
   std::vector<Delivery> waiters;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = entries_.find(key);
     RRFD_REQUIRE_MSG(it != entries_.end() && !it->second.done,
                      "fail() without a leading submit(): " + key);
@@ -74,7 +74,7 @@ void ResultCache::fail(const std::string& key, JobResult error) {
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -26,9 +26,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rrfd::serve {
 
@@ -101,9 +103,9 @@ class ResultCache {
   };
 
   const std::string git_rev_;
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
-  Stats stats_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ RRFD_GUARDED_BY(mu_);
+  Stats stats_ RRFD_GUARDED_BY(mu_);
 };
 
 }  // namespace rrfd::serve

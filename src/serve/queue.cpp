@@ -23,7 +23,7 @@ AdmissionQueue::AdmissionQueue(Options options) : options_(options) {
 }
 
 Admission AdmissionQueue::push(Ticket ticket) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (closed_) {
     ++stats_.shed_closed;
     return Admission::kShedClosed;
@@ -46,8 +46,8 @@ Admission AdmissionQueue::push(Ticket ticket) {
 
 bool AdmissionQueue::pop(Ticket* out) {
   RRFD_REQUIRE(out != nullptr);
-  std::unique_lock<std::mutex> lock(mu_);
-  ready_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  MutexLock lock(mu_);
+  while (!closed_ && queue_.empty()) ready_.wait(mu_);
   if (queue_.empty()) return false;
   *out = std::move(queue_.front());
   queue_.pop_front();
@@ -60,18 +60,18 @@ bool AdmissionQueue::pop(Ticket* out) {
 }
 
 void AdmissionQueue::close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   closed_ = true;
   ready_.notify_all();
 }
 
 AdmissionQueue::Stats AdmissionQueue::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 std::size_t AdmissionQueue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 

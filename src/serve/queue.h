@@ -15,13 +15,14 @@
 //                     worker pops the ticket).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rrfd::serve {
 
@@ -73,12 +74,12 @@ class AdmissionQueue {
 
  private:
   const Options options_;
-  mutable std::mutex mu_;
-  std::condition_variable ready_;
-  std::deque<Ticket> queue_;
-  std::map<std::string, std::size_t> per_client_;
-  Stats stats_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar ready_;
+  std::deque<Ticket> queue_ RRFD_GUARDED_BY(mu_);
+  std::map<std::string, std::size_t> per_client_ RRFD_GUARDED_BY(mu_);
+  Stats stats_ RRFD_GUARDED_BY(mu_);
+  bool closed_ RRFD_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rrfd::serve

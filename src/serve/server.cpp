@@ -1,10 +1,7 @@
 #include "serve/server.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -13,7 +10,9 @@
 #include "serve/wire.h"
 #include "trace/trace.h"
 #include "util/check.h"
+#include "util/mutex.h"
 #include "util/str.h"
+#include "util/thread_annotations.h"
 
 namespace rrfd::serve {
 
@@ -61,21 +60,21 @@ void deliver(const Server::LineSink& sink, const std::string& id,
 /// emitted the ack, calls open(). A ticket that is shed is destroyed
 /// without a worker ever waiting, so an unopened gate cannot leak.
 struct AckGate {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool opened = false;
+  Mutex mu;
+  CondVar cv;
+  bool opened RRFD_GUARDED_BY(mu) = false;
 
   void open() {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       opened = true;
     }
     cv.notify_all();
   }
 
   void wait() {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [this] { return opened; });
+    MutexLock lock(mu);
+    while (!opened) cv.wait(mu);
   }
 };
 
@@ -103,7 +102,7 @@ struct Server::Impl {
   }
 
   void finish_one() {
-    std::lock_guard<std::mutex> lock(outstanding_mu);
+    MutexLock lock(outstanding_mu);
     RRFD_ENSURE_MSG(outstanding > 0, "outstanding-job accounting underflow");
     --outstanding;
     if (outstanding == 0) idle.notify_all();
@@ -115,30 +114,34 @@ struct Server::Impl {
   JobResult execute_job(const Request& req) {
     ++executed;
     if (req.kind == JobKind::kReplay) {
-      std::unique_lock<std::shared_mutex> exclusive(tracer_mu);
+      WriterLock exclusive(tracer_mu);
       return execute(req, options.sweep_threads);
     }
-    std::shared_lock<std::shared_mutex> shared(tracer_mu);
+    ReaderLock shared(tracer_mu);
     return execute(req, options.sweep_threads);
   }
 
   const ServerOptions options;
+  // rrfd-lint: allow(guarded-member) -- internally synchronized (own mutex)
   AdmissionQueue queue;
+  // rrfd-lint: allow(guarded-member) -- internally synchronized (own mutex)
   ResultCache cache;
 
-  std::shared_mutex tracer_mu;  ///< replay = exclusive, others = shared
+  SharedMutex tracer_mu;  ///< replay = exclusive, others = shared
 
-  std::mutex outstanding_mu;
-  std::condition_variable idle;
-  std::size_t outstanding = 0;  ///< tickets admitted, terminal not delivered
+  Mutex outstanding_mu;
+  CondVar idle;
+  /// Tickets admitted, terminal not delivered.
+  std::size_t outstanding RRFD_GUARDED_BY(outstanding_mu) = 0;
 
   std::atomic<std::uint64_t> requests{0};
   std::atomic<std::uint64_t> wire_errors{0};
   std::atomic<std::uint64_t> executed{0};
 
+  // rrfd-lint: allow(guarded-member) -- ctor-built; joined via shutdown latch
   std::vector<std::thread> workers;
-  std::mutex shutdown_mu;
-  bool shut_down = false;
+  Mutex shutdown_mu;
+  bool shut_down RRFD_GUARDED_BY(shutdown_mu) = false;
 };
 
 Server::Server(ServerOptions options)
@@ -222,7 +225,7 @@ void Server::submit_line(const std::string& line, const LineSink& sink) {
   };
 
   {
-    std::lock_guard<std::mutex> lock(im.outstanding_mu);
+    MutexLock lock(im.outstanding_mu);
     ++im.outstanding;
   }
   const Admission admission = im.queue.push(std::move(ticket));
@@ -247,14 +250,14 @@ void Server::submit_line(const std::string& line, const LineSink& sink) {
 
 void Server::drain() {
   Impl& im = *impl_;
-  std::unique_lock<std::mutex> lock(im.outstanding_mu);
-  im.idle.wait(lock, [&] { return im.outstanding == 0; });
+  MutexLock lock(im.outstanding_mu);
+  while (im.outstanding != 0) im.idle.wait(im.outstanding_mu);
 }
 
 void Server::shutdown() {
   Impl& im = *impl_;
   {
-    std::lock_guard<std::mutex> lock(im.shutdown_mu);
+    MutexLock lock(im.shutdown_mu);
     if (im.shut_down) return;
     im.shut_down = true;
   }
@@ -265,8 +268,11 @@ void Server::shutdown() {
 ServerStats Server::stats() const {
   const Impl& im = *impl_;
   ServerStats s;
+  // rrfd-lint: allow(atomic-justified) -- advisory counter, ordering-free
   s.requests = im.requests.load(std::memory_order_relaxed);
+  // rrfd-lint: allow(atomic-justified) -- advisory counter, ordering-free
   s.wire_errors = im.wire_errors.load(std::memory_order_relaxed);
+  // rrfd-lint: allow(atomic-justified) -- advisory counter, ordering-free
   s.executed = im.executed.load(std::memory_order_relaxed);
   s.queue = im.queue.stats();
   s.cache = im.cache.stats();

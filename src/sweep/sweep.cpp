@@ -3,11 +3,11 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "trace/trace.h"
+#include "util/mutex.h"
 
 namespace rrfd::sweep {
 
@@ -60,11 +60,12 @@ void run_indexed(int n_jobs, int threads,
   }
 
   std::atomic<int> next{0};
-  std::mutex mu;
+  Mutex mu;
   int first_error_job = n_jobs;
   std::exception_ptr first_error;
   const auto drain = [&] {
     for (;;) {
+      // rrfd-lint: allow(atomic-justified) -- claim counter; joins publish
       const int i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n_jobs) return;
       try {
@@ -75,7 +76,7 @@ void run_indexed(int n_jobs, int threads,
         // claimed and will record their own (lower) failures -- the
         // rethrown exception is deterministically the lowest-index one,
         // matching what the serial loop surfaces first.
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (i < first_error_job) {
           first_error_job = i;
           first_error = std::current_exception();

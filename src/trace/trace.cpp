@@ -78,6 +78,7 @@ void Tracer::detail_install_context_hook() {
         TraceSink* s = Tracer::sink();
         return s ? s->context() : std::string();
       },
+      // rrfd-lint: allow(atomic-justified) -- idempotent hook install
       std::memory_order_relaxed);
 }
 

@@ -135,10 +135,15 @@ class Tracer {
  public:
   /// Is any sink attached? (The off-path fast check.)
   static bool on() {
+    // rrfd-lint: allow(atomic-justified) -- off-path check; swaps only
     return sink_.load(std::memory_order_relaxed) != nullptr;
   }
 
-  static TraceSink* sink() { return sink_.load(std::memory_order_relaxed); }
+  static TraceSink* sink() {
+    // rrfd-lint: allow(atomic-justified) -- attach() contract: no swap
+    // happens while other threads emit, so no ordering is carried here
+    return sink_.load(std::memory_order_relaxed);
+  }
 
   /// Attaches `sink` (nullptr detaches) and returns the previous sink.
   /// Also installs the contract-context hook so ContractViolations carry
@@ -147,6 +152,8 @@ class Tracer {
   /// between runs.
   static TraceSink* attach(TraceSink* sink) {
     detail_install_context_hook();
+    // rrfd-lint: allow(atomic-justified) -- publishes the sink's state to
+    // the attaching thread's subsequent emits (swap only between runs)
     return sink_.exchange(sink, std::memory_order_acq_rel);
   }
 

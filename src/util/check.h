@@ -45,6 +45,7 @@ inline std::atomic<ContractContextProvider>& contract_context_provider() {
                                        const std::string& msg = {}) {
   std::string full = msg;
   if (ContractContextProvider provider =
+          // rrfd-lint: allow(atomic-justified) -- captureless fn pointer
           contract_context_provider().load(std::memory_order_relaxed)) {
     const std::string context = provider();
     if (!context.empty()) {

@@ -1,0 +1,126 @@
+// Annotated mutex wrappers: the capability types behind the repo's
+// compile-time lock discipline (util/thread_annotations.h, DESIGN.md §5).
+//
+// libstdc++'s std::mutex carries no capability attribute, so a
+// RRFD_GUARDED_BY(std_mutex_member) would be rejected by clang's
+// -Wthread-safety-attributes. These wrappers are the thinnest possible
+// annotated shims over the std primitives: same semantics, same cost
+// (every method is an inline forward), plus the attributes that let the
+// analysis track who holds what. All locking in the tree goes through
+// the scoped guards below -- rrfd_lint's raw-lock-call rule bans naked
+// .lock()/.unlock() everywhere except this file, which is the one
+// sanctioned implementation site (same pattern as util/rng and
+// no-raw-random).
+//
+// Condition variables: CondVar wraps std::condition_variable_any, which
+// waits on any BasicLockable -- here the annotated Mutex itself. wait()
+// takes the Mutex (not the guard) so it can carry RRFD_REQUIRES(mu):
+// call sites prove to the analysis that the mutex is held at the wait.
+// Use explicit `while (!cond) cv.wait(mu);` loops rather than predicate
+// lambdas -- the loop body sits in the annotated function's scope, where
+// the analysis can see the capability; a lambda would be analyzed as an
+// unannotated function and flag every guarded read inside it.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace rrfd {
+
+/// Plain exclusive mutex, annotated as a capability.
+class RRFD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RRFD_ACQUIRE() { mu_.lock(); }
+  void unlock() RRFD_RELEASE() { mu_.unlock(); }
+  bool try_lock() RRFD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex, annotated as a capability. Exclusive = writer,
+/// shared = reader.
+class RRFD_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() RRFD_ACQUIRE() { mu_.lock(); }
+  void unlock() RRFD_RELEASE() { mu_.unlock(); }
+  void lock_shared() RRFD_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() RRFD_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive hold of a Mutex (the std::lock_guard of this layer).
+class RRFD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RRFD_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RRFD_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive (writer) hold of a SharedMutex.
+class RRFD_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) RRFD_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterLock() RRFD_RELEASE() { mu_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) hold of a SharedMutex.
+class RRFD_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) RRFD_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderLock() RRFD_RELEASE() { mu_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable paired with Mutex. The caller must hold `mu` at
+/// every wait; the wait releases it atomically and reacquires before
+/// returning (std::condition_variable_any semantics), which the analysis
+/// models as "held throughout" -- exactly the caller's view.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) RRFD_REQUIRES(mu) { cv_.wait(mu); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace rrfd

@@ -1,0 +1,95 @@
+// Clang thread-safety annotation macros (the capability analysis from
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), spelled with an
+// RRFD_ prefix and expanding to nothing on compilers without the
+// attributes.
+//
+// Why this exists: the repo's determinism guarantees (byte-identical
+// sweeps, dedup'd job streams, replayable traces) rest on a concurrent
+// surface -- the serve queue/cache, the sweep pool, the trace sink swap --
+// that TSan can only check on schedules a test happens to take. These
+// annotations turn the lock discipline into a *compile-time contract*:
+// every mutex-protected member names its mutex, every locking function
+// declares what it acquires, and clang's -Wthread-safety proves (or
+// refutes) the discipline on every path, scheduled or not. The dedicated
+// CI job builds with -Werror=thread-safety so the analysis is
+// load-bearing, and rrfd_lint's guarded-member rule makes the annotations
+// themselves mandatory wherever a class holds a mutex (DESIGN.md §5).
+//
+// Use the rrfd::Mutex / rrfd::SharedMutex wrappers (util/mutex.h) as the
+// capability types: the std:: primitives carry no capability attribute on
+// libstdc++, so GUARDED_BY(std_mutex_member) would itself be rejected by
+// -Wthread-safety-attributes.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define RRFD_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef RRFD_THREAD_ANNOTATION
+#define RRFD_THREAD_ANNOTATION(x)  // not clang: annotations compile away
+#endif
+
+/// Marks a type as a capability (a mutex-like object the analysis can
+/// track). `x` is the capability kind shown in diagnostics ("mutex").
+#define RRFD_CAPABILITY(x) RRFD_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (lock guards).
+#define RRFD_SCOPED_CAPABILITY RRFD_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define RRFD_GUARDED_BY(x) RRFD_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer itself
+/// may be read freely).
+#define RRFD_PT_GUARDED_BY(x) RRFD_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability held exclusively on entry (and does
+/// not release it).
+#define RRFD_REQUIRES(...) \
+  RRFD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function requires the capability held at least shared on entry.
+#define RRFD_REQUIRES_SHARED(...) \
+  RRFD_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability exclusively (held on return).
+#define RRFD_ACQUIRE(...) \
+  RRFD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability shared.
+#define RRFD_ACQUIRE_SHARED(...) \
+  RRFD_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (exclusive, shared, or -- with no
+/// argument on a scoped capability's destructor -- whichever was taken).
+#define RRFD_RELEASE(...) \
+  RRFD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function releases a shared hold of the capability.
+#define RRFD_RELEASE_SHARED(...) \
+  RRFD_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the capability; holds it iff the return value equals
+/// the first macro argument.
+#define RRFD_TRY_ACQUIRE(...) \
+  RRFD_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (guards against self-deadlock on
+/// non-recursive mutexes).
+#define RRFD_EXCLUDES(...) RRFD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime, by contract) that the capability is already held;
+/// teaches the analysis about holds it cannot see.
+#define RRFD_ASSERT_CAPABILITY(x) \
+  RRFD_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define RRFD_RETURN_CAPABILITY(x) RRFD_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment justifying why the analysis cannot see the invariant
+/// (the thread-safety CI job greps for naked uses; see DESIGN.md §5).
+#define RRFD_NO_THREAD_SAFETY_ANALYSIS \
+  RRFD_THREAD_ANNOTATION(no_thread_safety_analysis)

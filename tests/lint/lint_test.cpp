@@ -181,6 +181,50 @@ TEST(LintSuppression, ProseMentionIsNotASuppression) {
   EXPECT_TRUE(linted.active.empty());
 }
 
+TEST(LintSuppression, MultiLineJustificationAnchorsBelowBlock) {
+  // A justification too long for one line wraps onto further comment
+  // lines; the suppression guards the first code line after the block.
+  const std::string src =
+      "// rrfd-lint: allow(no-wall-clock) -- display-only timestamp: the\n"
+      "// value never feeds back into scheduling, hashing, or any other\n"
+      "// result-affecting path.\n"
+      "int t = static_cast<int>(clock());\n";
+  LintedFile linted = lint_source("src/x.cpp", src);
+  EXPECT_TRUE(linted.active.empty());
+  ASSERT_EQ(linted.suppressed.size(), 1u);
+  EXPECT_EQ(linted.suppressed[0].line, 4);
+}
+
+TEST(LintSuppression, MultiLineBlockDoesNotReachPastCode) {
+  // The block ends at the first non-comment line: a violation two code
+  // lines below the comment is NOT covered.
+  const std::string src =
+      "// rrfd-lint: allow(no-wall-clock) -- wrapped justification text\n"
+      "// continuing on a second line.\n"
+      "int a = 7;\n"
+      "int t = static_cast<int>(clock());\n";
+  LintedFile linted = lint_source("src/x.cpp", src);
+  ASSERT_EQ(linted.active.size(), 2u);
+  EXPECT_EQ(linted.active[0].rule, kBadSuppressionRule);  // unused allow
+  EXPECT_EQ(linted.active[1].rule, "no-wall-clock");
+}
+
+TEST(LintSuppression, MultiLineBlockEndsAtNextTag) {
+  // A new rrfd-lint tag starts its own block: the first allow does not
+  // swallow the second and stretch down to its code line.
+  const std::string src =
+      "// rrfd-lint: allow(no-wall-clock) -- stale leftover comment\n"
+      "// rrfd-lint: allow(no-raw-random) -- demo seed for the README\n"
+      "int t = rand();\n";
+  LintedFile linted = lint_source("src/x.cpp", src);
+  ASSERT_EQ(linted.suppressed.size(), 1u);
+  EXPECT_EQ(linted.suppressed[0].rule, "no-raw-random");
+  // The first allow matches nothing and is flagged as unused.
+  ASSERT_EQ(linted.active.size(), 1u);
+  EXPECT_EQ(linted.active[0].rule, kBadSuppressionRule);
+  EXPECT_EQ(linted.active[0].line, 1);
+}
+
 TEST(LintSuppression, MultiRuleAllowCoversBoth) {
   const std::string src =
       "// rrfd-lint: allow(no-wall-clock, no-raw-random) -- demo seed\n"
@@ -288,6 +332,61 @@ TEST(LintLexer, PreprocessorContinuationsSplice) {
   EXPECT_NE(lexed.tokens[0].text.find("bar"), std::string::npos);
 }
 
+TEST(LintLexer, LineCommentContinuationSwallowsNextLine) {
+  // Translation phase 2: a backslash-newline inside a // comment splices
+  // the next line into the comment. `rand()` below is comment text, not
+  // code, and must never reach the rules.
+  LexResult lexed = lex("// hidden \\\nrand();\nint x;");
+  ASSERT_EQ(lexed.tokens.size(), 3u);  // int x ;
+  EXPECT_EQ(lexed.tokens[0].text, "int");
+  ASSERT_EQ(lexed.comments.size(), 1u);
+  EXPECT_EQ(lexed.comments[0].line, 1);
+  EXPECT_EQ(lexed.comments[0].end_line, 2);
+  EXPECT_NE(lexed.comments[0].text.find("rand"), std::string::npos);
+  // And end-to-end: no finding from the spliced-away line.
+  LintedFile linted = lint_source("src/x.cpp", "// ok \\\nrand();\n");
+  EXPECT_TRUE(linted.active.empty());
+}
+
+TEST(LintLexer, LineCommentCrlfContinuation) {
+  LexResult lexed = lex("// hidden \\\r\nrand();\nint x;");
+  ASSERT_EQ(lexed.tokens.size(), 3u);
+  EXPECT_EQ(lexed.comments.size(), 1u);
+  EXPECT_EQ(lexed.comments[0].end_line, 2);
+}
+
+TEST(LintLexer, RawStringCustomDelimiter) {
+  // The inner )" must not close a raw string with a custom delimiter;
+  // only )delim" does.
+  LexResult lexed = lex("auto s = R\"delim(rand() )\" )delim\";");
+  ASSERT_EQ(lexed.tokens.size(), 5u);  // auto s = <string> ;
+  EXPECT_EQ(lexed.tokens[3].kind, TokKind::kString);
+  EXPECT_EQ(lexed.tokens[3].text, "rand() )\" ");
+  // End-to-end: the rand() inside the literal is not a finding.
+  LintedFile linted =
+      lint_source("src/x.cpp", "auto s = R\"delim(rand() )\" )delim\";\n");
+  EXPECT_TRUE(linted.active.empty());
+}
+
+TEST(LintLexer, RawStringPrefixedVariants) {
+  for (const char* prefix : {"R", "u8R", "uR", "UR", "LR"}) {
+    std::string src = std::string(prefix) + "\"(clock())\"";
+    LexResult lexed = lex(src);
+    ASSERT_EQ(lexed.tokens.size(), 1u) << prefix;
+    EXPECT_EQ(lexed.tokens[0].kind, TokKind::kString) << prefix;
+    EXPECT_EQ(lexed.tokens[0].text, "clock()") << prefix;
+  }
+}
+
+TEST(LintLexer, CharLiteralPrefixedVariants) {
+  for (const char* prefix : {"u8", "u", "U", "L"}) {
+    std::string src = std::string(prefix) + "'x'";
+    LexResult lexed = lex(src);
+    ASSERT_EQ(lexed.tokens.size(), 1u) << prefix;
+    EXPECT_EQ(lexed.tokens[0].kind, TokKind::kChar) << prefix;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Reports
 
@@ -314,6 +413,49 @@ TEST(LintReport, TextSummaryCountsEverything) {
   std::string text = render_text(run);
   EXPECT_NE(text.find("[no-raw-random]"), std::string::npos);
   EXPECT_NE(text.find("1 files, 1 findings"), std::string::npos);
+}
+
+TEST(LintReport, SarifCarriesRulesAndResults) {
+  RunResult run = run_lint({{"src/x.cpp", "std::mt19937 gen(1);\n"}},
+                           Baseline{});
+  std::string sarif = render_sarif(run);
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\":\"rrfd_lint\""), std::string::npos);
+  // Every registry rule is described, plus the driver's bad-suppression.
+  for (const Rule* rule : all_rules()) {
+    EXPECT_NE(sarif.find("\"id\":\"" + std::string(rule->name()) + "\""),
+              std::string::npos)
+        << rule->name();
+  }
+  EXPECT_NE(sarif.find("\"id\":\"bad-suppression\""), std::string::npos);
+  // The live finding is an error result with a location and fingerprint.
+  EXPECT_NE(sarif.find("\"ruleId\":\"no-raw-random\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\":\"error\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\":\"src/x.cpp\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\":1"), std::string::npos);
+  EXPECT_NE(sarif.find("rrfdLintFingerprint/v1"), std::string::npos);
+  EXPECT_EQ(sarif.find("\"suppressions\""), std::string::npos);
+}
+
+TEST(LintReport, SarifMarksSuppressedAndBaselined) {
+  const std::string suppressed_src =
+      "// rrfd-lint: allow(no-wall-clock) -- demo output only\n"
+      "int t = static_cast<int>(clock());\n";
+  const std::string parked_src = "std::mt19937 gen(1);\n";
+  LintedFile parked = lint_source("src/y.cpp", parked_src);
+  ASSERT_EQ(parked.active.size(), 1u);
+  Baseline baseline;
+  baseline.entries.push_back(baseline_entry(parked.active[0]));
+
+  RunResult run = run_lint(
+      {{"src/x.cpp", suppressed_src}, {"src/y.cpp", parked_src}}, baseline);
+  ASSERT_TRUE(run.ok());
+  std::string sarif = render_sarif(run);
+  EXPECT_NE(sarif.find("\"suppressions\":[{\"kind\":\"inSource\"}]"),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"suppressions\":[{\"kind\":\"external\"}]"),
+            std::string::npos);
+  EXPECT_EQ(sarif.find("\"level\":\"error\""), std::string::npos);
 }
 
 }  // namespace

@@ -11,9 +11,8 @@
 
 #include <gtest/gtest.h>
 
-#include <condition_variable>
+#include <atomic>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -24,7 +23,10 @@
 #include "core/engine.h"
 #include "serve/wire.h"
 #include "trace/trace.h"
+#include "util/log.h"
+#include "util/mutex.h"
 #include "util/str.h"
+#include "util/thread_annotations.h"
 
 namespace rrfd::serve {
 namespace {
@@ -55,13 +57,13 @@ class Collector {
  public:
   Server::LineSink sink() {
     return [this](const std::string& line) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       lines_.push_back(line);
     };
   }
 
   std::vector<std::string> lines() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return lines_;
   }
 
@@ -86,8 +88,8 @@ class Collector {
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::string> lines_;
+  mutable Mutex mu_;
+  std::vector<std::string> lines_ RRFD_GUARDED_BY(mu_);
 };
 
 ServerOptions test_options() {
@@ -228,24 +230,24 @@ TEST(ServeServer, QueueFullShedIsNamedAndLeavesNoWaiterHanging) {
 
   // Pin the single worker inside job a's delivery so the queue's one
   // slot is observably occupied by job b when job c arrives.
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   bool worker_pinned = false;
   bool release = false;
   std::vector<std::string> a_lines;
   const auto pinning_sink = [&](const std::string& line) {
-    std::unique_lock<std::mutex> lock(mu);
+    MutexLock lock(mu);
     a_lines.push_back(line);
     if (has(line, "\"ev\":\"row\"") && !worker_pinned) {
       worker_pinned = true;
       cv.notify_all();
-      cv.wait(lock, [&release] { return release; });
+      while (!release) cv.wait(mu);
     }
   };
   server.submit_line(sweep_line("c", "a", 4, 2, 1, 1), pinning_sink);
   {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&worker_pinned] { return worker_pinned; });
+    MutexLock lock(mu);
+    while (!worker_pinned) cv.wait(mu);
   }
 
   Collector out;
@@ -257,7 +259,7 @@ TEST(ServeServer, QueueFullShedIsNamedAndLeavesNoWaiterHanging) {
   EXPECT_TRUE(has(shed[0], "\"reason\":\"queue_full\"")) << shed[0];
 
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     release = true;
   }
   cv.notify_all();
@@ -277,24 +279,24 @@ TEST(ServeServer, ClientCapShedsOnlyTheNoisyTenant) {
   options.git_rev = "test-rev";
   Server server(std::move(options));
 
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   bool worker_pinned = false;
   bool release = false;
   std::vector<std::string> a_lines;
   const auto pinning_sink = [&](const std::string& line) {
-    std::unique_lock<std::mutex> lock(mu);
+    MutexLock lock(mu);
     a_lines.push_back(line);
     if (has(line, "\"ev\":\"row\"") && !worker_pinned) {
       worker_pinned = true;
       cv.notify_all();
-      cv.wait(lock, [&release] { return release; });
+      while (!release) cv.wait(mu);
     }
   };
   server.submit_line(sweep_line("noisy", "a", 4, 2, 1, 1), pinning_sink);
   {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&worker_pinned] { return worker_pinned; });
+    MutexLock lock(mu);
+    while (!worker_pinned) cv.wait(mu);
   }
 
   Collector out;
@@ -309,7 +311,7 @@ TEST(ServeServer, ClientCapShedsOnlyTheNoisyTenant) {
   EXPECT_TRUE(has(out.lines_for("d").front(), "\"ev\":\"accepted\""));
 
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     release = true;
   }
   cv.notify_all();
@@ -369,6 +371,98 @@ TEST(ServeServer, ReplayJobReExecutesByteIdentically) {
   EXPECT_TRUE(has(lines[1], "\"byte_identical\":true")) << lines[1];
   EXPECT_TRUE(has(lines[1], "\"trace_rev\":\"recorder-rev\"")) << lines[1];
   EXPECT_TRUE(has(lines[2], "\"ev\":\"done\"")) << lines[2];
+}
+
+// ---------------------------------------------------------------------------
+// Log sink-swap vs in-flight work. Log routes through an atomic
+// captureless-function-pointer slot (util/log.h); swapping the sink or
+// toggling the level from one thread while server workers emit through
+// it must be race-free. Replay jobs ride along so the tracer
+// shared_mutex path (writers exclusive, sweeps shared) runs under the
+// same churn. This suite runs under TSan in CI.
+
+std::atomic<int> g_swap_sink_a{0};
+std::atomic<int> g_swap_sink_b{0};
+void swap_sink_a(LogLevel, const std::string&) { ++g_swap_sink_a; }
+void swap_sink_b(LogLevel, const std::string&) { ++g_swap_sink_b; }
+
+TEST(ServeServer, LogSinkSwapDuringInFlightJobsIsRaceFree) {
+  g_swap_sink_a = 0;
+  g_swap_sink_b = 0;
+  Log::Sink saved_sink = Log::set_sink(swap_sink_a);
+  const LogLevel saved_level = Log::level();
+  Log::set_level(LogLevel::kTrace);
+
+  // A recorded trace for the replay jobs (exclusive tracer path); same
+  // recipe as ReplayJobReExecutesByteIdentically above.
+  trace::CaptureRecorder capture;
+  {
+    trace::ScopedTrace attach(&capture);
+    std::vector<agreement::FloodMin> ps;
+    for (int i = 0; i < 4; ++i) ps.emplace_back(i * 3 + 1, 2);
+    core::CrashAdversary adversary(4, 1, /*seed=*/7);
+    core::run_rounds(ps, adversary);
+  }
+  trace::Trace recorded;
+  recorded.schema = trace::kTraceSchema;
+  recorded.git_rev = "recorder-rev";
+  recorded.events = capture.events();
+  std::ostringstream os;
+  trace::write_trace(os, recorded);
+  const std::string replay_payload = json_escape(os.str());
+
+  ServerOptions options = test_options();
+  options.workers = 4;
+  options.queue.depth = 256;
+  options.queue.per_client = 256;
+  Server server(options);
+  Collector out;
+  // Every delivered line also flows through the global log slot, so the
+  // worker threads hammer Log::write while the main thread swaps below.
+  const Server::LineSink sink = [inner = out.sink()](const std::string& line) {
+    log_trace(line);
+    inner(line);
+  };
+  for (int i = 0; i < 24; ++i) {
+    server.submit_line(sweep_line("c", cat("swap-s", i), 4, 1, 2,
+                                  100 + static_cast<std::uint64_t>(i)),
+                       sink);
+    if (i % 6 == 0) {
+      server.submit_line(
+          cat(R"({"schema":"rrfd-job-v1","op":"submit","client":"c",)",
+              R"("id":"swap-r)", i,
+              R"(","kind":"replay","protocol":"flood_min","f":1,)",
+              R"("trace":")", replay_payload, R"("})"),
+          sink);
+    }
+  }
+  for (int i = 0; i < 400; ++i) {
+    Log::set_sink(i % 2 == 0 ? swap_sink_b : swap_sink_a);
+    if (i % 16 == 0) Log::set_level(LogLevel::kOff);
+    if (i % 16 == 8) Log::set_level(LogLevel::kTrace);
+  }
+  Log::set_level(LogLevel::kTrace);
+  server.drain();
+  // At least one line is guaranteed to land in a counting sink even if
+  // every delivery happened to straddle a kOff window above.
+  log_trace("post-drain");
+
+  Log::set_sink(saved_sink);
+  Log::set_level(saved_level);
+
+  // Full accounting survives the churn: one ack and one terminal line
+  // per submission, and the swapped-in sinks actually received lines.
+  for (int i = 0; i < 24; ++i) {
+    const auto lines = out.lines_for(cat("swap-s", i));
+    ASSERT_GE(lines.size(), 2u) << i;
+    EXPECT_TRUE(has(lines.back(), "\"ev\":\"done\"")) << lines.back();
+  }
+  for (int i = 0; i < 24; i += 6) {
+    const auto lines = out.lines_for(cat("swap-r", i));
+    ASSERT_GE(lines.size(), 2u) << i;
+    EXPECT_TRUE(has(lines.back(), "\"ev\":\"done\"")) << lines.back();
+  }
+  EXPECT_GT(g_swap_sink_a.load() + g_swap_sink_b.load(), 0);
 }
 
 TEST(ServeServer, StatsOpAnswersSynchronously) {

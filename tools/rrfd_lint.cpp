@@ -1,7 +1,8 @@
 // rrfd_lint CLI: repo-aware determinism/contract static analysis.
 //
 // Usage:
-//   rrfd_lint [--root DIR] [--json] [--baseline FILE] [--list-rules] PATH...
+//   rrfd_lint [--root DIR] [--json | --sarif] [--baseline FILE]
+//             [--list-rules] PATH...
 //
 // Each PATH (file or directory, relative to --root, default cwd) is
 // scanned for C++ sources (.h .hpp .cpp .cc). Exit codes: 0 clean, 1
@@ -24,8 +25,8 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--root DIR] [--json] [--baseline FILE] [--list-rules] "
-               "PATH...\n";
+            << " [--root DIR] [--json | --sarif] [--baseline FILE] "
+               "[--list-rules] PATH...\n";
   return 2;
 }
 
@@ -61,12 +62,15 @@ int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   fs::path baseline_path;
   bool json = false;
+  bool sarif = false;
   std::vector<std::string> inputs;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
     } else if (arg == "--root") {
       if (++i >= argc) return usage(argv[0]);
       root = argv[i];
@@ -149,8 +153,11 @@ int main(int argc, char** argv) {
     baseline = rrfd::lint::parse_baseline(text);
   }
 
+  if (json && sarif) return usage(argv[0]);
+
   rrfd::lint::RunResult result = rrfd::lint::run_lint(sources, baseline);
-  std::cout << (json ? rrfd::lint::render_json(result)
-                     : rrfd::lint::render_text(result));
+  std::cout << (json    ? rrfd::lint::render_json(result)
+                : sarif ? rrfd::lint::render_sarif(result)
+                        : rrfd::lint::render_text(result));
   return result.ok() ? 0 : 1;
 }

@@ -26,11 +26,11 @@
 // Exit codes: 0 ok (all lines answered, including rejections), 1 fatal
 // server error, 2 usage error.
 #include <iostream>
-#include <mutex>
 #include <string>
 
 #include "serve/server.h"
 #include "util/check.h"
+#include "util/mutex.h"
 
 namespace {
 
@@ -90,9 +90,9 @@ int main(int argc, char** argv) {
     // stdout under one lock so concurrent jobs never tear each other's
     // output (the torn-line guard on the other side of the pipe is a
     // named error, not a recovery mechanism).
-    std::mutex out_mu;
+    rrfd::Mutex out_mu;
     const auto sink = [&out_mu](const std::string& line) {
-      std::lock_guard<std::mutex> lock(out_mu);
+      rrfd::MutexLock lock(out_mu);
       std::cout << line << '\n';
       std::cout.flush();
     };
